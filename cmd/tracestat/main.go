@@ -1,0 +1,167 @@
+// Command tracestat characterizes a memory access trace the way a
+// simulationist would before feeding it to womsim: operation mix, arrival
+// intensity, row-level footprint and reuse, write-row reuse intervals
+// (the quantity PCM-refresh feeds on — rows rewritten more often than the
+// 4000 ns refresh period cannot be saved from α-writes), and the spread
+// across ranks and banks.
+//
+// Usage:
+//
+//	tracegen -bench 464.h264ref -n 200000 -o h264.trace
+//	tracestat h264.trace
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat <trace-file>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var src trace.Source
+	head, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	if len(head) == 4 && string(head) == "WOMT" {
+		src = trace.NewBinReader(br)
+	} else {
+		src = trace.NewTextReader(br)
+	}
+
+	g := pcm.DefaultGeometry()
+	mapper, err := pcm.NewAddrMapper(g)
+	if err != nil {
+		return err
+	}
+
+	var (
+		reads, writes  uint64
+		firstT, lastT  int64
+		first          = true
+		rowTouches     = map[uint64]uint64{}
+		rowWrites      = map[uint64]uint64{}
+		lastWriteAt    = map[uint64]int64{}
+		reuseUnderPer  uint64 // write reuses faster than the refresh period
+		reuseTotal     uint64
+		rankLoad       = make([]uint64, g.Ranks)
+		rowBytes       = uint64(g.RowBytes())
+		refreshPeriodN = pcm.DefaultTiming().RefreshPeriod
+	)
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if first {
+			firstT = rec.Time
+			first = false
+		}
+		lastT = rec.Time
+		row := rec.Addr / rowBytes
+		rowTouches[row]++
+		loc := mapper.Map(rec.Addr)
+		rankLoad[loc.Rank]++
+		if rec.Op == trace.Read {
+			reads++
+			continue
+		}
+		writes++
+		rowWrites[row]++
+		if prev, ok := lastWriteAt[row]; ok {
+			reuseTotal++
+			if rec.Time-prev < refreshPeriodN {
+				reuseUnderPer++
+			}
+		}
+		lastWriteAt[row] = rec.Time
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	total := reads + writes
+	if total == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	fmt.Printf("records            %d (%d reads, %d writes — %.1f%% writes)\n",
+		total, reads, writes, 100*float64(writes)/float64(total))
+	span := lastT - firstT
+	fmt.Printf("span               %.3f ms, mean inter-arrival %.1f ns\n",
+		float64(span)/1e6, float64(span)/float64(total-1))
+	fmt.Printf("distinct rows      %d touched, %d written\n", len(rowTouches), len(rowWrites))
+
+	// Write-row reuse: the WOM/refresh feedstock.
+	if reuseTotal > 0 {
+		fmt.Printf("write-row reuse    %d rewrites (%.1f%% of writes); %.1f%% within the %d ns refresh period\n",
+			reuseTotal, 100*float64(reuseTotal)/float64(writes),
+			100*float64(reuseUnderPer)/float64(reuseTotal), refreshPeriodN)
+	} else {
+		fmt.Println("write-row reuse    none (every written row is written once)")
+	}
+
+	// Hottest written rows.
+	type hot struct {
+		row uint64
+		n   uint64
+	}
+	hots := make([]hot, 0, len(rowWrites))
+	for r, n := range rowWrites {
+		hots = append(hots, hot{r, n})
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].n != hots[j].n {
+			return hots[i].n > hots[j].n
+		}
+		return hots[i].row < hots[j].row
+	})
+	fmt.Println("hottest write rows:")
+	for i := 0; i < len(hots) && i < 5; i++ {
+		loc := mapper.Map(hots[i].row * rowBytes)
+		fmt.Printf("  row %-10d %6d writes  (%s)\n", hots[i].row, hots[i].n, loc)
+	}
+
+	// Rank balance.
+	var maxLoad, minLoad uint64
+	minLoad = ^uint64(0)
+	for _, n := range rankLoad {
+		if n > maxLoad {
+			maxLoad = n
+		}
+		if n < minLoad {
+			minLoad = n
+		}
+	}
+	fmt.Printf("rank balance       min %d / max %d accesses per rank (×%.2f skew)\n",
+		minLoad, maxLoad, skew(maxLoad, minLoad))
+	return nil
+}
+
+func skew(max, min uint64) float64 {
+	if min == 0 {
+		return 0
+	}
+	return float64(max) / float64(min)
+}

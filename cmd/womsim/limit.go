@@ -1,0 +1,8 @@
+package main
+
+import "womcpcm/internal/trace"
+
+// traceLimit bounds a generator stream to n records.
+func traceLimit(src trace.Source, n int) trace.Source {
+	return trace.NewLimit(src, n)
+}

@@ -1,0 +1,244 @@
+// Command womsim regenerates the paper's evaluation (Li and Mohanram,
+// "Write-Once-Memory-Code Phase Change Memory", DATE 2014): Fig. 5(a)/(b)
+// normalized write/read latencies of the four architectures, Fig. 6
+// WOM-cache hit rates, Fig. 7 WCPCM bank scaling, and the repository's
+// ablation experiments.
+//
+// Usage:
+//
+//	womsim -fig 5            # Fig. 5(a)+(b) across all 20 benchmarks
+//	womsim -fig 6 -requests 100000
+//	womsim -fig all -bench 464.h264ref,qsort
+//	womsim -fig rth          # refresh-threshold ablation
+//	womsim -fig sched,hybrid # comparator ablations ([7], [18])
+//	womsim -detail ocean     # per-run service breakdown + energy pricing
+//	womsim -trace my.trace   # replay a recorded trace on every architecture
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"womcpcm/internal/core"
+	"womcpcm/internal/energy"
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/sim"
+	"womcpcm/internal/stats"
+	"womcpcm/internal/workload"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "5", "experiment: 5, 5a, 5b, 6, 7, rth, org, pausing, code, sched, hybrid, channels, all")
+		requests = flag.Int("requests", 200000, "trace length per benchmark")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+		bench    = flag.String("bench", "", "comma-separated benchmark filter (default all 20)")
+		suite    = flag.String("suite", "", "suite filter: SPEC, MiBench, SPLASH-2")
+		ranks    = flag.Int("ranks", 0, "override rank count")
+		banks    = flag.Int("banks", 0, "override banks per rank")
+		detail   = flag.String("detail", "", "print the full run summary for one benchmark on every architecture")
+		traceIn  = flag.String("trace", "", "replay a trace file (text or binary) through every architecture")
+		workers  = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	cfg := sim.ExpConfig{
+		Requests:    *requests,
+		Seed:        *seed,
+		Parallelism: *workers,
+	}
+	g := pcm.DefaultGeometry()
+	if *ranks > 0 {
+		g.Ranks = *ranks
+	}
+	if *banks > 0 {
+		g.BanksPerRank = *banks
+	}
+	cfg.Geometry = g
+
+	profiles, err := selectProfiles(*bench, *suite)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Profiles = profiles
+
+	if *traceIn != "" {
+		if err := replayTrace(cfg, *traceIn, *requests); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *detail != "" {
+		if err := printDetail(cfg, *detail); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	for _, f := range strings.Split(*fig, ",") {
+		if err := runFig(cfg, strings.TrimSpace(f), *jsonOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// emit renders a result as JSON or with its table renderer.
+func emit(jsonOut bool, name string, res interface{}, render func() string) error {
+	if !jsonOut {
+		fmt.Print(render())
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]interface{}{"experiment": name, "result": res})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "womsim:", err)
+	os.Exit(1)
+}
+
+func selectProfiles(bench, suite string) ([]workload.Profile, error) {
+	if bench == "" && suite == "" {
+		return workload.Profiles(), nil
+	}
+	if bench != "" {
+		var out []workload.Profile
+		for _, name := range strings.Split(bench, ",") {
+			p, err := workload.ProfileByName(strings.TrimSpace(name))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+		return out, nil
+	}
+	var s workload.Suite
+	switch strings.ToLower(suite) {
+	case "spec":
+		s = workload.SPEC
+	case "mibench":
+		s = workload.MiB
+	case "splash-2", "splash2", "splash":
+		s = workload.SPLASH
+	default:
+		return nil, fmt.Errorf("unknown suite %q", suite)
+	}
+	return workload.SuiteProfiles(s), nil
+}
+
+func runFig(cfg sim.ExpConfig, fig string, jsonOut bool) error {
+	switch fig {
+	case "5", "5a", "5b":
+		res, err := sim.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(jsonOut, "fig5", res, func() string { return sim.RenderFig5(res) })
+	case "6":
+		res, err := sim.Fig6(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(jsonOut, "fig6", res, func() string { return sim.RenderFig6(res) })
+	case "7":
+		res, err := sim.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(jsonOut, "fig7", res, func() string { return sim.RenderFig7(res) })
+	case "rth":
+		res, err := sim.RthSweep(cfg, []float64{0, 5, 10, 25, 50, 75})
+		if err != nil {
+			return err
+		}
+		return emit(jsonOut, "rth", res, func() string { return sim.RenderRthSweep(res) })
+	case "org":
+		res, err := sim.OrgAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(jsonOut, "org", res, func() string { return sim.RenderOrgAblation(res) })
+	case "pausing":
+		res, err := sim.PausingAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(jsonOut, "pausing", res, func() string { return sim.RenderPausingAblation(res) })
+	case "code":
+		res, err := sim.CodeAblation(cfg, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		return emit(jsonOut, "code", res, func() string { return sim.RenderCodeAblation(res) })
+	case "sched":
+		res, err := sim.SchedulingAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(jsonOut, "sched", res, func() string { return sim.RenderSchedulingAblation(res) })
+	case "hybrid":
+		res, err := sim.HybridAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(jsonOut, "hybrid", res, func() string { return sim.RenderHybridAblation(res) })
+	case "channels":
+		res, err := sim.ChannelScaling(cfg, []int{1, 2, 4})
+		if err != nil {
+			return err
+		}
+		return emit(jsonOut, "channels", res, func() string { return sim.RenderChannelScaling(res) })
+	case "all":
+		for _, f := range []string{"5", "6", "7", "rth", "org", "pausing", "code", "sched", "hybrid", "channels"} {
+			if err := runFig(cfg, f, jsonOut); err != nil {
+				return err
+			}
+			if !jsonOut {
+				fmt.Println()
+			}
+		}
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func printDetail(cfg sim.ExpConfig, bench string) error {
+	p, err := workload.ProfileByName(bench)
+	if err != nil {
+		return err
+	}
+	var runs []*stats.Run
+	for _, a := range core.Arches() {
+		opts := core.DefaultOptions()
+		opts.Geometry = cfg.Geometry
+		sys, err := core.NewSystem(a, opts)
+		if err != nil {
+			return err
+		}
+		gen, err := workload.NewGenerator(p, cfg.Geometry, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		run, err := sys.Simulate(traceLimit(gen, cfg.Requests))
+		if err != nil {
+			return err
+		}
+		run.Workload = p.Name
+		runs = append(runs, run)
+		fmt.Print(run.Summary())
+		fmt.Println()
+	}
+	table, err := energy.Compare(energy.Default(), runs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("energy (internal/energy default pricing; §3.2 refresh = read + row write):")
+	fmt.Print(table)
+	return nil
+}

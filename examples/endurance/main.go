@@ -1,0 +1,160 @@
+// endurance explores the paper's declared future work (§6): what WOM-code
+// PCM means for device lifetime. Three measurements:
+//
+//  1. Cell-level wear: hammering one row through the functional models and
+//     comparing SET/RESET transition counts — WOM-code rewrites touch few
+//     cells and never SET, so the stress profile changes completely.
+//  2. Row-level wear: the same hot-row hammer behind a Start-Gap wear
+//     leveler (Qureshi et al., MICRO 2009) spreads physical writes across
+//     the region.
+//  3. Projected lifetime with and without leveling under a 10^8-write cell
+//     endurance assumption.
+//
+// Run with: go run ./examples/endurance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"womcpcm/internal/core"
+	"womcpcm/internal/endurance"
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/womcode"
+)
+
+const hammerWrites = 3000
+
+// geometryRows is the full §5 device's row population.
+func geometryRows() int {
+	g := pcm.DefaultGeometry()
+	return g.Ranks * g.BanksPerRank * g.RowsPerBank
+}
+
+// years renders a lifetime in sensible units.
+func years(y float64) string {
+	switch {
+	case y >= 1:
+		return fmt.Sprintf("%.1f years", y)
+	case y*365.25 >= 1:
+		return fmt.Sprintf("%.1f days", y*365.25)
+	default:
+		return fmt.Sprintf("%.1f hours", y*365.25*24)
+	}
+}
+
+func main() {
+	cellWear()
+	rowWear()
+	lifetimes()
+}
+
+func geometry() pcm.Geometry {
+	return pcm.Geometry{Ranks: 2, BanksPerRank: 4, RowsPerBank: 64,
+		ColsPerRow: 16, BitsPerCol: 8, Devices: 8}
+}
+
+func cellWear() {
+	fmt.Println("== 1. SET pulses on the critical path under a hot-row hammer ==")
+	// Alternating 0xAA/0x55 flips every bit in both directions on every
+	// write: conventional PCM must SET half the cells every single time.
+	payloads := [2][]byte{make([]byte, 16), make([]byte, 16)}
+	for i := range payloads[0] {
+		payloads[0][i], payloads[1][i] = 0xAA, 0x55
+	}
+	for _, arch := range []core.Arch{core.Baseline, core.WOMCode} {
+		mem, err := core.NewFunctionalMemory(arch, geometry(), womcode.InvRS223())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var setBound int
+		for i := 0; i < hammerWrites; i++ {
+			res, err := mem.Write(0x80, payloads[i%2])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Alpha {
+				setBound++
+			}
+		}
+		w := mem.Wear()
+		fmt.Printf("%-18s %5d row writes → %4d SET-bound (%.0f%%), %7d SET ops total\n",
+			arch, w.TotalWrites, setBound,
+			100*float64(setBound)/float64(w.TotalWrites), w.SetOps)
+	}
+	fmt.Println("Total SET work is data-driven and roughly conserved; what the WOM-code")
+	fmt.Println("changes is WHICH writes carry it — only the α-writes (every other write")
+	fmt.Println("with the k=2 code), and PCM-refresh then moves those into idle cycles.")
+	fmt.Println()
+}
+
+func rowWear() {
+	fmt.Println("== 2. Row wear with Start-Gap leveling ==")
+	const regionRows, period = 63, 16
+	run := func(leveled bool) (max uint64, touched int) {
+		arr, err := pcm.NewArray(regionRows+1, 64, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sg, err := endurance.NewStartGap(regionRows, period)
+		if err != nil {
+			log.Fatal(err)
+		}
+		copyRow := func(src, dst int) error {
+			row, err := arr.ReadRow(src)
+			if err != nil {
+				return err
+			}
+			_, _, err = arr.ProgramRow(dst, row, pcm.FullWrite)
+			return err
+		}
+		for i := 0; i < hammerWrites; i++ {
+			logical := 7 // always the same hot row
+			phys := logical
+			if leveled {
+				if phys, err = sg.Map(logical); err != nil {
+					log.Fatal(err)
+				}
+			}
+			pattern := []byte{byte(i), byte(i >> 3), byte(i >> 6), 0, 0, 0, 0, 0}
+			if _, _, err := arr.ProgramRow(phys, pattern, pcm.FullWrite); err != nil {
+				log.Fatal(err)
+			}
+			if leveled {
+				if _, err := sg.OnWrite(copyRow); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		w := arr.WearStats()
+		return w.MaxRowWrites, w.TouchedRows
+	}
+	maxPlain, touchedPlain := run(false)
+	maxLeveled, touchedLeveled := run(true)
+	fmt.Printf("without leveling: hottest row %d writes, %d rows touched\n", maxPlain, touchedPlain)
+	fmt.Printf("with Start-Gap : hottest row %d writes, %d rows touched (%.1f× wear reduction)\n",
+		maxLeveled, touchedLeveled, float64(maxPlain)/float64(maxLeveled))
+	fmt.Println()
+}
+
+func lifetimes() {
+	fmt.Println("== 3. Projected lifetime (10^8-write cells) ==")
+	l := endurance.DefaultLifetime()
+	// A write-hot workload: ~1M row writes/s, the hottest row catching
+	// 1/200 of them, leveled over the full 16M-row device.
+	const (
+		windowNs    = int64(1e9)
+		totalWrites = 1_000_000
+		hotRowShare = 200
+	)
+	regionRows := geometryRows()
+	unlev, lev, err := l.Estimate(totalWrites/hotRowShare, totalWrites, regionRows, windowNs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hottest-row pinned : %s\n", years(unlev))
+	fmt.Printf("device-wide leveled: %s (%.0f× gain)\n", years(lev), lev/unlev)
+	fmt.Println("\nWOM-code PCM composes with leveling: the α-write rate sets the SET")
+	fmt.Println("stress, and PCM-refresh moves those α-writes into idle cycles without")
+	fmt.Println("changing their count — §6's open problem, quantified.")
+}

@@ -1,0 +1,106 @@
+// h264pipeline models the paper's best-case benchmark (§5: 464.h264ref,
+// 39.2 % write latency reduction) as a concrete scenario: a video encoder
+// whose reference-frame buffers are rewritten macroblock by macroblock,
+// frame after frame — exactly the bounded hot write set the WOM rewrite
+// budget and PCM-refresh feed on.
+//
+// The example builds the access stream explicitly (no workload generator):
+// for each frame, every macroblock row of the two reference frames is
+// written once and read several times by motion estimation. It then runs
+// the stream through all four architectures and reports the latency
+// breakdown.
+//
+// Run with: go run ./examples/h264pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"womcpcm/internal/core"
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/stats"
+	"womcpcm/internal/trace"
+)
+
+const (
+	frames        = 40
+	frameRows     = 128  // rows per reference frame
+	refFrames     = 2    // double-buffered reference frames
+	motionReads   = 3    // motion-estimation reads per written row
+	interArrival  = 220  // ns between accesses within a frame
+	frameBlanking = 80e3 // ns of idle time between frames (display blanking)
+)
+
+func buildStream(g pcm.Geometry) []trace.Record {
+	mapper, err := pcm.NewAddrMapper(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var recs []trace.Record
+	now := int64(0)
+	rowAddr := func(frame, row int) uint64 {
+		// Reference frames live in a contiguous region; rows interleave
+		// across banks under the default mapping.
+		global := frame*frameRows + row
+		return uint64(global) * uint64(mapper.Geometry().RowBytes())
+	}
+	for f := 0; f < frames; f++ {
+		target := f % refFrames // which reference buffer this frame rewrites
+		for row := 0; row < frameRows; row++ {
+			// Deblocked macroblock row written back to the reference frame.
+			now += interArrival
+			recs = append(recs, trace.Record{Op: trace.Write, Addr: rowAddr(target, row), Time: now})
+			// Motion estimation reads the *other* reference frame around
+			// the same row.
+			other := (target + 1) % refFrames
+			for r := 0; r < motionReads; r++ {
+				now += interArrival
+				probe := (row + rng.Intn(5) - 2 + frameRows) % frameRows
+				recs = append(recs, trace.Record{Op: trace.Read, Addr: rowAddr(other, probe), Time: now})
+			}
+		}
+		now += frameBlanking
+	}
+	return recs
+}
+
+func main() {
+	opts := core.DefaultOptions()
+	opts.Geometry = pcm.Geometry{Ranks: 4, BanksPerRank: 32, RowsPerBank: 4096,
+		ColsPerRow: 256, BitsPerCol: 4, Devices: 16}
+	stream := buildStream(opts.Geometry)
+	fmt.Printf("h264 pipeline: %d frames, %d accesses (%d writes/frame), idle blanking %v ns\n\n",
+		frames, len(stream), frameRows, int64(frameBlanking))
+
+	var base *stats.Run
+	for _, arch := range core.Arches() {
+		sys, err := core.NewSystem(arch, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := sys.SimulateRecords(stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if arch == core.Baseline {
+			base = run
+		}
+		w, r := run.Normalized(base)
+		fmt.Printf("%-18s write %7.1f ns (%.3f×)  read %6.1f ns (%.3f×)  α-fraction %5.1f%%",
+			arch, run.WriteLatency.Mean(), w, run.ReadLatency.Mean(), r, 100*run.AlphaFraction())
+		if run.Refreshes > 0 {
+			fmt.Printf("  refreshes %d", run.Refreshes)
+		}
+		if run.CacheHits+run.CacheMisses > 0 {
+			fmt.Printf("  cache hit %.1f%%", 100*run.CacheHitRate())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nThe frame-blanking idle windows are where PCM-refresh restores the")
+	fmt.Println("reference-frame rows, which is why it eliminates nearly every α-write —")
+	fmt.Println("the paper's §3.2 mechanism on its own best benchmark.")
+}

@@ -1,0 +1,98 @@
+// refreshsweep explores the §3.2 PCM-refresh policy knobs on one workload:
+// the refresh threshold r_th (which ranks qualify for refresh), the
+// per-bank row address table depth (the paper uses 5), and write pausing.
+// It reports write latency, α-write share, and refresh activity for each
+// setting — the tuning a memory-controller architect would actually do.
+//
+// Run with: go run ./examples/refreshsweep [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"womcpcm/internal/memctrl"
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/stats"
+	"womcpcm/internal/trace"
+	"womcpcm/internal/workload"
+)
+
+func main() {
+	benchName := "qsort"
+	if len(os.Args) > 1 {
+		benchName = os.Args[1]
+	}
+	profile, err := workload.ProfileByName(benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geometry := pcm.DefaultGeometry()
+	const requests = 80000
+
+	run := func(refresh *memctrl.RefreshConfig) *stats.Run {
+		cfg := memctrl.Config{
+			Geometry: geometry,
+			Timing:   pcm.DefaultTiming(),
+			WOM:      memctrl.DefaultWOM(),
+			Refresh:  refresh,
+		}
+		ctrl, err := memctrl.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := workload.NewGenerator(profile, geometry, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ctrl.Run(trace.NewLimit(gen, requests))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	noRefresh := run(nil)
+	fmt.Printf("workload %s, %d requests — WOM-code PCM without refresh:\n", benchName, requests)
+	fmt.Printf("  write %7.1f ns, α-share %.1f%%\n\n", noRefresh.WriteLatency.Mean(), 100*noRefresh.AlphaFraction())
+
+	fmt.Println("refresh threshold r_th sweep (table depth 5, pausing on):")
+	fmt.Println("  r_th    write ns    α-share   refreshes   aborted")
+	for _, rth := range []float64{0, 5, 10, 25, 50, 75} {
+		r := run(&memctrl.RefreshConfig{ThresholdPct: rth, TableSize: 5})
+		fmt.Printf("  %4.0f%%   %8.1f   %7.1f%%   %9d   %7d\n",
+			rth, r.WriteLatency.Mean(), 100*r.AlphaFraction(), r.Refreshes, r.RefreshAborts)
+	}
+
+	fmt.Println("\nrow address table depth sweep (r_th 0, pausing on):")
+	fmt.Println("  depth   write ns    α-share   refreshes")
+	for _, depth := range []int{1, 2, 5, 16, 64} {
+		r := run(&memctrl.RefreshConfig{ThresholdPct: 0, TableSize: depth})
+		fmt.Printf("  %5d   %8.1f   %7.1f%%   %9d\n",
+			depth, r.WriteLatency.Mean(), 100*r.AlphaFraction(), r.Refreshes)
+	}
+
+	fmt.Println("\nranks refreshed per 4000 ns tick (r_th 0, table depth 5):")
+	fmt.Println("  cap     write ns    α-share   refreshes")
+	for _, cap := range []int{1, 2, 4, 0} {
+		r := run(&memctrl.RefreshConfig{ThresholdPct: 0, TableSize: 5, MaxRanksPerTick: cap})
+		label := fmt.Sprintf("%5d", cap)
+		if cap == 0 {
+			label = "  all"
+		}
+		fmt.Printf("  %s   %8.1f   %7.1f%%   %9d\n",
+			label, r.WriteLatency.Mean(), 100*r.AlphaFraction(), r.Refreshes)
+	}
+
+	fmt.Println("\nwrite pausing ablation (r_th 0, table depth 5):")
+	for _, noPause := range []bool{false, true} {
+		r := run(&memctrl.RefreshConfig{ThresholdPct: 0, TableSize: 5, NoPausing: noPause})
+		label := "with pausing   "
+		if noPause {
+			label = "without pausing"
+		}
+		fmt.Printf("  %s  write %7.1f ns  read %6.1f ns  aborted refreshes %d\n",
+			label, r.WriteLatency.Mean(), r.ReadLatency.Mean(), r.RefreshAborts)
+	}
+}

@@ -1,0 +1,121 @@
+package womcpcm_test
+
+import (
+	"strings"
+	"testing"
+
+	"womcpcm"
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/trace"
+	"womcpcm/internal/workload"
+)
+
+// benchGen adapts a workload generator for the throughput benchmark.
+type benchGen struct{ gen *workload.Generator }
+
+func newBenchGen() (*benchGen, error) {
+	g, err := workload.NewGenerator(womcpcm.MustProfile("water-ns"), pcm.DefaultGeometry(), 3)
+	if err != nil {
+		return nil, err
+	}
+	return &benchGen{gen: g}, nil
+}
+
+func (b *benchGen) limit(n int) trace.Source { return trace.NewLimit(b.gen, n) }
+
+// TestFacadeQuickstart exercises the package-level API end to end, exactly
+// as the doc comment advertises.
+func TestFacadeQuickstart(t *testing.T) {
+	opts := womcpcm.DefaultOptions()
+	opts.Geometry = womcpcm.Geometry{Ranks: 4, BanksPerRank: 16, RowsPerBank: 1024,
+		ColsPerRow: 128, BitsPerCol: 4, Devices: 16}
+	sys, err := womcpcm.NewSystem(womcpcm.Refresh, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := womcpcm.NewGenerator(womcpcm.MustProfile("qsort"), opts.Geometry, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Simulate(womcpcm.Limit(gen, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.WriteLatency.Count == 0 || run.ReadLatency.Count == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	if !strings.Contains(run.Summary(), "PCM-refresh") {
+		t.Errorf("summary: %s", run.Summary())
+	}
+}
+
+// TestFacadeExports spot-checks the re-exported names stay wired.
+func TestFacadeExports(t *testing.T) {
+	if len(womcpcm.Arches()) != 4 {
+		t.Error("Arches")
+	}
+	if got := womcpcm.DefaultTiming().Reset; got != 40 {
+		t.Errorf("DefaultTiming.Reset = %d", got)
+	}
+	if err := womcpcm.VerifyCode(womcpcm.InvRS223()); err != nil {
+		t.Error(err)
+	}
+	if len(womcpcm.Profiles()) != 20 {
+		t.Error("Profiles")
+	}
+	recs := []womcpcm.Record{{Op: trace.Write, Addr: 64, Time: 0}}
+	src := womcpcm.Records(recs)
+	if _, ok := src.Next(); !ok {
+		t.Error("Records source empty")
+	}
+	mem, err := womcpcm.NewFunctionalMemory(womcpcm.WOMCode, womcpcm.Geometry{
+		Ranks: 2, BanksPerRank: 2, RowsPerBank: 16, ColsPerRow: 16, BitsPerCol: 8, Devices: 8,
+	}, womcpcm.InvRS223())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Write(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mem.Read(0, 3)
+	if err != nil || got[1] != 2 {
+		t.Errorf("functional read through facade: %v %v", got, err)
+	}
+}
+
+// TestFacadeMultiChannel drives the channel-scaling extension through the
+// facade.
+func TestFacadeMultiChannel(t *testing.T) {
+	cfg := womcpcm.ControllerConfig{
+		Geometry: womcpcm.Geometry{Ranks: 2, BanksPerRank: 4, RowsPerBank: 64,
+			ColsPerRow: 16, BitsPerCol: 8, Devices: 8},
+		Timing: womcpcm.DefaultTiming(),
+	}
+	mc, err := womcpcm.NewMultiChannel(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := mc.Run(womcpcm.Records([]womcpcm.Record{
+		{Op: trace.Write, Addr: 0, Time: 0},
+		{Op: trace.Write, Addr: 64, Time: 0}, // next line → other channel
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel channels: both writes complete at activation latency.
+	if run.WriteLatency.Max != 197 {
+		t.Errorf("parallel channel write latency = %d, want 197", run.WriteLatency.Max)
+	}
+	if !strings.Contains(run.Arch, "2 channels") {
+		t.Errorf("arch label = %q", run.Arch)
+	}
+}
+
+func TestMustProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProfile did not panic on unknown benchmark")
+		}
+	}()
+	womcpcm.MustProfile("not-a-benchmark")
+}

@@ -1,0 +1,3 @@
+module womcpcm
+
+go 1.22

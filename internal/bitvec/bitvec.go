@@ -1,0 +1,133 @@
+// Package bitvec provides small helpers for manipulating packed bit vectors
+// stored LSB-first in byte slices. It underpins the WOM-code row codecs and
+// the functional PCM array, both of which address sub-byte fields (wits) at
+// arbitrary bit offsets.
+//
+// Bit i of the vector lives in byte i/8 at bit position i%8. Multi-bit field
+// accessors read and write fields of up to 64 bits spanning byte boundaries.
+package bitvec
+
+import "math/bits"
+
+// Get reports the value of bit i in v.
+func Get(v []byte, i int) bool {
+	return v[i>>3]&(1<<uint(i&7)) != 0
+}
+
+// Set sets bit i of v to b.
+func Set(v []byte, i int, b bool) {
+	if b {
+		v[i>>3] |= 1 << uint(i&7)
+	} else {
+		v[i>>3] &^= 1 << uint(i&7)
+	}
+}
+
+// GetField extracts a width-bit field starting at bit offset off, LSB-first.
+// width must be in [0, 64] and the field must lie within v.
+func GetField(v []byte, off, width int) uint64 {
+	var out uint64
+	for i := 0; i < width; i++ {
+		if Get(v, off+i) {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// SetField stores the low width bits of val at bit offset off, LSB-first.
+func SetField(v []byte, off, width int, val uint64) {
+	for i := 0; i < width; i++ {
+		Set(v, off+i, val&(1<<uint(i)) != 0)
+	}
+}
+
+// New returns a zeroed bit vector with capacity for n bits.
+func New(n int) []byte {
+	return make([]byte, (n+7)/8)
+}
+
+// NewFilled returns a bit vector of n bits with every bit set to one.
+// Trailing padding bits in the final byte are also set; callers that compare
+// whole slices should mask with TrimPadding if exact n-bit equality matters.
+func NewFilled(n int) []byte {
+	v := New(n)
+	for i := range v {
+		v[i] = 0xff
+	}
+	TrimPadding(v, n)
+	return v
+}
+
+// TrimPadding clears any bits at positions >= n in the final byte of v, so
+// that two vectors representing the same n bits compare equal with
+// bytes.Equal.
+func TrimPadding(v []byte, n int) {
+	if n&7 == 0 || len(v) == 0 {
+		return
+	}
+	v[len(v)-1] &= byte(1<<uint(n&7)) - 1
+}
+
+// OnesCount returns the number of set bits among the first n bits of v.
+func OnesCount(v []byte, n int) int {
+	full := n >> 3
+	count := 0
+	for i := 0; i < full; i++ {
+		count += bits.OnesCount8(v[i])
+	}
+	if rem := n & 7; rem != 0 {
+		count += bits.OnesCount8(v[full] & (byte(1<<uint(rem)) - 1))
+	}
+	return count
+}
+
+// IsSubset reports whether every set bit of a (within the first n bits) is
+// also set in b, i.e. a ⊆ b viewed as bit sets.
+func IsSubset(a, b []byte, n int) bool {
+	full := n >> 3
+	for i := 0; i < full; i++ {
+		if a[i]&^b[i] != 0 {
+			return false
+		}
+	}
+	if rem := n & 7; rem != 0 {
+		mask := byte(1<<uint(rem)) - 1
+		if (a[full]&^b[full])&mask != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TransitionCounts compares the first n bits of cur and next and reports how
+// many bits transition 0→1 (sets) and 1→0 (resets).
+func TransitionCounts(cur, next []byte, n int) (sets, resets int) {
+	for i := 0; i < n; i++ {
+		c, x := Get(cur, i), Get(next, i)
+		switch {
+		case !c && x:
+			sets++
+		case c && !x:
+			resets++
+		}
+	}
+	return sets, resets
+}
+
+// Clone returns a copy of v.
+func Clone(v []byte) []byte {
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether the first n bits of a and b are identical.
+func Equal(a, b []byte, n int) bool {
+	for i := 0; i < n; i++ {
+		if Get(a, i) != Get(b, i) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package bitvec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetSet(t *testing.T) {
+	v := New(20)
+	for _, i := range []int{0, 7, 8, 13, 19} {
+		Set(v, i, true)
+		if !Get(v, i) {
+			t.Errorf("bit %d not set", i)
+		}
+		Set(v, i, false)
+		if Get(v, i) {
+			t.Errorf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	prop := func(off8 uint8, val uint64) bool {
+		off := int(off8 % 40)
+		v := New(128)
+		SetField(v, off, 64, val)
+		return GetField(v, off, 64) == val
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFieldNarrow(t *testing.T) {
+	v := New(16)
+	SetField(v, 3, 5, 0b10110)
+	if got := GetField(v, 3, 5); got != 0b10110 {
+		t.Errorf("GetField = %05b", got)
+	}
+	// Neighbors untouched.
+	if Get(v, 2) || Get(v, 8) {
+		t.Error("SetField spilled outside its field")
+	}
+	// Overwrite with zeros clears.
+	SetField(v, 3, 5, 0)
+	if GetField(v, 0, 16) != 0 {
+		t.Error("SetField(0) did not clear")
+	}
+}
+
+func TestNewFilledAndTrim(t *testing.T) {
+	v := NewFilled(11)
+	if OnesCount(v, 11) != 11 {
+		t.Errorf("NewFilled(11) has %d ones", OnesCount(v, 11))
+	}
+	if v[1]&^0b111 != 0 {
+		t.Errorf("padding bits not trimmed: %08b", v[1])
+	}
+	w := NewFilled(16)
+	if !bytes.Equal(w, []byte{0xff, 0xff}) {
+		t.Errorf("NewFilled(16) = %x", w)
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	v := []byte{0xff, 0x0f}
+	tests := []struct{ n, want int }{{0, 0}, {4, 4}, {8, 8}, {12, 12}, {16, 12}}
+	for _, tt := range tests {
+		if got := OnesCount(v, tt.n); got != tt.want {
+			t.Errorf("OnesCount(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	a := []byte{0b0101, 0x00}
+	b := []byte{0b0111, 0x80}
+	if !IsSubset(a, b, 16) {
+		t.Error("a ⊆ b expected")
+	}
+	if IsSubset(b, a, 16) {
+		t.Error("b ⊄ a expected")
+	}
+	// Restricting the width can change the answer: only bit 0 of b is
+	// inside the window, and a has it too.
+	if !IsSubset(b, a, 1) {
+		t.Error("first bit of b ⊆ a expected")
+	}
+}
+
+func TestTransitionCounts(t *testing.T) {
+	cur := []byte{0b1100}
+	next := []byte{0b1010}
+	sets, resets := TransitionCounts(cur, next, 4)
+	if sets != 1 || resets != 1 {
+		t.Errorf("TransitionCounts = (%d, %d), want (1, 1)", sets, resets)
+	}
+	sets, resets = TransitionCounts(cur, cur, 4)
+	if sets != 0 || resets != 0 {
+		t.Errorf("self transition = (%d, %d)", sets, resets)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	v := []byte{1, 2, 3}
+	c := Clone(v)
+	if !bytes.Equal(v, c) {
+		t.Error("clone differs")
+	}
+	c[0] = 9
+	if v[0] == 9 {
+		t.Error("clone aliases source")
+	}
+	if !Equal([]byte{0b1011}, []byte{0b0011}, 2) {
+		t.Error("Equal over prefix failed")
+	}
+	if Equal([]byte{0b1011}, []byte{0b0011}, 4) {
+		t.Error("Equal ignored differing bit")
+	}
+}
+
+func TestSubsetQuickAgainstDefinition(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		var av, bv [2]byte
+		SetField(av[:], 0, 16, uint64(a))
+		SetField(bv[:], 0, 16, uint64(b))
+		want := a&^b == 0
+		return IsSubset(av[:], bv[:], 16) == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

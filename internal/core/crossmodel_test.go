@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"womcpcm/internal/memctrl"
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/stats"
+	"womcpcm/internal/trace"
+	"womcpcm/internal/womcode"
+	"womcpcm/internal/workload"
+)
+
+// TestTimingMatchesFunctionalAlphaCount is the cross-model integration
+// check: the timing simulator's WOM generation bookkeeping and the
+// functional model's actual encoded-bit state machine must agree on which
+// writes are α-writes. Both process the same trace (no refresh, fresh
+// arrays, k = 2), so the total α count must match exactly — if the timing
+// model's counters ever diverged from what the codec can really do, this
+// breaks.
+func TestTimingMatchesFunctionalAlphaCount(t *testing.T) {
+	g := funcGeometry()
+	profile, err := workload.ProfileByName("464.h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := workload.Generate(profile, g, 31, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Timing model.
+	cfg := memctrl.Config{
+		Geometry: g,
+		Timing:   pcm.DefaultTiming(),
+		WOM:      &memctrl.WOMConfig{Rewrites: 2, FreshArrays: true},
+	}
+	ctrl, err := memctrl.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := ctrl.Run(trace.NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Functional model, replaying the same accesses.
+	mem, err := NewFunctionalMemory(WOMCode, g, womcode.InvRS223())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var funcAlpha, funcFast uint64
+	payload := []byte{0xA5}
+	for _, rec := range recs {
+		if rec.Op != trace.Write {
+			continue
+		}
+		res, err := mem.Write(rec.Addr, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Alpha {
+			funcAlpha++
+		} else {
+			funcFast++
+		}
+	}
+
+	if got := run.Classes[stats.WriteAlpha]; got != funcAlpha {
+		t.Errorf("timing α-writes %d, functional α-writes %d", got, funcAlpha)
+	}
+	if got := run.Classes[stats.WriteFast]; got != funcFast {
+		t.Errorf("timing fast writes %d, functional fast writes %d", got, funcFast)
+	}
+	if funcAlpha == 0 || funcFast == 0 {
+		t.Errorf("degenerate trace: α=%d fast=%d", funcAlpha, funcFast)
+	}
+}

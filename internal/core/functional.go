@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/womcode"
+)
+
+// FunctionalMemory is the data-carrying counterpart of System: it stores
+// real bits through the WOM row codec into pcm.Array cells and relies on
+// the array's write-mode enforcement to prove the central claim of §3.1 —
+// every in-budget rewrite programs cells with RESET operations only, and
+// only α-writes (and conventional-PCM writes) need SET.
+//
+// The model is row-consistent: a write smaller than a row performs a
+// read-merge-write of the full row, which is how the row-buffer-based
+// architectures of §3.1 behave.
+type FunctionalMemory struct {
+	arch   Arch
+	geom   pcm.Geometry
+	mapper *pcm.AddrMapper
+	codec  *womcode.RowCodec // nil for Baseline
+	k      int
+	banks  [][]*funcBank
+	caches []*funcCache // WCPCM only
+}
+
+// funcBank is one bank's cell array plus WOM bookkeeping.
+type funcBank struct {
+	arr    *pcm.Array
+	gens   map[int]int
+	limits map[int]struct{}
+}
+
+// funcCache is one rank's WOM-cache array with its selector fields.
+type funcCache struct {
+	funcBank
+	entries map[int]funcCacheEntry
+}
+
+type funcCacheEntry struct {
+	bank  int
+	valid bool
+}
+
+// WriteResult reports what one write physically did.
+type WriteResult struct {
+	// Alpha is true when the write had SET operations on its critical path:
+	// a WOM α-write or any conventional-PCM write.
+	Alpha bool
+	// CacheHit and CacheVictim describe the WCPCM write protocol outcome.
+	CacheHit    bool
+	CacheVictim bool
+	// Sets and Resets count cell transitions performed on the directly
+	// written array (victim write-backs excluded).
+	Sets, Resets int
+}
+
+// NewFunctionalMemory builds a functional model of arch over geometry g
+// using code (the paper's womcode.InvRS223 unless experimenting). The code
+// must be inverted — PCM orientation — for the WOM architectures.
+func NewFunctionalMemory(arch Arch, g pcm.Geometry, code womcode.Code) (*FunctionalMemory, error) {
+	switch arch {
+	case Baseline, WOMCode, Refresh, WCPCM:
+	default:
+		return nil, fmt.Errorf("core: unknown architecture %d", int(arch))
+	}
+	mapper, err := pcm.NewAddrMapper(g)
+	if err != nil {
+		return nil, err
+	}
+	m := &FunctionalMemory{arch: arch, geom: g, mapper: mapper}
+	usesWOM := arch == WOMCode || arch == Refresh || arch == WCPCM
+	if usesWOM {
+		if !code.Inverted() {
+			return nil, fmt.Errorf("core: %s needs an inverted WOM-code, got %s", arch, code.Name())
+		}
+		m.codec, err = womcode.NewRowCodec(code, g.RowBits())
+		if err != nil {
+			return nil, err
+		}
+		m.k = code.Writes()
+	}
+	newBank := func(encoded bool) (*funcBank, error) {
+		bits := g.RowBits()
+		erasedOne := false
+		if encoded {
+			bits = m.codec.EncodedBits()
+			erasedOne = true
+		}
+		arr, err := pcm.NewArray(g.RowsPerBank, bits, erasedOne)
+		if err != nil {
+			return nil, err
+		}
+		return &funcBank{arr: arr, gens: make(map[int]int), limits: make(map[int]struct{})}, nil
+	}
+	mainEncoded := arch == WOMCode || arch == Refresh
+	m.banks = make([][]*funcBank, g.Ranks)
+	for r := range m.banks {
+		m.banks[r] = make([]*funcBank, g.BanksPerRank)
+		for b := range m.banks[r] {
+			if m.banks[r][b], err = newBank(mainEncoded); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if arch == WCPCM {
+		m.caches = make([]*funcCache, g.Ranks)
+		for r := range m.caches {
+			fb, err := newBank(true)
+			if err != nil {
+				return nil, err
+			}
+			m.caches[r] = &funcCache{funcBank: *fb, entries: make(map[int]funcCacheEntry)}
+		}
+	}
+	return m, nil
+}
+
+// Arch returns the modeled architecture.
+func (m *FunctionalMemory) Arch() Arch { return m.arch }
+
+func (m *FunctionalMemory) locate(addr uint64, n int) (pcm.Location, int, error) {
+	loc := m.mapper.Map(addr)
+	colBytes := (m.geom.DataWidth() + 7) / 8
+	off := loc.Col * colBytes
+	off += int(addr % uint64(colBytes))
+	if off+n > m.geom.RowBytes() {
+		return loc, 0, fmt.Errorf("core: access of %d bytes at %#x crosses a row boundary", n, addr)
+	}
+	return loc, off, nil
+}
+
+// Write stores data at addr; the access must not cross a row boundary.
+func (m *FunctionalMemory) Write(addr uint64, data []byte) (WriteResult, error) {
+	loc, off, err := m.locate(addr, len(data))
+	if err != nil {
+		return WriteResult{}, err
+	}
+	if m.arch == WCPCM {
+		return m.cacheWrite(loc, off, data)
+	}
+	bank := m.banks[loc.Rank][loc.Bank]
+	if m.codec == nil {
+		return bank.rawWrite(loc.Row, off, data, m.geom.RowBytes())
+	}
+	cur, err := m.rowData(bank, loc.Row)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	copy(cur[off:], data)
+	return m.womProgram(bank, loc.Row, cur)
+}
+
+// Read loads n bytes from addr; the access must not cross a row boundary.
+func (m *FunctionalMemory) Read(addr uint64, n int) ([]byte, error) {
+	loc, off, err := m.locate(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	if m.arch == WCPCM {
+		if e, ok := m.caches[loc.Rank].entries[loc.Row]; ok && e.valid && e.bank == loc.Bank {
+			row, err := m.rowData(&m.caches[loc.Rank].funcBank, loc.Row)
+			if err != nil {
+				return nil, err
+			}
+			return row[off : off+n], nil
+		}
+	}
+	bank := m.banks[loc.Rank][loc.Bank]
+	row, err := m.rowData(bank, loc.Row)
+	if err != nil {
+		return nil, err
+	}
+	return row[off : off+n], nil
+}
+
+// rowData returns the decoded (or raw) data content of a row.
+func (m *FunctionalMemory) rowData(b *funcBank, row int) ([]byte, error) {
+	raw, err := b.arr.ReadRow(row)
+	if err != nil {
+		return nil, err
+	}
+	if m.codec == nil || b.arr.RowBits() == m.geom.RowBits() {
+		return raw, nil
+	}
+	return m.codec.Decode(raw)
+}
+
+// rawWrite is the conventional-PCM path: read-merge-write with SET allowed.
+func (b *funcBank) rawWrite(row, off int, data []byte, rowBytes int) (WriteResult, error) {
+	cur, err := b.arr.ReadRow(row)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	copy(cur[off:], data)
+	sets, resets, err := b.arr.ProgramRow(row, cur, pcm.FullWrite)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	return WriteResult{Alpha: true, Sets: sets, Resets: resets}, nil
+}
+
+// womProgram writes full row data through the WOM codec, consuming one
+// write of the row's budget (or α-writing at the limit).
+func (m *FunctionalMemory) womProgram(b *funcBank, row int, data []byte) (WriteResult, error) {
+	gen := b.gens[row]
+	if gen < m.k {
+		prev, err := b.arr.ReadRow(row)
+		if err != nil {
+			return WriteResult{}, err
+		}
+		enc, err := m.codec.Encode(prev, data, gen)
+		if err != nil {
+			return WriteResult{}, err
+		}
+		// The array enforces that this in-budget write truly needs no SET.
+		sets, resets, err := b.arr.ProgramRow(row, enc, pcm.ResetOnly)
+		if err != nil {
+			return WriteResult{}, err
+		}
+		b.gens[row] = gen + 1
+		if gen+1 == m.k {
+			b.limits[row] = struct{}{}
+		}
+		return WriteResult{Sets: sets, Resets: resets}, nil
+	}
+	res, err := m.alphaProgram(b, row, data)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	return res, nil
+}
+
+// alphaProgram rewrites the row with the first-write pattern (SET allowed).
+func (m *FunctionalMemory) alphaProgram(b *funcBank, row int, data []byte) (WriteResult, error) {
+	enc, err := m.codec.Encode(m.codec.InitialRow(), data, 0)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	sets, resets, err := b.arr.ProgramRow(row, enc, pcm.FullWrite)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	delete(b.limits, row)
+	b.gens[row] = 1
+	if m.k == 1 {
+		b.limits[row] = struct{}{}
+	}
+	return WriteResult{Alpha: true, Sets: sets, Resets: resets}, nil
+}
+
+// cacheWrite implements the §4 WCPCM write protocol functionally.
+func (m *FunctionalMemory) cacheWrite(loc pcm.Location, off int, data []byte) (WriteResult, error) {
+	ca := m.caches[loc.Rank]
+	e, present := ca.entries[loc.Row]
+	hit := !present || !e.valid || e.bank == loc.Bank
+	var res WriteResult
+
+	if !hit {
+		// Evict: decode the victim row and write it back to its bank.
+		victim, err := m.rowData(&ca.funcBank, loc.Row)
+		if err != nil {
+			return WriteResult{}, err
+		}
+		if _, err := m.banks[loc.Rank][e.bank].rawWrite(loc.Row, 0, victim, m.geom.RowBytes()); err != nil {
+			return WriteResult{}, err
+		}
+		res.CacheVictim = true
+	} else {
+		res.CacheHit = true
+	}
+
+	// Assemble the full row content to cache: the cached copy if this bank
+	// already owns the entry, else the row from main memory.
+	var cur []byte
+	var err error
+	if present && e.valid && e.bank == loc.Bank {
+		cur, err = m.rowData(&ca.funcBank, loc.Row)
+	} else {
+		cur, err = m.rowData(m.banks[loc.Rank][loc.Bank], loc.Row)
+	}
+	if err != nil {
+		return WriteResult{}, err
+	}
+	copy(cur[off:], data)
+
+	wres, err := m.womProgram(&ca.funcBank, loc.Row, cur)
+	if err != nil {
+		return WriteResult{}, err
+	}
+	res.Alpha = wres.Alpha
+	res.Sets, res.Resets = wres.Sets, wres.Resets
+	ca.entries[loc.Row] = funcCacheEntry{bank: loc.Bank, valid: true}
+	return res, nil
+}
+
+// AtLimitRows counts rows currently at the rewrite limit across all WOM
+// arrays.
+func (m *FunctionalMemory) AtLimitRows() int {
+	n := 0
+	for _, b := range m.eachWOMBank() {
+		n += len(b.limits)
+	}
+	return n
+}
+
+// RefreshAtLimit refreshes up to maxRows rows that have reached the rewrite
+// limit (the functional analogue of §3.2's PCM-refresh: read out, rewrite
+// in the first-write pattern) and returns how many it refreshed. Pass a
+// negative maxRows to refresh everything.
+func (m *FunctionalMemory) RefreshAtLimit(maxRows int) (int, error) {
+	done := 0
+	for _, b := range m.eachWOMBank() {
+		rows := make([]int, 0, len(b.limits))
+		for row := range b.limits {
+			rows = append(rows, row)
+		}
+		sort.Ints(rows)
+		for _, row := range rows {
+			if maxRows >= 0 && done >= maxRows {
+				return done, nil
+			}
+			data, err := m.rowData(b, row)
+			if err != nil {
+				return done, err
+			}
+			if _, err := m.alphaProgram(b, row, data); err != nil {
+				return done, err
+			}
+			done++
+		}
+	}
+	return done, nil
+}
+
+// eachWOMBank lists the arrays that carry WOM-coded rows, in a fixed order.
+func (m *FunctionalMemory) eachWOMBank() []*funcBank {
+	var out []*funcBank
+	if m.arch == WOMCode || m.arch == Refresh {
+		for _, rank := range m.banks {
+			for _, b := range rank {
+				out = append(out, b)
+			}
+		}
+	}
+	for _, ca := range m.caches {
+		out = append(out, &ca.funcBank)
+	}
+	return out
+}
+
+// Wear aggregates endurance counters across every array in the system —
+// the accounting the paper leaves to future work.
+func (m *FunctionalMemory) Wear() pcm.Wear {
+	var w pcm.Wear
+	add := func(x pcm.Wear) {
+		w.TouchedRows += x.TouchedRows
+		w.TotalWrites += x.TotalWrites
+		if x.MaxRowWrites > w.MaxRowWrites {
+			w.MaxRowWrites = x.MaxRowWrites
+		}
+		w.SetOps += x.SetOps
+		w.ResetOps += x.ResetOps
+	}
+	for _, rank := range m.banks {
+		for _, b := range rank {
+			add(b.arr.WearStats())
+		}
+	}
+	for _, ca := range m.caches {
+		add(ca.arr.WearStats())
+	}
+	return w
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/womcode"
+)
+
+func funcGeometry() pcm.Geometry {
+	// 2 ranks × 2 banks × 16 rows of 128 bytes: small enough to sweep.
+	return pcm.Geometry{Ranks: 2, BanksPerRank: 2, RowsPerBank: 16, ColsPerRow: 16, BitsPerCol: 8, Devices: 8}
+}
+
+func newFunc(t *testing.T, arch Arch) *FunctionalMemory {
+	t.Helper()
+	m, err := NewFunctionalMemory(arch, funcGeometry(), womcode.InvRS223())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFunctionalRejectsBadSetup(t *testing.T) {
+	if _, err := NewFunctionalMemory(WOMCode, funcGeometry(), womcode.RS223()); err == nil {
+		t.Error("accepted a non-inverted code for a WOM architecture")
+	}
+	if _, err := NewFunctionalMemory(Arch(7), funcGeometry(), womcode.InvRS223()); err == nil {
+		t.Error("accepted unknown architecture")
+	}
+	if _, err := NewFunctionalMemory(Baseline, pcm.Geometry{}, womcode.InvRS223()); err == nil {
+		t.Error("accepted invalid geometry")
+	}
+}
+
+// TestFunctionalReadYourWrites: every architecture returns exactly what was
+// stored, across rewrites and row sharing.
+func TestFunctionalReadYourWrites(t *testing.T) {
+	for _, arch := range Arches() {
+		m := newFunc(t, arch)
+		rng := rand.New(rand.NewSource(int64(arch)))
+		ref := map[uint64]byte{}
+		for i := 0; i < 300; i++ {
+			addr := uint64(rng.Intn(4096))
+			n := 1 + rng.Intn(16)
+			// Clamp to the row: rows are 128 bytes and addresses wrap at 4 KiB.
+			if rem := 128 - int(addr%128); n > rem {
+				n = rem
+			}
+			data := make([]byte, n)
+			rng.Read(data)
+			if _, err := m.Write(addr, data); err != nil {
+				t.Fatalf("%s: write %d: %v", arch, i, err)
+			}
+			for j, b := range data {
+				ref[addr+uint64(j)] = b
+			}
+			// Occasionally read back a random previously written byte.
+			probe := addr + uint64(rng.Intn(n))
+			got, err := m.Read(probe, 1)
+			if err != nil {
+				t.Fatalf("%s: read: %v", arch, err)
+			}
+			if got[0] != ref[probe] {
+				t.Fatalf("%s: read %#x = %#x, want %#x", arch, probe, got[0], ref[probe])
+			}
+		}
+		// Full sweep at the end.
+		for addr, want := range ref {
+			got, err := m.Read(addr, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != want {
+				t.Errorf("%s: final read %#x = %#x, want %#x", arch, addr, got[0], want)
+			}
+		}
+	}
+}
+
+// TestFunctionalAlphaPattern: the WOM architecture's writes follow
+// fast, fast, α, fast, α on one row — and the fast ones truly perform zero
+// SET transitions (enforced by pcm.Array's ResetOnly mode).
+func TestFunctionalAlphaPattern(t *testing.T) {
+	m := newFunc(t, WOMCode)
+	wantAlpha := []bool{false, false, true, false, true}
+	for i, want := range wantAlpha {
+		data := []byte{byte(i + 1), byte(i * 3)}
+		res, err := m.Write(64, data)
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if res.Alpha != want {
+			t.Errorf("write %d: alpha = %v, want %v", i, res.Alpha, want)
+		}
+		if !res.Alpha && res.Sets != 0 {
+			t.Errorf("write %d: fast write performed %d SETs", i, res.Sets)
+		}
+		got, err := m.Read(64, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("write %d: read back %x, want %x", i, got, data)
+		}
+	}
+}
+
+// TestFunctionalBaselineAlwaysAlpha: conventional PCM writes always count
+// as SET-class.
+func TestFunctionalBaselineAlwaysAlpha(t *testing.T) {
+	m := newFunc(t, Baseline)
+	for i := 0; i < 3; i++ {
+		res, err := m.Write(0, []byte{0xff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Alpha {
+			t.Errorf("write %d: baseline write not SET-class", i)
+		}
+	}
+}
+
+// TestFunctionalRefresh: refreshing at-limit rows makes the next write fast
+// again and preserves the data.
+func TestFunctionalRefresh(t *testing.T) {
+	m := newFunc(t, Refresh)
+	if _, err := m.Write(128, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Write(128, []byte{0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	if m.AtLimitRows() != 1 {
+		t.Fatalf("at-limit rows = %d, want 1", m.AtLimitRows())
+	}
+	n, err := m.RefreshAtLimit(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || m.AtLimitRows() != 0 {
+		t.Fatalf("refreshed %d rows, %d still at limit", n, m.AtLimitRows())
+	}
+	got, err := m.Read(128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xBB {
+		t.Errorf("refresh corrupted data: %#x", got[0])
+	}
+	res, err := m.Write(128, []byte{0xCC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alpha {
+		t.Error("write after refresh was an α-write")
+	}
+}
+
+// TestFunctionalRefreshBudget: maxRows bounds the work.
+func TestFunctionalRefreshBudget(t *testing.T) {
+	m := newFunc(t, Refresh)
+	for row := 0; row < 3; row++ {
+		addr := uint64(row * 128 * 4) // distinct rows (4 banks per row sweep)
+		for i := 0; i < 2; i++ {
+			if _, err := m.Write(addr, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if m.AtLimitRows() != 3 {
+		t.Fatalf("at-limit rows = %d, want 3", m.AtLimitRows())
+	}
+	n, err := m.RefreshAtLimit(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || m.AtLimitRows() != 1 {
+		t.Errorf("refreshed %d, %d remain; want 2, 1", n, m.AtLimitRows())
+	}
+}
+
+// TestFunctionalWCPCMProtocol: hit/miss/victim flow preserves data across
+// the cache and main arrays.
+func TestFunctionalWCPCMProtocol(t *testing.T) {
+	m := newFunc(t, WCPCM)
+	g := funcGeometry()
+	mapper, err := pcm.NewAddrMapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := mapper.Unmap(pcm.Location{Rank: 0, Bank: 0, Row: 3})
+	a2 := mapper.Unmap(pcm.Location{Rank: 0, Bank: 1, Row: 3}) // same cache row, different tag
+
+	res, err := m.Write(a1, []byte{0x11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit || res.CacheVictim {
+		t.Errorf("first write: %+v, want cold hit", res)
+	}
+	res, err = m.Write(a2, []byte{0x22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit || !res.CacheVictim {
+		t.Errorf("conflicting write: %+v, want victim eviction", res)
+	}
+	// Both values must read back: a1 now from main memory, a2 from cache.
+	if got, _ := m.Read(a1, 1); got[0] != 0x11 {
+		t.Errorf("evicted row read = %#x, want 0x11", got[0])
+	}
+	if got, _ := m.Read(a2, 1); got[0] != 0x22 {
+		t.Errorf("cached row read = %#x, want 0x22", got[0])
+	}
+}
+
+// TestFunctionalRowBoundary: accesses may not cross rows.
+func TestFunctionalRowBoundary(t *testing.T) {
+	m := newFunc(t, Baseline)
+	if _, err := m.Write(120, make([]byte, 16)); err == nil {
+		t.Error("accepted a row-crossing write")
+	}
+	if _, err := m.Read(120, 16); err == nil {
+		t.Error("accepted a row-crossing read")
+	}
+}
+
+// TestFunctionalWear: endurance counters move and SET ops stay low for
+// in-budget writes.
+func TestFunctionalWear(t *testing.T) {
+	m := newFunc(t, WOMCode)
+	if _, err := m.Write(0, []byte{0xFF, 0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Write(0, []byte{0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	w := m.Wear()
+	if w.TotalWrites != 2 || w.TouchedRows != 1 {
+		t.Errorf("wear = %+v", w)
+	}
+	if w.SetOps != 0 {
+		t.Errorf("in-budget writes performed %d SETs", w.SetOps)
+	}
+	if w.ResetOps == 0 {
+		t.Error("no RESETs recorded")
+	}
+}
+
+// TestFunctionalParityCode: the functional model works with a different
+// (higher-k) inverted code, per §2.2's claim that any WOM-code plugs in.
+func TestFunctionalParityCode(t *testing.T) {
+	m, err := NewFunctionalMemory(WOMCode, funcGeometry(), womcode.Invert(womcode.Parity(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parity(4): k = 4 writes per row before the α.
+	for i := 0; i < 4; i++ {
+		res, err := m.Write(0, []byte{byte(i)})
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if res.Alpha {
+			t.Errorf("write %d: α before the k=4 budget", i)
+		}
+	}
+	res, err := m.Write(0, []byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Alpha {
+		t.Error("fifth write was not an α-write")
+	}
+	if got, _ := m.Read(0, 1); got[0] != 9 {
+		t.Errorf("read = %d, want 9", got[0])
+	}
+}
+
+// TestFunctionalRefreshInterleavedFuzz: random writes and reads with
+// RefreshAtLimit interleaved — data must always match a flat reference
+// model, and refreshed rows must accept a fast write afterwards.
+func TestFunctionalRefreshInterleavedFuzz(t *testing.T) {
+	m := newFunc(t, Refresh)
+	rng := rand.New(rand.NewSource(99))
+	ref := map[uint64]byte{}
+	for i := 0; i < 600; i++ {
+		switch rng.Intn(10) {
+		case 0, 1: // refresh a bounded batch
+			if _, err := m.RefreshAtLimit(rng.Intn(4)); err != nil {
+				t.Fatal(err)
+			}
+		case 2, 3, 4: // read back a known byte
+			if len(ref) == 0 {
+				continue
+			}
+			var addr uint64
+			for a := range ref {
+				addr = a
+				break
+			}
+			got, err := m.Read(addr, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != ref[addr] {
+				t.Fatalf("step %d: read %#x = %#x, want %#x", i, addr, got[0], ref[addr])
+			}
+		default: // write
+			addr := uint64(rng.Intn(2048)) &^ 1
+			n := 1 + rng.Intn(8)
+			if rem := 128 - int(addr%128); n > rem {
+				n = rem
+			}
+			data := make([]byte, n)
+			rng.Read(data)
+			if _, err := m.Write(addr, data); err != nil {
+				t.Fatal(err)
+			}
+			for j, b := range data {
+				ref[addr+uint64(j)] = b
+			}
+		}
+	}
+	// Drain all at-limit rows and verify every byte survived.
+	if _, err := m.RefreshAtLimit(-1); err != nil {
+		t.Fatal(err)
+	}
+	if m.AtLimitRows() != 0 {
+		t.Errorf("%d rows still at limit after full refresh", m.AtLimitRows())
+	}
+	for addr, want := range ref {
+		got, err := m.Read(addr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want {
+			t.Errorf("final read %#x = %#x, want %#x", addr, got[0], want)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package endurance addresses the paper's declared future work (§6: "their
+// impact on the endurance of PCM is not explicitly addressed in this paper,
+// and the problem remains open"): wear accounting and wear leveling for the
+// WOM-code PCM architectures.
+//
+// Two pieces:
+//
+//   - StartGap implements the Start-Gap wear-leveling scheme of Qureshi et
+//     al. (MICRO 2009), the standard PCM address-rotation layer: one spare
+//     row per region and a gap pointer that advances every Period writes,
+//     slowly rotating the logical-to-physical row mapping so that no hot
+//     logical row pins a physical row.
+//
+//   - Lifetime estimates device lifetime from the wear counters the
+//     functional models already collect (pcm.Wear), with and without
+//     leveling.
+//
+// WOM-codes interact with endurance favorably — in-budget rewrites perform
+// only RESET transitions on a shrinking set of cells, and the §3.2 refresh
+// adds one full-row write per cycle — so the combined accounting here is
+// what the paper's future-work sentence asks for.
+package endurance
+
+import (
+	"fmt"
+)
+
+// StartGap is a Start-Gap wear-leveling region: Rows logical rows mapped
+// onto Rows+1 physical rows. The mapping is
+//
+//	phys = (logical + start) mod Rows; if phys ≥ gap { phys++ }
+//
+// and every Period writes the gap moves down one slot (copying the
+// displaced row), wrapping by advancing start — a full rotation every
+// (Rows+1)·Period writes.
+type StartGap struct {
+	rows      int
+	period    int
+	start     int
+	gap       int
+	sinceMove int
+	moves     uint64
+}
+
+// NewStartGap builds a leveler for rows logical rows, moving the gap every
+// period writes (Qureshi et al. use ψ = 100).
+func NewStartGap(rows, period int) (*StartGap, error) {
+	if rows < 1 {
+		return nil, fmt.Errorf("endurance: start-gap needs at least one row, got %d", rows)
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("endurance: gap movement period must be positive, got %d", period)
+	}
+	return &StartGap{rows: rows, period: period, gap: rows}, nil
+}
+
+// Rows returns the number of logical rows.
+func (s *StartGap) Rows() int { return s.rows }
+
+// PhysicalRows returns the region size including the spare row.
+func (s *StartGap) PhysicalRows() int { return s.rows + 1 }
+
+// Moves returns the number of gap movements performed.
+func (s *StartGap) Moves() uint64 { return s.moves }
+
+// Map translates a logical row to its current physical row.
+func (s *StartGap) Map(logical int) (int, error) {
+	if logical < 0 || logical >= s.rows {
+		return 0, fmt.Errorf("endurance: logical row %d outside [0,%d)", logical, s.rows)
+	}
+	phys := (logical + s.start) % s.rows
+	if phys >= s.gap {
+		phys++
+	}
+	return phys, nil
+}
+
+// OnWrite accounts one write to the region and, when the movement period
+// elapses, advances the gap: the row above the gap is copied into the gap
+// slot (via copyRow, physical indices) and the gap takes its place. When
+// the gap reaches slot 0 it wraps to the top and the start pointer
+// advances, completing one step of the rotation. It reports whether a
+// movement happened.
+func (s *StartGap) OnWrite(copyRow func(srcPhys, dstPhys int) error) (bool, error) {
+	s.sinceMove++
+	if s.sinceMove < s.period {
+		return false, nil
+	}
+	s.sinceMove = 0
+	s.moves++
+	if s.gap == 0 {
+		// The spare reached slot 0: relocate the top physical row into it,
+		// completing one rotation step, and advance the start pointer.
+		if copyRow != nil {
+			if err := copyRow(s.rows, 0); err != nil {
+				return false, fmt.Errorf("endurance: gap wrap copy: %w", err)
+			}
+		}
+		s.gap = s.rows
+		s.start = (s.start + 1) % s.rows
+		return true, nil
+	}
+	if copyRow != nil {
+		if err := copyRow(s.gap-1, s.gap); err != nil {
+			return false, fmt.Errorf("endurance: gap movement copy: %w", err)
+		}
+	}
+	s.gap--
+	return true, nil
+}
+
+// Lifetime estimates device lifetime from wear statistics.
+type Lifetime struct {
+	// CellEndurance is the write endurance of a PCM cell; published parts
+	// sustain 10^7–10^9 writes (default 10^8).
+	CellEndurance float64
+}
+
+// DefaultLifetime returns the 10^8-write assumption.
+func DefaultLifetime() Lifetime { return Lifetime{CellEndurance: 1e8} }
+
+// Estimate converts wear counters collected over an observation window of
+// durationNs into projected years until the first row dies, without
+// leveling (the hottest row keeps its rate) and with ideal leveling (all
+// observed writes spread over regionRows rows).
+func (l Lifetime) Estimate(maxRowWrites, totalWrites uint64, regionRows int, durationNs int64) (unleveledYears, leveledYears float64, err error) {
+	if durationNs <= 0 {
+		return 0, 0, fmt.Errorf("endurance: non-positive observation window %d ns", durationNs)
+	}
+	if regionRows < 1 {
+		return 0, 0, fmt.Errorf("endurance: region of %d rows", regionRows)
+	}
+	if l.CellEndurance <= 0 {
+		return 0, 0, fmt.Errorf("endurance: non-positive cell endurance")
+	}
+	const yearNs = 365.25 * 24 * 3600 * 1e9
+	seconds := float64(durationNs) / 1e9
+	if maxRowWrites > 0 {
+		rate := float64(maxRowWrites) / seconds // writes/s on the hottest row
+		unleveledYears = l.CellEndurance / rate / (yearNs / 1e9)
+	}
+	if totalWrites > 0 {
+		rate := float64(totalWrites) / float64(regionRows) / seconds
+		leveledYears = l.CellEndurance / rate / (yearNs / 1e9)
+	}
+	return unleveledYears, leveledYears, nil
+}

@@ -1,0 +1,197 @@
+package endurance
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStartGapValidation(t *testing.T) {
+	if _, err := NewStartGap(0, 10); err == nil {
+		t.Error("accepted zero rows")
+	}
+	if _, err := NewStartGap(8, 0); err == nil {
+		t.Error("accepted zero period")
+	}
+	sg, err := NewStartGap(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Rows() != 8 || sg.PhysicalRows() != 9 {
+		t.Errorf("sizes: %d/%d", sg.Rows(), sg.PhysicalRows())
+	}
+	if _, err := sg.Map(-1); err == nil {
+		t.Error("mapped negative row")
+	}
+	if _, err := sg.Map(8); err == nil {
+		t.Error("mapped out-of-range row")
+	}
+}
+
+// TestStartGapBijective: at every point of a long movement sequence, the
+// logical→physical mapping is injective and avoids the gap slot.
+func TestStartGapBijective(t *testing.T) {
+	sg, err := NewStartGap(16, 1) // move on every write: fastest rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 200; step++ {
+		seen := map[int]bool{}
+		for l := 0; l < sg.Rows(); l++ {
+			p, err := sg.Map(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < 0 || p >= sg.PhysicalRows() {
+				t.Fatalf("step %d: row %d maps outside region: %d", step, l, p)
+			}
+			if p == sg.gap {
+				t.Fatalf("step %d: row %d maps onto the gap", step, l)
+			}
+			if seen[p] {
+				t.Fatalf("step %d: physical row %d mapped twice", step, p)
+			}
+			seen[p] = true
+		}
+		if _, err := sg.OnWrite(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sg.Moves() != 200 {
+		t.Errorf("moves = %d, want 200", sg.Moves())
+	}
+}
+
+// TestStartGapPreservesData: driving a real storage array through the
+// leveler keeps every logical row's content intact across full rotations.
+func TestStartGapPreservesData(t *testing.T) {
+	const rows, period = 8, 3
+	sg, err := NewStartGap(rows, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := make([]byte, sg.PhysicalRows())
+	copyRow := func(src, dst int) error {
+		store[dst] = store[src]
+		return nil
+	}
+	// Logical row i holds value 10+i.
+	for l := 0; l < rows; l++ {
+		p, _ := sg.Map(l)
+		store[p] = byte(10 + l)
+	}
+	// Hammer writes (rewriting each logical row's own value) for several
+	// full rotations: (rows+1)*period writes per rotation.
+	for w := 0; w < (rows+1)*period*5; w++ {
+		l := w % rows
+		p, err := sg.Map(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store[p] = byte(10 + l) // the write itself
+		if _, err := sg.OnWrite(copyRow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for l := 0; l < rows; l++ {
+		p, _ := sg.Map(l)
+		if store[p] != byte(10+l) {
+			t.Errorf("logical row %d reads %d, want %d", l, store[p], 10+l)
+		}
+	}
+}
+
+// TestStartGapSpreadsWear: hammering one logical row must spread physical
+// writes across the whole region once rotations happen.
+func TestStartGapSpreadsWear(t *testing.T) {
+	const rows, period = 16, 2
+	sg, err := NewStartGap(rows, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := make([]uint64, sg.PhysicalRows())
+	copyRow := func(src, dst int) error {
+		writes[dst]++ // the gap-movement copy is itself a write
+		return nil
+	}
+	total := (rows + 1) * period * rows * 2 // many full rotations
+	for w := 0; w < total; w++ {
+		p, err := sg.Map(3) // always the same logical row
+		if err != nil {
+			t.Fatal(err)
+		}
+		writes[p]++
+		if _, err := sg.OnWrite(copyRow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touched := 0
+	var max uint64
+	for _, n := range writes {
+		if n > 0 {
+			touched++
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if touched != sg.PhysicalRows() {
+		t.Errorf("only %d of %d physical rows touched", touched, sg.PhysicalRows())
+	}
+	// Without leveling all writes would hit one row; with it, the hottest
+	// row must carry well under half of them.
+	if float64(max) > 0.5*float64(total) {
+		t.Errorf("hottest row carries %d of %d writes; leveling ineffective", max, total)
+	}
+}
+
+// TestStartGapQuickMappingStable: between movements, Map is a pure function.
+func TestStartGapQuickMappingStable(t *testing.T) {
+	sg, err := NewStartGap(32, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(l uint8) bool {
+		log := int(l) % 32
+		a, err1 := sg.Map(log)
+		b, err2 := sg.Map(log)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLifetimeEstimate(t *testing.T) {
+	l := DefaultLifetime()
+	// 1000 writes to the hottest row over 1 ms → 1e6 writes/s; endurance
+	// 1e8 → 100 s unleveled.
+	unlev, lev, err := l.Estimate(1000, 16000, 16, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const yearSeconds = 365.25 * 24 * 3600
+	if got := unlev * yearSeconds; got < 99 || got > 101 {
+		t.Errorf("unleveled lifetime = %v s, want ~100", got)
+	}
+	// Leveled: 16000 writes over 16 rows in 1 ms → same 1e6/s per row here.
+	if got := lev * yearSeconds; got < 99 || got > 101 {
+		t.Errorf("leveled lifetime = %v s, want ~100", got)
+	}
+	// Concentrated wear: leveling buys the rows/hot-share factor.
+	unlev2, lev2, err := l.Estimate(16000, 16000, 16, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lev2 <= unlev2*15 {
+		t.Errorf("leveling gain %vx, want ~16x", lev2/unlev2)
+	}
+	if _, _, err := l.Estimate(1, 1, 0, 1); err == nil {
+		t.Error("accepted zero region")
+	}
+	if _, _, err := l.Estimate(1, 1, 1, 0); err == nil {
+		t.Error("accepted zero window")
+	}
+	if _, _, err := (Lifetime{}).Estimate(1, 1, 1, 1); err == nil {
+		t.Error("accepted zero endurance")
+	}
+}

@@ -1,0 +1,170 @@
+package energy
+
+import (
+	"strings"
+	"testing"
+
+	"womcpcm/internal/core"
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/stats"
+	"womcpcm/internal/trace"
+	"womcpcm/internal/workload"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Model{
+		{},
+		{RowRead: 1, RowWriteFast: 10, RowWriteFull: 5, RowBuffer: 1}, // full < fast
+		{RowRead: -1, RowWriteFast: 1, RowWriteFull: 2, RowBuffer: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d validated", i)
+		}
+	}
+}
+
+// TestPriceHandComputed prices a synthetic run against a unit model.
+func TestPriceHandComputed(t *testing.T) {
+	m := Model{RowRead: 10, RowWriteFast: 20, RowWriteFull: 100, RowBuffer: 1}
+	var run stats.Run
+	run.Classes[stats.ReadArray] = 3
+	run.Classes[stats.ReadRowHit] = 5
+	run.Classes[stats.WriteFast] = 4
+	run.Classes[stats.WriteAlpha] = 2
+	run.Classes[stats.WriteBaseline] = 1
+	run.Classes[stats.WriteCacheMiss] = 2
+	run.Refreshes = 3
+	b, err := m.Price(&run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3*10.0 + 2*10.0; b.Reads != want {
+		t.Errorf("reads = %v, want %v", b.Reads, want)
+	}
+	if want := 5 * 1.0; b.Buffer != want {
+		t.Errorf("buffer = %v, want %v", b.Buffer, want)
+	}
+	if want := 4*20.0 + 3*100.0; b.Writes != want {
+		t.Errorf("writes = %v, want %v", b.Writes, want)
+	}
+	// §3.2: a refresh costs one row read + one full row write.
+	if want := 3 * (10.0 + 100.0); b.Refresh != want {
+		t.Errorf("refresh = %v, want %v", b.Refresh, want)
+	}
+	if b.Total() != b.Reads+b.Buffer+b.Writes+b.Refresh {
+		t.Error("total mismatch")
+	}
+	if _, err := (Model{}).Price(&run); err == nil {
+		t.Error("invalid model priced a run")
+	}
+}
+
+func TestPerAccess(t *testing.T) {
+	var run stats.Run
+	if PerAccess(&run, Breakdown{Reads: 10}) != 0 {
+		t.Error("empty run should price to 0 per access")
+	}
+	run.ReadLatency.Observe(1)
+	run.WriteLatency.Observe(1)
+	if got := PerAccess(&run, Breakdown{Reads: 10}); got != 5 {
+		t.Errorf("per access = %v, want 5", got)
+	}
+}
+
+// TestArchitectureEnergyOrdering runs a real workload through the four
+// architectures and checks the energy story the paper implies: WOM-code
+// PCM saves write energy (RESET-only rewrites), while PCM-refresh trades
+// some of that saving for refresh energy.
+func TestArchitectureEnergyOrdering(t *testing.T) {
+	g := pcm.Geometry{Ranks: 4, BanksPerRank: 16, RowsPerBank: 2048,
+		ColsPerRow: 256, BitsPerCol: 4, Devices: 16}
+	profile, err := workload.ProfileByName("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := Default()
+	runs := make([]*stats.Run, 0, 4)
+	price := map[core.Arch]Breakdown{}
+	for _, a := range core.Arches() {
+		opts := core.DefaultOptions()
+		opts.Geometry = g
+		sys, err := core.NewSystem(a, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workload.NewGenerator(profile, g, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := sys.Simulate(trace.NewLimit(gen, 30000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, run)
+		b, err := model.Price(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		price[a] = b
+	}
+	if price[core.WOMCode].Writes >= price[core.Baseline].Writes {
+		t.Errorf("WOM write energy %.0f not below baseline %.0f",
+			price[core.WOMCode].Writes, price[core.Baseline].Writes)
+	}
+	if price[core.Refresh].Refresh == 0 {
+		t.Error("refresh architecture consumed no refresh energy")
+	}
+	if price[core.Baseline].Refresh != 0 {
+		t.Error("baseline charged refresh energy")
+	}
+	out, err := Compare(model, runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"PCM w/o WOM-code", "PCM-refresh", "vs base"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare table missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Compare(model, nil); err == nil {
+		t.Error("compared zero runs")
+	}
+}
+
+// TestPriceMonotonicInActivity property: adding service events never
+// lowers any energy component.
+func TestPriceMonotonicInActivity(t *testing.T) {
+	m := Default()
+	base := &stats.Run{}
+	base.Classes[stats.ReadArray] = 5
+	base.Classes[stats.WriteFast] = 5
+	b0, err := m.Price(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := stats.ServiceClass(0); c < stats.ServiceClass(8); c++ {
+		more := *base
+		more.Classes[c] += 3
+		b1, err := m.Price(&more)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b1.Total() < b0.Total() {
+			t.Errorf("class %v: adding events lowered energy %.0f → %.0f", c, b0.Total(), b1.Total())
+		}
+	}
+	more := *base
+	more.Refreshes += 2
+	b1, err := m.Price(&more)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.2: each refresh adds exactly one row read + one full row write.
+	if want := b0.Total() + 2*(m.RowRead+m.RowWriteFull); b1.Total() != want {
+		t.Errorf("refresh pricing: %.0f, want %.0f", b1.Total(), want)
+	}
+}

@@ -1,0 +1,234 @@
+package memctrl
+
+import (
+	"testing"
+
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/stats"
+	"womcpcm/internal/trace"
+	"womcpcm/internal/workload"
+)
+
+// TestWCPCMWriteHitCold: the first write to a cache row is a hit (valid bit
+// clear); the cache array activates the row and programs it RESET-fast:
+// 27+40+20 = 87 ns.
+func TestWCPCMWriteHitCold(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 1, 5), Time: 0},
+	}
+	run := runTrace(t, testConfig(nil, nil, DefaultCache()), recs)
+	if got := run.WriteLatency.Mean(); got != tActFast {
+		t.Errorf("cold cache write latency = %v, want %d", got, tActFast)
+	}
+	if run.CacheHits != 1 || run.CacheMisses != 0 {
+		t.Errorf("hits/misses = %d/%d, want 1/0", run.CacheHits, run.CacheMisses)
+	}
+	if run.Classes[stats.WriteCacheHit] != 1 {
+		t.Errorf("classes = %v", run.Classes)
+	}
+	if run.VictimWrites != 0 {
+		t.Error("cold hit spawned a victim")
+	}
+}
+
+// TestWCPCMWriteHitSameBank: rewriting the same (bank, row) hits the tag
+// and the open row buffer, leaving only the fast program: 60 ns.
+func TestWCPCMWriteHitSameBank(t *testing.T) {
+	g := testGeometry()
+	addr := addrOf(t, g, 0, 1, 5)
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: addr, Time: 0},
+		{Op: trace.Write, Addr: addr, Time: 1000},
+	}
+	run := runTrace(t, testConfig(nil, nil, DefaultCache()), recs)
+	if run.CacheHits != 2 || run.CacheMisses != 0 {
+		t.Errorf("hits/misses = %d/%d, want 2/0", run.CacheHits, run.CacheMisses)
+	}
+	if run.WriteLatency.Max != tActFast || run.WriteLatency.Min != tWriteFast {
+		t.Errorf("write latencies = [%d, %d], want [%d, %d]",
+			run.WriteLatency.Min, run.WriteLatency.Max, tWriteFast, tActFast)
+	}
+}
+
+// TestWCPCMWriteMissEvictsVictim: a write to the same row index from a
+// different bank misses the tag; the victim row (already in the buffer) is
+// shipped to the main-memory queue (§4 write protocol).
+func TestWCPCMWriteMissEvictsVictim(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 1, 5), Time: 0},
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 2, 5), Time: 1000},
+	}
+	run := runTrace(t, testConfig(nil, nil, DefaultCache()), recs)
+	if run.CacheHits != 1 || run.CacheMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", run.CacheHits, run.CacheMisses)
+	}
+	if run.VictimWrites != 1 {
+		t.Fatalf("victim writes = %d, want 1", run.VictimWrites)
+	}
+	// The conflicting write finds the victim's row open (its data is right
+	// there to evict) and programs fast: 60 ns; the cold fill cost 87.
+	if got := run.WriteLatency.Max; got != tActFast {
+		t.Errorf("max write latency = %d, want %d (the cold fill)", got, tActFast)
+	}
+	// The victim write-back lands in main memory as a conventional write.
+	if run.Classes[stats.WriteBaseline] != 1 {
+		t.Errorf("main-memory victim writes = %d, want 1", run.Classes[stats.WriteBaseline])
+	}
+	if run.Classes[stats.WriteCacheMiss] != 1 {
+		t.Errorf("cache miss class = %d, want 1", run.Classes[stats.WriteCacheMiss])
+	}
+}
+
+// TestWCPCMReadProtocol: reads probe the cache; a tag match is serviced by
+// the cache array, a mismatch by main memory, and reads never modify the
+// cache contents.
+func TestWCPCMReadProtocol(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 1, 5), Time: 0},
+		{Op: trace.Read, Addr: addrOf(t, g, 0, 1, 5), Time: 1000},  // cache hit, open row: 20
+		{Op: trace.Read, Addr: addrOf(t, g, 0, 2, 5), Time: 2000},  // tag mismatch → main: 47
+		{Op: trace.Read, Addr: addrOf(t, g, 0, 1, 9), Time: 3000},  // empty entry → main: 47
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 1, 5), Time: 4000}, // still a hit: reads didn't evict
+	}
+	run := runTrace(t, testConfig(nil, nil, DefaultCache()), recs)
+	if run.Classes[stats.ReadCacheHit] != 1 {
+		t.Errorf("read cache hits = %d, want 1", run.Classes[stats.ReadCacheHit])
+	}
+	if run.Classes[stats.ReadArray] != 2 {
+		t.Errorf("main-memory reads = %d, want 2", run.Classes[stats.ReadArray])
+	}
+	if run.CacheHits != 3 || run.CacheMisses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 3/2", run.CacheHits, run.CacheMisses)
+	}
+	want := (20.0 + 47 + 47) / 3
+	if got := run.ReadLatency.Mean(); got != want {
+		t.Errorf("read latency = %v, want %v", got, want)
+	}
+}
+
+// TestWCPCMCacheAlphaAndRefresh: the cache array's WOM budget behaves like
+// the main arrays': row-buffer conflicts consume it, the budget exhausts
+// into an α, and idle gaps let PCM-refresh restore the rows.
+func TestWCPCMCacheAlphaAndRefresh(t *testing.T) {
+	g := testGeometry()
+	tight := alternating(t, g, 6, 500)
+	run := runTrace(t, testConfig(nil, nil, DefaultCache()), tight)
+	// Each row's three writes go fast, fast, α: two α-writes in total.
+	if run.Classes[stats.WriteAlpha] != 2 {
+		t.Errorf("tight spacing: cache α-writes = %d, want 2", run.Classes[stats.WriteAlpha])
+	}
+	if run.WriteLatency.Max != tActSlow {
+		t.Errorf("tight spacing: max latency = %d, want %d (α write)", run.WriteLatency.Max, tActSlow)
+	}
+
+	// Widely spaced: a refresh lands between conflicts; everything stays
+	// fast.
+	wide := alternating(t, g, 6, 10000)
+	run = runTrace(t, testConfig(nil, nil, DefaultCache()), wide)
+	if run.Classes[stats.WriteAlpha] != 0 {
+		t.Errorf("wide spacing: cache α-writes = %d, want 0", run.Classes[stats.WriteAlpha])
+	}
+	if run.Refreshes == 0 {
+		t.Error("wide spacing: no cache refreshes recorded")
+	}
+	if run.WriteLatency.Max != tActFast {
+		t.Errorf("wide spacing: max latency = %d, want %d", run.WriteLatency.Max, tActFast)
+	}
+}
+
+// TestWCPCMCacheSerializesPerRank: two same-cycle writes to different banks
+// of one rank share the single cache array, so the second queues and pays
+// the first's write-back; across ranks they proceed in parallel.
+func TestWCPCMCacheSerializesPerRank(t *testing.T) {
+	g := testGeometry()
+	sameRank := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 1, 5), Time: 0},
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 2, 6), Time: 0},
+	}
+	run := runTrace(t, testConfig(nil, nil, DefaultCache()), sameRank)
+	// Second write: starts at 87, activates its own row and programs fast
+	// (87) → latency 174.
+	if run.WriteLatency.Max != 174 {
+		t.Errorf("same-rank second write latency = %d, want 174", run.WriteLatency.Max)
+	}
+	diffRank := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 1, 5), Time: 0},
+		{Op: trace.Write, Addr: addrOf(t, g, 1, 2, 6), Time: 0},
+	}
+	run = runTrace(t, testConfig(nil, nil, DefaultCache()), diffRank)
+	if run.WriteLatency.Max != tActFast {
+		t.Errorf("cross-rank write latency = %d, want %d (parallel arrays)", run.WriteLatency.Max, tActFast)
+	}
+}
+
+// TestWCPCMHitRateFallsWithAssociativityPressure reproduces the Fig. 6
+// trend in miniature: with more banks per rank, more distinct bank tags
+// compete for each cache row, so the hit rate drops.
+func TestWCPCMHitRateFallsWithAssociativityPressure(t *testing.T) {
+	p, err := workload.ProfileByName("464.h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitRate := func(banks int) float64 {
+		g := testGeometry()
+		g.BanksPerRank = banks
+		recs, err := workload.Generate(p, g, 21, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Geometry: g, Timing: pcm.DefaultTiming(), Cache: DefaultCache()}
+		run := runTrace(t, cfg, recs)
+		return run.CacheHitRate()
+	}
+	r4, r32 := hitRate(4), hitRate(32)
+	if r4 <= r32 {
+		t.Errorf("hit rate with 4 banks/rank (%.3f) not above 32 banks/rank (%.3f)", r4, r32)
+	}
+}
+
+// TestDRAMCacheComparator: the hybrid DRAM/PCM alternative (§4, [18])
+// absorbs writes at row-buffer speed with no WOM budget, no α-writes and
+// no PCM-refresh — faster than the WOM-cache but needing mixed-technology
+// fabrication, which is the paper's §4 practicality argument.
+func TestDRAMCacheComparator(t *testing.T) {
+	g := testGeometry()
+	recs := alternating(t, g, 6, 500)
+	dram := Config{Geometry: g, Timing: pcm.DefaultTiming(),
+		Cache: &CacheConfig{Technology: DRAMCache}}
+	if dram.ArchName() != "hybrid DRAM/PCM" {
+		t.Errorf("arch name = %q", dram.ArchName())
+	}
+	drun := runTrace(t, dram, recs)
+	if drun.Classes[stats.WriteAlpha]+drun.Classes[stats.WriteFast] != 0 {
+		t.Error("DRAM cache performed PCM array writes")
+	}
+	if drun.Refreshes != 0 {
+		t.Error("DRAM cache was PCM-refreshed")
+	}
+	wrun := runTrace(t, testConfig(nil, nil, DefaultCache()), recs)
+	if drun.WriteLatency.Mean() >= wrun.WriteLatency.Mean() {
+		t.Errorf("DRAM cache writes %.1f not below WOM-cache %.1f",
+			drun.WriteLatency.Mean(), wrun.WriteLatency.Mean())
+	}
+	// Alternating rows at the DRAM cache: activation + column = 47 each
+	// after the first; the WOM-cache pays the PCM program on top.
+	if drun.WriteLatency.Max != tReadMiss {
+		t.Errorf("DRAM cache write latency = %d, want %d", drun.WriteLatency.Max, tReadMiss)
+	}
+}
+
+// TestDRAMCacheValidationSkipsWOMKnobs: zero Rewrites/TableSize are fine
+// for a DRAM cache.
+func TestDRAMCacheValidationSkipsWOMKnobs(t *testing.T) {
+	cfg := Config{Geometry: testGeometry(), Timing: pcm.DefaultTiming(),
+		Cache: &CacheConfig{Technology: DRAMCache}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if CacheTechnology(9).String() == "" || WOMCache.String() != "WOM-cache" {
+		t.Error("technology names")
+	}
+}

@@ -1,0 +1,496 @@
+package memctrl
+
+import (
+	"reflect"
+	"testing"
+
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/stats"
+	"womcpcm/internal/trace"
+	"womcpcm/internal/workload"
+)
+
+// Hand-computable service durations with the default timing (27/150/40/150,
+// column 15, burst 5) under the write-through row-buffer policy:
+//
+//	read, row-buffer hit            column+burst            = 20 ns
+//	read, activation                rowRead+column+burst    = 47 ns
+//	write to open row, WOM fast     reset+column+burst      = 60 ns
+//	write to open row, slow         rowWrite+column+burst   = 170 ns
+//	write w/ activation, WOM fast   rowRead+60              = 87 ns
+//	write w/ activation, slow       rowRead+170             = 197 ns
+const (
+	tReadHit   = 20
+	tReadMiss  = 47
+	tWriteFast = 60
+	tWriteSlow = 170
+	tActFast   = 87
+	tActSlow   = 197
+)
+
+// testGeometry: 2 ranks × 4 banks, 64 rows, 128-byte rows — small enough to
+// hand-compute addresses.
+func testGeometry() pcm.Geometry {
+	return pcm.Geometry{Ranks: 2, BanksPerRank: 4, RowsPerBank: 64, ColsPerRow: 16, BitsPerCol: 8, Devices: 8}
+}
+
+func testConfig(wom *WOMConfig, refresh *RefreshConfig, cache *CacheConfig) Config {
+	return Config{
+		Geometry: testGeometry(),
+		Timing:   pcm.DefaultTiming(),
+		WOM:      wom,
+		Refresh:  refresh,
+		Cache:    cache,
+	}
+}
+
+// freshWOM returns the WOM config with factory-erased arrays, which the
+// hand-computed latency tests assume.
+func freshWOM() *WOMConfig { return &WOMConfig{Rewrites: 2, FreshArrays: true} }
+
+// addrOf composes the byte address of (rank, bank, row).
+func addrOf(t *testing.T, g pcm.Geometry, rank, bank, row int) uint64 {
+	t.Helper()
+	m, err := pcm.NewAddrMapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Unmap(pcm.Location{Rank: rank, Bank: bank, Row: row})
+}
+
+func runTrace(t *testing.T, cfg Config, recs []trace.Record) *stats.Run {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := c.Run(trace.NewSliceSource(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.inFlight != 0 {
+		t.Fatalf("%d requests still in flight after Run", c.inFlight)
+	}
+	return run
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := testConfig(nil, nil, nil).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		testConfig(nil, DefaultRefresh(), nil),        // refresh without WOM
+		testConfig(DefaultWOM(), nil, DefaultCache()), // cache plus main WOM
+		testConfig(&WOMConfig{Rewrites: 0}, nil, nil), // k < 1
+		testConfig(DefaultWOM(), &RefreshConfig{ThresholdPct: 120, TableSize: 5}, nil),
+		testConfig(DefaultWOM(), &RefreshConfig{ThresholdPct: 10, TableSize: 0}, nil),
+		testConfig(nil, nil, &CacheConfig{Rewrites: 0, TableSize: 5}),
+		testConfig(nil, nil, &CacheConfig{Rewrites: 2, TableSize: 0}),
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	neg := testConfig(nil, nil, nil)
+	neg.PausePenalty = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative pause penalty validated")
+	}
+}
+
+func TestArchNames(t *testing.T) {
+	tests := []struct {
+		cfg  Config
+		want string
+	}{
+		{testConfig(nil, nil, nil), "PCM w/o WOM-code"},
+		{testConfig(DefaultWOM(), nil, nil), "WOM-code PCM"},
+		{testConfig(&WOMConfig{Rewrites: 2, Org: HiddenPage}, nil, nil), "WOM-code PCM (hidden-page)"},
+		{testConfig(DefaultWOM(), DefaultRefresh(), nil), "PCM-refresh"},
+		{testConfig(nil, nil, DefaultCache()), "WCPCM"},
+	}
+	for _, tt := range tests {
+		if got := tt.cfg.ArchName(); got != tt.want {
+			t.Errorf("ArchName = %q, want %q", got, tt.want)
+		}
+	}
+	if WideColumn.String() != "wide-column" || HiddenPage.String() != "hidden-page" {
+		t.Error("organization names")
+	}
+}
+
+// TestBaselineSingleAccessLatencies: on an idle bank a read activates its
+// row (47 ns) and a write activates and programs the array (197 ns).
+func TestBaselineSingleAccessLatencies(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{
+		{Op: trace.Read, Addr: addrOf(t, g, 0, 0, 1), Time: 0},
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 1, 2), Time: 1000},
+	}
+	run := runTrace(t, testConfig(nil, nil, nil), recs)
+	if got := run.ReadLatency.Mean(); got != tReadMiss {
+		t.Errorf("read latency = %v, want %d", got, tReadMiss)
+	}
+	if got := run.WriteLatency.Mean(); got != tActSlow {
+		t.Errorf("write latency = %v, want %d", got, tActSlow)
+	}
+	if run.Classes[stats.ReadArray] != 1 || run.Classes[stats.WriteBaseline] != 1 {
+		t.Errorf("classes = %v", run.Classes)
+	}
+	if run.SimulatedNs != 1000+tActSlow {
+		t.Errorf("simulated ns = %d, want %d", run.SimulatedNs, 1000+tActSlow)
+	}
+}
+
+// TestRowBufferHit: a second access to the open row costs only the column
+// access and burst.
+func TestRowBufferHit(t *testing.T) {
+	g := testGeometry()
+	addr := addrOf(t, g, 0, 0, 1)
+	recs := []trace.Record{
+		{Op: trace.Read, Addr: addr, Time: 0},
+		{Op: trace.Read, Addr: addr + 64, Time: 1000}, // same row, next line
+	}
+	run := runTrace(t, testConfig(nil, nil, nil), recs)
+	if run.ReadLatency.Max != tReadMiss || run.ReadLatency.Min != tReadHit {
+		t.Errorf("read latencies = [%d, %d], want [%d, %d]",
+			run.ReadLatency.Min, run.ReadLatency.Max, tReadHit, tReadMiss)
+	}
+	if run.Classes[stats.ReadRowHit] != 1 || run.Classes[stats.ReadArray] != 1 {
+		t.Errorf("classes = %v", run.Classes)
+	}
+}
+
+// TestBankQueueing: writes to one bank serialize FIFO; an independent bank
+// proceeds in parallel.
+func TestBankQueueing(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 1), Time: 0},  // done at 197
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 2), Time: 10}, // starts 197, +197 → done 394
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 1, 3), Time: 10}, // parallel bank: 197
+	}
+	run := runTrace(t, testConfig(nil, nil, nil), recs)
+	want := (197.0 + 384.0 + 197.0) / 3
+	if got := run.WriteLatency.Mean(); got != want {
+		t.Errorf("write latency = %v, want %v", got, want)
+	}
+	if run.WriteLatency.Max != 384 {
+		t.Errorf("max write latency = %d, want 384", run.WriteLatency.Max)
+	}
+	if run.Classes[stats.WriteBaseline] != 3 {
+		t.Errorf("baseline writes = %d, want 3", run.Classes[stats.WriteBaseline])
+	}
+}
+
+// TestReadBlockedByWrite reproduces the Fig. 5(b) mechanism: a read queued
+// behind a slow write waits it out — far less with the WOM-code.
+func TestReadBlockedByWrite(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 1), Time: 0},
+		{Op: trace.Read, Addr: addrOf(t, g, 0, 0, 2), Time: 10},
+	}
+	base := runTrace(t, testConfig(nil, nil, nil), recs)
+	// Write completes at 197; the read then activates: 197+47−10 = 234.
+	if got := base.ReadLatency.Mean(); got != 234 {
+		t.Errorf("baseline blocked read latency = %v, want 234", got)
+	}
+	wom := runTrace(t, testConfig(freshWOM(), nil, nil), recs)
+	// The write is now 87 ns: 87+47−10 = 124.
+	if got := wom.ReadLatency.Mean(); got != 124 {
+		t.Errorf("WOM blocked read latency = %v, want 124", got)
+	}
+}
+
+// alternating returns n writes that ping-pong between two rows of bank 0,
+// forcing a write-back on every access after the first.
+func alternating(t *testing.T, g pcm.Geometry, n int, spacing int64) []trace.Record {
+	t.Helper()
+	a := addrOf(t, g, 0, 0, 5)
+	b := addrOf(t, g, 0, 0, 9)
+	var recs []trace.Record
+	for i := 0; i < n; i++ {
+		addr := a
+		if i%2 == 1 {
+			addr = b
+		}
+		recs = append(recs, trace.Record{Op: trace.Write, Addr: addr, Time: int64(i) * spacing})
+	}
+	return recs
+}
+
+// TestWOMWriteSequence: with k=2 and fresh arrays, each row independently
+// follows fast, fast, α, fast, α…; alternating 8 writes over two rows gives
+// 6 fast and 2 α writes, every one paying an activation (row ping-pong).
+func TestWOMWriteSequence(t *testing.T) {
+	g := testGeometry()
+	recs := alternating(t, g, 8, 1000)
+	run := runTrace(t, testConfig(freshWOM(), nil, nil), recs)
+	if run.Classes[stats.WriteFast] != 6 || run.Classes[stats.WriteAlpha] != 2 {
+		t.Fatalf("writes fast=%d α=%d, want 6/2",
+			run.Classes[stats.WriteFast], run.Classes[stats.WriteAlpha])
+	}
+	want := (6*87.0 + 2*197) / 8
+	if got := run.WriteLatency.Mean(); got != want {
+		t.Errorf("write latency = %v, want %v", got, want)
+	}
+	if f := run.AlphaFraction(); f != 0.25 {
+		t.Errorf("alpha fraction = %v, want 0.25", f)
+	}
+}
+
+// TestWOMNormalizedGain: on a write-dominated pattern the normalized WOM
+// latency sits above the pure §3.2 bound (activation and column overheads
+// do not shrink) but clearly below baseline.
+func TestWOMNormalizedGain(t *testing.T) {
+	g := testGeometry()
+	recs := alternating(t, g, 200, 1000)
+	base := runTrace(t, testConfig(nil, nil, nil), recs)
+	wom := runTrace(t, testConfig(freshWOM(), nil, nil), recs)
+	norm := wom.WriteLatency.Mean() / base.WriteLatency.Mean()
+	bound := (2 - 1 + 3.75) / (2 * 3.75) // 0.6333
+	if norm < bound-1e-9 {
+		t.Errorf("normalized write latency %v beat the analytic bound %v", norm, bound)
+	}
+	if norm > 0.80 {
+		t.Errorf("normalized write latency %v too close to baseline; WOM path broken?", norm)
+	}
+}
+
+// TestHiddenPageCostsOneBurstMore: same trace, hidden-page organization
+// pays one extra burst per access.
+func TestHiddenPageCostsOneBurstMore(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 1), Time: 0},
+		{Op: trace.Read, Addr: addrOf(t, g, 0, 1, 2), Time: 1000},
+	}
+	wide := runTrace(t, testConfig(&WOMConfig{Rewrites: 2, Org: WideColumn, FreshArrays: true}, nil, nil), recs)
+	hidden := runTrace(t, testConfig(&WOMConfig{Rewrites: 2, Org: HiddenPage, FreshArrays: true}, nil, nil), recs)
+	if hidden.WriteLatency.Mean() != wide.WriteLatency.Mean()+5 {
+		t.Errorf("hidden-page write = %v, wide-column write = %v, want +5",
+			hidden.WriteLatency.Mean(), wide.WriteLatency.Mean())
+	}
+	if hidden.ReadLatency.Mean() != wide.ReadLatency.Mean()+5 {
+		t.Errorf("hidden-page read = %v, wide-column read = %v, want +5",
+			hidden.ReadLatency.Mean(), wide.ReadLatency.Mean())
+	}
+}
+
+// TestRefreshEliminatesAlpha: with long idle gaps between conflicting
+// writes, every at-limit row is refreshed before its next write-back, so
+// no α-write reaches the critical path (§3.2's ideal S× case).
+func TestRefreshEliminatesAlpha(t *testing.T) {
+	g := testGeometry()
+	recs := alternating(t, g, 10, 10000)
+	run := runTrace(t, testConfig(freshWOM(), DefaultRefresh(), nil), recs)
+	if run.Classes[stats.WriteAlpha] != 0 {
+		t.Fatalf("α-writes = %d, want 0 with ample idle time", run.Classes[stats.WriteAlpha])
+	}
+	if run.Classes[stats.WriteFast] != 10 {
+		t.Fatalf("fast writes = %d, want 10", run.Classes[stats.WriteFast])
+	}
+	if got := run.WriteLatency.Mean(); got != tActFast {
+		t.Errorf("write latency = %v, want %d", got, tActFast)
+	}
+	if run.Refreshes == 0 {
+		t.Error("no refreshes recorded")
+	}
+}
+
+// TestRefreshSkipsBusyRank: a rank with traffic in flight at the tick is
+// not refreshed, so the at-limit row's next write-back stays an α-write;
+// without the tick-time traffic the refresh keeps everything fast.
+func TestRefreshSkipsBusyRank(t *testing.T) {
+	g := testGeometry()
+	a := addrOf(t, g, 0, 0, 5)
+	other := addrOf(t, g, 0, 1, 3)
+	cfg := testConfig(freshWOM(), DefaultRefresh(), nil)
+
+	warmup := []trace.Record{
+		{Op: trace.Write, Addr: a, Time: 0},   // fast, gen 1
+		{Op: trace.Write, Addr: a, Time: 200}, // fast, gen 2: at limit, tabled
+	}
+	tail := trace.Record{Op: trace.Write, Addr: a, Time: 4300} // α unless refreshed
+
+	busy := append(append([]trace.Record{}, warmup...),
+		trace.Record{Op: trace.Write, Addr: other, Time: 4000}, tail)
+	run := runTrace(t, cfg, busy)
+	if run.Classes[stats.WriteAlpha] != 1 {
+		t.Errorf("busy rank: α-writes = %d, want 1", run.Classes[stats.WriteAlpha])
+	}
+
+	control := append(append([]trace.Record{}, warmup...), tail)
+	run = runTrace(t, cfg, control)
+	if run.Classes[stats.WriteAlpha] != 0 {
+		t.Errorf("control: α-writes = %d, want 0", run.Classes[stats.WriteAlpha])
+	}
+	if run.Refreshes == 0 {
+		t.Error("control: refresh did not run")
+	}
+}
+
+// TestWritePausing: a demand write that lands mid-refresh preempts it,
+// paying only the pause penalty.
+func TestWritePausing(t *testing.T) {
+	g := testGeometry()
+	a := addrOf(t, g, 0, 0, 5)
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: a, Time: 0},   // 87: fast, gen 1
+		{Op: trace.Write, Addr: a, Time: 200}, // 60: fast, gen 2 (limit, tabled)
+		// The tick at 4000 starts a refresh of row 5 lasting 150+4·5 = 170.
+		{Op: trace.Write, Addr: a, Time: 4010}, // lands mid-refresh
+	}
+	run := runTrace(t, testConfig(freshWOM(), DefaultRefresh(), nil), recs)
+	if run.RefreshAborts != 1 {
+		t.Fatalf("refresh aborts = %d, want 1", run.RefreshAborts)
+	}
+	// The preempting write: pause 5 ns, then the α-write to the open row
+	// (the aborted refresh left it at the limit): 4015+170 → latency 175.
+	if run.WriteLatency.Max != 175 {
+		t.Errorf("preempting write latency = %d, want 175", run.WriteLatency.Max)
+	}
+	if run.Classes[stats.WriteAlpha] != 1 {
+		t.Errorf("α-writes = %d, want 1", run.Classes[stats.WriteAlpha])
+	}
+}
+
+// TestNoPausingWaitsOutRefresh: with write pausing disabled (ablation), the
+// demand write waits for the refresh and then benefits from it.
+func TestNoPausingWaitsOutRefresh(t *testing.T) {
+	g := testGeometry()
+	a := addrOf(t, g, 0, 0, 5)
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: a, Time: 0},
+		{Op: trace.Write, Addr: a, Time: 200},  // gen 2: at limit, tabled
+		{Op: trace.Write, Addr: a, Time: 4010}, // mid-refresh (4000–4170)
+	}
+	cfg := testConfig(freshWOM(), &RefreshConfig{ThresholdPct: 10, TableSize: 5, NoPausing: true}, nil)
+	run := runTrace(t, cfg, recs)
+	if run.RefreshAborts != 0 {
+		t.Errorf("refresh aborts = %d, want 0 without pausing", run.RefreshAborts)
+	}
+	if run.Refreshes == 0 {
+		t.Error("refresh did not complete")
+	}
+	// The write waits until 4170, then is a fast write to the refreshed
+	// open row: latency = 4170 − 4010 + 60 = 220.
+	if run.WriteLatency.Max != 220 {
+		t.Errorf("write latency = %d, want 220", run.WriteLatency.Max)
+	}
+	if run.Classes[stats.WriteAlpha] != 0 {
+		t.Errorf("α-writes = %d, want 0", run.Classes[stats.WriteAlpha])
+	}
+}
+
+// TestRunRejectsDisorderedTrace: arrivals must be time-ordered.
+func TestRunRejectsDisorderedTrace(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 1), Time: 100},
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 2), Time: 50},
+	}
+	c, err := New(testConfig(nil, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(trace.NewSliceSource(recs)); err == nil {
+		t.Error("accepted a disordered trace")
+	}
+}
+
+// TestEmptyTrace: running nothing is fine.
+func TestEmptyTrace(t *testing.T) {
+	run := runTrace(t, testConfig(DefaultWOM(), DefaultRefresh(), nil), nil)
+	if run.ReadLatency.Count+run.WriteLatency.Count != 0 {
+		t.Error("latencies recorded for empty trace")
+	}
+}
+
+// TestDeterminism: identical workloads produce bit-identical statistics on
+// every architecture.
+func TestDeterminism(t *testing.T) {
+	p, err := workload.ProfileByName("qsort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := workload.Generate(p, testGeometry(), 99, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []Config{
+		testConfig(nil, nil, nil),
+		testConfig(DefaultWOM(), nil, nil),
+		testConfig(DefaultWOM(), DefaultRefresh(), nil),
+		testConfig(nil, nil, DefaultCache()),
+	}
+	for _, cfg := range configs {
+		a := runTrace(t, cfg, recs)
+		b := runTrace(t, cfg, recs)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: runs differ", cfg.ArchName())
+		}
+	}
+}
+
+// TestRequestConservation: every trace record is serviced exactly once on
+// every architecture, and class totals are consistent with the op mix.
+func TestRequestConservation(t *testing.T) {
+	p, err := workload.ProfileByName("464.h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := workload.Generate(p, testGeometry(), 5, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes uint64
+	for _, r := range recs {
+		if r.Op == trace.Read {
+			reads++
+		} else {
+			writes++
+		}
+	}
+	for _, cfg := range []Config{
+		testConfig(nil, nil, nil),
+		testConfig(DefaultWOM(), nil, nil),
+		testConfig(&WOMConfig{Rewrites: 2, Org: HiddenPage}, nil, nil),
+		testConfig(DefaultWOM(), DefaultRefresh(), nil),
+		testConfig(nil, nil, DefaultCache()),
+	} {
+		run := runTrace(t, cfg, recs)
+		if run.ReadLatency.Count != reads {
+			t.Errorf("%s: %d read samples, want %d", cfg.ArchName(), run.ReadLatency.Count, reads)
+		}
+		if run.WriteLatency.Count != writes {
+			t.Errorf("%s: %d write samples, want %d", cfg.ArchName(), run.WriteLatency.Count, writes)
+		}
+		gotReads := run.Classes[stats.ReadArray] + run.Classes[stats.ReadRowHit] + run.Classes[stats.ReadCacheHit]
+		if gotReads != reads {
+			t.Errorf("%s: read class total %d, want %d", cfg.ArchName(), gotReads, reads)
+		}
+		if cfg.Cache != nil {
+			gotWrites := run.Classes[stats.WriteCacheHit] + run.Classes[stats.WriteCacheMiss]
+			if gotWrites != writes {
+				t.Errorf("WCPCM write class total %d, want %d", gotWrites, writes)
+			}
+			// Every demand write programs the cache array once.
+			if arr := run.Classes[stats.WriteFast] + run.Classes[stats.WriteAlpha]; arr != writes {
+				t.Errorf("WCPCM cache array writes %d, want %d", arr, writes)
+			}
+			// Victim write-backs are the only main-memory writes.
+			if run.Classes[stats.WriteBaseline] != run.VictimWrites {
+				t.Errorf("victim writes %d vs main-memory writes %d",
+					run.VictimWrites, run.Classes[stats.WriteBaseline])
+			}
+		} else {
+			gotWrites := run.Classes[stats.WriteBaseline] + run.Classes[stats.WriteFast] + run.Classes[stats.WriteAlpha]
+			if gotWrites != writes {
+				t.Errorf("%s: write class total %d, want %d", cfg.ArchName(), gotWrites, writes)
+			}
+		}
+	}
+}

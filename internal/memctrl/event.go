@@ -1,0 +1,72 @@
+package memctrl
+
+import "container/heap"
+
+// eventKind discriminates scheduled simulator events.
+type eventKind uint8
+
+const (
+	// evComplete: a bank finished servicing its in-flight request.
+	evComplete eventKind = iota
+	// evCacheComplete: a rank's WOM-cache array finished its request.
+	evCacheComplete
+	// evRefreshTick: the periodic PCM-refresh scheduling point.
+	evRefreshTick
+	// evRefreshDone: a rank's burst-mode refresh operation completed.
+	evRefreshDone
+	// evCacheRefreshDone: a rank's WOM-cache refresh completed.
+	evCacheRefreshDone
+)
+
+// event is one scheduled occurrence. seq breaks time ties deterministically
+// in scheduling order.
+type event struct {
+	time Clock
+	seq  uint64
+	kind eventKind
+	rank int
+	bank int
+	// token matches server.token for completion events; a cancellation
+	// bumps the server token, orphaning the in-flight event.
+	token uint64
+}
+
+// eventHeap is a min-heap on (time, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// schedule pushes an event.
+func (c *Controller) schedule(e event) {
+	e.seq = c.seq
+	c.seq++
+	heap.Push(&c.events, e)
+}
+
+// nextEventTime peeks at the earliest scheduled event time.
+func (c *Controller) nextEventTime() (Clock, bool) {
+	if len(c.events) == 0 {
+		return 0, false
+	}
+	return c.events[0].time, true
+}
+
+// popEvent removes and returns the earliest event.
+func (c *Controller) popEvent() event {
+	return heap.Pop(&c.events).(event)
+}

@@ -1,0 +1,134 @@
+package memctrl
+
+// PCM-refresh engine (§3.2). Every RefreshPeriod the controller scans the
+// ranks round-robin, picks the first idle rank meeting the r_th threshold,
+// and issues a burst-mode refresh: each bank with a tracked at-limit row
+// reads it out and rewrites it in the WOM first-write pattern, occupying
+// the rank's banks for t_WR + N_bank·L_burst/2. Demand accesses arriving at
+// a refreshing bank preempt it (write pausing, see preemptRefresh).
+//
+// In WCPCM the refresh targets the per-rank WOM-cache arrays instead — the
+// paper's cache is "wide-column design with PCM-refresh" — and the main
+// memory, being conventional PCM, needs none.
+
+// refreshTick runs one scheduling point and re-arms the next while the
+// simulation still has work.
+func (c *Controller) refreshTick(now Clock) {
+	if c.cfg.Cache != nil {
+		c.cacheRefreshTick(now)
+	} else if c.cfg.Refresh != nil {
+		c.mainRefreshTick(now)
+	}
+	if !(c.arrivalsDone && c.inFlight == 0) {
+		c.schedule(event{time: now + c.cfg.Timing.RefreshPeriod, kind: evRefreshTick})
+	}
+}
+
+// mainRefreshTick refreshes idle eligible ranks, scanning round-robin from
+// the rotating pointer and honoring MaxRanksPerTick (0 = no bound).
+func (c *Controller) mainRefreshTick(now Clock) {
+	ranks := c.cfg.Geometry.Ranks
+	budget := c.cfg.Refresh.MaxRanksPerTick
+	if budget <= 0 || budget > ranks {
+		budget = ranks
+	}
+	issued := 0
+	for i := 0; i < ranks && issued < budget; i++ {
+		r := (c.rrNext + i) % ranks
+		if c.rankEligible(r, now) {
+			c.startRankRefresh(r, now)
+			issued++
+			if issued == budget {
+				c.rrNext = (r + 1) % ranks
+			}
+		}
+	}
+}
+
+// rankEligible implements the idle-rank and r_th checks.
+func (c *Controller) rankEligible(rank int, now Clock) bool {
+	need := thresholdCount(c.cfg.Refresh.ThresholdPct, c.cfg.Geometry.BanksPerRank)
+	candidates := 0
+	for _, s := range c.banks[rank] {
+		if !s.idleAt(now) {
+			return false
+		}
+		if s.wom.hasCandidates() {
+			candidates++
+		}
+	}
+	return candidates >= need
+}
+
+// thresholdCount converts r_th% of banksPerRank into a minimum candidate
+// bank count, at least 1.
+func thresholdCount(pct float64, banksPerRank int) int {
+	need := int(pct * float64(banksPerRank) / 100)
+	if need < 1 {
+		need = 1
+	}
+	return need
+}
+
+// startRankRefresh issues the burst-mode refresh command: every bank of the
+// rank is occupied for t_WR + N_bank·L_burst/2; banks with a tracked
+// at-limit row rewrite it, the others merely participate in the burst.
+// Write pausing can preempt any of them individually.
+func (c *Controller) startRankRefresh(rank int, now Clock) {
+	end := now + c.cfg.Timing.RefreshLatency(c.cfg.Geometry.BanksPerRank)
+	for _, s := range c.banks[rank] {
+		row, ok := s.wom.popCandidate()
+		if !ok {
+			row = -1
+		}
+		s.refreshPending = true
+		s.refreshRow = row
+		s.refreshEnd = end
+		s.busyUntil = end
+	}
+	c.schedule(event{time: end, kind: evRefreshDone, rank: rank})
+}
+
+// refreshDone commits the refreshes that were not preempted.
+func (c *Controller) refreshDone(rank int, now Clock) {
+	for _, s := range c.banks[rank] {
+		if s.refreshPending && s.refreshEnd == now {
+			s.refreshPending = false
+			if s.refreshRow >= 0 {
+				s.wom.commitRefresh(s.refreshRow)
+				c.run.Refreshes++
+			}
+			c.dispatchBank(s, now)
+		}
+	}
+}
+
+// cacheRefreshTick refreshes every idle WOM-cache array with a pending
+// candidate; the threshold concept degenerates to "has at least one
+// candidate" for the single per-rank array.
+func (c *Controller) cacheRefreshTick(now Clock) {
+	for r, ca := range c.caches {
+		if ca.wom == nil {
+			continue // DRAM cache arrays need no PCM-refresh
+		}
+		if ca.idleAt(now) && ca.wom.hasCandidates() {
+			row, _ := ca.wom.popCandidate()
+			ca.refreshPending = true
+			ca.refreshRow = row
+			ca.refreshEnd = now + c.cfg.Timing.RowWrite + c.cfg.Timing.Burst
+			ca.busyUntil = ca.refreshEnd
+			c.schedule(event{time: ca.refreshEnd, kind: evCacheRefreshDone, rank: r})
+		}
+	}
+}
+
+// cacheRefreshDone commits a cache array refresh unless preempted.
+func (c *Controller) cacheRefreshDone(rank int, now Clock) {
+	ca := c.caches[rank]
+	if ca.refreshPending && ca.refreshEnd == now {
+		ca.refreshPending = false
+		ca.wom.commitRefresh(ca.refreshRow)
+		c.run.Refreshes++
+		c.dispatchCache(ca, now)
+	}
+}

@@ -1,0 +1,154 @@
+package memctrl
+
+import (
+	"testing"
+
+	"womcpcm/internal/stats"
+	"womcpcm/internal/trace"
+	"womcpcm/internal/workload"
+)
+
+func schedConfig(sched *SchedConfig) Config {
+	cfg := testConfig(nil, nil, nil)
+	cfg.Sched = sched
+	return cfg
+}
+
+func TestSchedConfigValidation(t *testing.T) {
+	if err := schedConfig(&SchedConfig{ReadPriority: true}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := schedConfig(&SchedConfig{WriteCancellation: true}).Validate(); err == nil {
+		t.Error("cancellation without read priority validated")
+	}
+	if err := schedConfig(&SchedConfig{ReadPriority: true, MaxCancels: -1}).Validate(); err == nil {
+		t.Error("negative cancel bound validated")
+	}
+}
+
+// TestReadPriorityJumpsQueue: a read queued behind a waiting write is
+// served first under read priority.
+func TestReadPriorityJumpsQueue(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 1), Time: 0},  // in service until 197
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 2), Time: 10}, // queued
+		{Op: trace.Read, Addr: addrOf(t, g, 0, 0, 3), Time: 20},  // queued behind it
+	}
+	fifo := runTrace(t, schedConfig(nil), recs)
+	// FIFO: read waits for both writes: 197 + 197 + 47 − 20 = 421.
+	if got := fifo.ReadLatency.Mean(); got != 421 {
+		t.Errorf("FIFO read latency = %v, want 421", got)
+	}
+	prio := runTrace(t, schedConfig(&SchedConfig{ReadPriority: true}), recs)
+	// Read priority: the read runs right after the in-service write:
+	// 197 + 47 − 20 = 224.
+	if got := prio.ReadLatency.Mean(); got != 224 {
+		t.Errorf("read-priority read latency = %v, want 224", got)
+	}
+	// The displaced write finishes last: 197+47+197 − 10 = 431.
+	if got := prio.WriteLatency.Max; got != 431 {
+		t.Errorf("displaced write latency = %v, want 431", got)
+	}
+}
+
+// TestWriteCancellation: an arriving read aborts the in-service write and
+// is served after only the re-arbitration penalty; the write restarts.
+func TestWriteCancellation(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 1), Time: 0},
+		{Op: trace.Read, Addr: addrOf(t, g, 0, 0, 2), Time: 50}, // mid-write
+	}
+	sched := &SchedConfig{ReadPriority: true, WriteCancellation: true}
+	run := runTrace(t, schedConfig(sched), recs)
+	if run.WriteCancels != 1 {
+		t.Fatalf("write cancels = %d, want 1", run.WriteCancels)
+	}
+	// Read: pause 5 ns then activation 47 → latency 52.
+	if got := run.ReadLatency.Mean(); got != 52 {
+		t.Errorf("read latency = %v, want 52", got)
+	}
+	// Write: restarts at 102 — row 1 is no longer open (the read activated
+	// row 2), so it re-activates: 102 + 197 − 0 = 299.
+	if got := run.WriteLatency.Mean(); got != 299 {
+		t.Errorf("cancelled write latency = %v, want 299", got)
+	}
+	// Exactly one baseline write committed (no double budget/class count).
+	if run.Classes[stats.WriteBaseline] != 1 {
+		t.Errorf("write class count = %d, want 1", run.Classes[stats.WriteBaseline])
+	}
+}
+
+// TestWriteCancellationBudgetIntegrity: a cancelled WOM write must not
+// consume the row's rewrite budget; only the completed write commits.
+func TestWriteCancellationBudgetIntegrity(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 1), Time: 0},
+		{Op: trace.Read, Addr: addrOf(t, g, 0, 0, 2), Time: 50}, // cancels it
+		{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 1), Time: 5000},
+	}
+	cfg := testConfig(freshWOM(), nil, nil)
+	cfg.Sched = &SchedConfig{ReadPriority: true, WriteCancellation: true}
+	run := runTrace(t, cfg, recs)
+	if run.WriteCancels != 1 {
+		t.Fatalf("write cancels = %d, want 1", run.WriteCancels)
+	}
+	// Both writes are in budget: the first consumed one write (gen 1) when
+	// it finally completed, the second consumes the other (gen 2). Had the
+	// cancelled attempt also committed, the second write would be an α.
+	if run.Classes[stats.WriteFast] != 2 || run.Classes[stats.WriteAlpha] != 0 {
+		t.Errorf("classes fast=%d α=%d, want 2/0",
+			run.Classes[stats.WriteFast], run.Classes[stats.WriteAlpha])
+	}
+}
+
+// TestWriteCancellationBounded: a write is cancelled at most MaxCancels
+// times, then runs to completion even under a read storm.
+func TestWriteCancellationBounded(t *testing.T) {
+	g := testGeometry()
+	recs := []trace.Record{{Op: trace.Write, Addr: addrOf(t, g, 0, 0, 1), Time: 0}}
+	for i := 0; i < 10; i++ {
+		recs = append(recs, trace.Record{
+			Op: trace.Read, Addr: addrOf(t, g, 0, 0, 2), Time: int64(40 + i*60)})
+	}
+	cfg := schedConfig(&SchedConfig{ReadPriority: true, WriteCancellation: true, MaxCancels: 2})
+	run := runTrace(t, cfg, recs)
+	if run.WriteCancels != 2 {
+		t.Errorf("write cancels = %d, want 2 (bounded)", run.WriteCancels)
+	}
+	if run.WriteLatency.Count != 1 || run.Classes[stats.WriteBaseline] != 1 {
+		t.Error("write did not complete exactly once")
+	}
+}
+
+// TestSchedulingIsNotEnough reproduces the paper's §1 argument: write
+// scheduling improves read latency but leaves write latency essentially
+// untouched, whereas the WOM-code attacks the writes themselves.
+func TestSchedulingIsNotEnough(t *testing.T) {
+	p, err := workload.ProfileByName("464.h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := workload.Generate(p, testGeometry(), 13, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runTrace(t, schedConfig(nil), recs)
+	sched := runTrace(t, schedConfig(&SchedConfig{ReadPriority: true, WriteCancellation: true}), recs)
+	wom := runTrace(t, testConfig(freshWOM(), nil, nil), recs)
+
+	if sched.ReadLatency.Mean() >= base.ReadLatency.Mean() {
+		t.Errorf("scheduling did not improve reads: %.1f vs %.1f",
+			sched.ReadLatency.Mean(), base.ReadLatency.Mean())
+	}
+	if sched.WriteLatency.Mean() < base.WriteLatency.Mean() {
+		t.Errorf("scheduling improved writes (%.1f vs %.1f)? it only defers them",
+			sched.WriteLatency.Mean(), base.WriteLatency.Mean())
+	}
+	if wom.WriteLatency.Mean() >= sched.WriteLatency.Mean() {
+		t.Errorf("WOM-code writes %.1f not below scheduled writes %.1f",
+			wom.WriteLatency.Mean(), sched.WriteLatency.Mean())
+	}
+}

@@ -1,0 +1,172 @@
+package memctrl
+
+import "testing"
+
+// TestWOMStateLifecycle walks one row through the k=2 cycle of §3.1/3.2:
+// two fast writes, then the α-write, then alternation.
+func TestWOMStateLifecycle(t *testing.T) {
+	w := newWOMState(2, 5, false)
+	if w.atLimit(7) {
+		t.Fatal("fresh row at limit")
+	}
+	if !w.write(7) { // gen 0 → 1
+		t.Fatal("first write not fast")
+	}
+	if !w.write(7) { // gen 1 → 2 (limit)
+		t.Fatal("second write not fast")
+	}
+	if !w.atLimit(7) || !w.hasCandidates() {
+		t.Fatal("row not tracked at limit after k writes")
+	}
+	if w.write(7) { // α-write
+		t.Fatal("write at limit should be α")
+	}
+	if w.atLimit(7) || w.hasCandidates() {
+		t.Fatal("α-write should leave gen=1 and clear the table entry")
+	}
+	if !w.write(7) { // gen 1 → 2
+		t.Fatal("post-α write not fast")
+	}
+	if !w.atLimit(7) {
+		t.Fatal("row should be back at limit")
+	}
+}
+
+// TestWOMStateRefreshCycle: a committed refresh buys exactly one more fast
+// write for k=2.
+func TestWOMStateRefreshCycle(t *testing.T) {
+	w := newWOMState(2, 5, false)
+	w.write(3)
+	w.write(3)
+	row, ok := w.popCandidate()
+	if !ok || row != 3 {
+		t.Fatalf("popCandidate = (%d, %v)", row, ok)
+	}
+	if w.hasCandidates() {
+		t.Fatal("table should be empty after pop")
+	}
+	w.commitRefresh(3)
+	if w.atLimit(3) {
+		t.Fatal("refreshed row still at limit")
+	}
+	if !w.write(3) {
+		t.Fatal("write after refresh not fast")
+	}
+	if !w.atLimit(3) {
+		t.Fatal("row should hit limit again after one write")
+	}
+}
+
+// TestWOMStateAbort: a preempted refresh returns the row to the table.
+func TestWOMStateAbort(t *testing.T) {
+	w := newWOMState(2, 5, false)
+	w.write(3)
+	w.write(3)
+	row, _ := w.popCandidate()
+	w.abortRefresh(row)
+	if !w.hasCandidates() {
+		t.Fatal("aborted refresh lost the row")
+	}
+	got, _ := w.popCandidate()
+	if got != 3 {
+		t.Fatalf("re-pushed row = %d", got)
+	}
+}
+
+// TestWOMStateTableEviction: only the most recent tableSize at-limit rows
+// are tracked (the paper's 5-entry row address buffer).
+func TestWOMStateTableEviction(t *testing.T) {
+	w := newWOMState(1, 3, false)
+	for row := 0; row < 5; row++ {
+		w.write(row) // k=1: every first write hits the limit
+	}
+	if len(w.table) != 3 {
+		t.Fatalf("table holds %d rows, want 3", len(w.table))
+	}
+	// Oldest rows 0 and 1 must have been evicted.
+	for _, want := range []int{2, 3, 4} {
+		got, ok := w.popCandidate()
+		if !ok || got != want {
+			t.Fatalf("popCandidate = (%d,%v), want %d", got, ok, want)
+		}
+	}
+	// Evicted rows are still at limit — they will α-write.
+	if !w.atLimit(0) {
+		t.Fatal("evicted row lost its limit state")
+	}
+}
+
+// TestWOMStateNoDuplicates: re-reaching the limit does not duplicate a
+// table entry.
+func TestWOMStateNoDuplicates(t *testing.T) {
+	w := newWOMState(1, 3, false)
+	w.write(9)
+	w.pushLimit(9)
+	if len(w.table) != 1 {
+		t.Fatalf("table = %v, want single entry", w.table)
+	}
+}
+
+// TestWOMStateK1: the degenerate one-write code — every demand write is an
+// α unless a refresh intervenes.
+func TestWOMStateK1(t *testing.T) {
+	w := newWOMState(1, 2, false)
+	if !w.write(4) { // gen 0 → 1: the one budgeted write
+		t.Fatal("first write with k=1 should be fast")
+	}
+	if w.write(4) {
+		t.Fatal("second write with k=1 should be α")
+	}
+	// After the α the row is at limit again immediately.
+	if !w.atLimit(4) {
+		t.Fatal("k=1 row should re-enter the limit after α")
+	}
+	w2 := newWOMState(1, 2, false)
+	w2.write(5)
+	row, _ := w2.popCandidate()
+	w2.commitRefresh(row)
+	if !w2.atLimit(5) || !w2.hasCandidates() {
+		t.Fatal("k=1 refresh should re-track the row")
+	}
+}
+
+func TestThresholdCount(t *testing.T) {
+	tests := []struct {
+		pct   float64
+		banks int
+		want  int
+	}{
+		{0, 32, 1},
+		{10, 32, 3},
+		{50, 32, 16},
+		{100, 32, 32},
+		{10, 4, 1},
+	}
+	for _, tt := range tests {
+		if got := thresholdCount(tt.pct, tt.banks); got != tt.want {
+			t.Errorf("thresholdCount(%v, %d) = %d, want %d", tt.pct, tt.banks, got, tt.want)
+		}
+	}
+}
+
+// TestWOMStateDirtyStart: under the long-running-system assumption, an
+// unseen row is at the rewrite limit — its first write is an α — and the
+// normal cycle resumes afterwards.
+func TestWOMStateDirtyStart(t *testing.T) {
+	w := newWOMState(2, 5, true)
+	if !w.atLimit(11) {
+		t.Fatal("unseen dirty row not at limit")
+	}
+	if w.hasCandidates() {
+		t.Fatal("unseen rows must not appear in the refresh table")
+	}
+	if w.write(11) {
+		t.Fatal("first write to a dirty row should be α")
+	}
+	if !w.write(11) { // gen 1 → 2
+		t.Fatal("second write should be fast")
+	}
+	if !w.atLimit(11) || !w.hasCandidates() {
+		t.Fatal("row should now be tracked at limit")
+	}
+}

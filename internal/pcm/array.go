@@ -1,0 +1,167 @@
+package pcm
+
+import (
+	"errors"
+	"fmt"
+
+	"womcpcm/internal/bitvec"
+)
+
+// ErrSetRequired is returned by a RESET-only program whose target pattern
+// would need at least one 0→1 (SET) cell transition.
+var ErrSetRequired = errors.New("pcm: write requires SET transitions")
+
+// WriteMode selects the programming pulses a row write may use.
+type WriteMode int
+
+const (
+	// ResetOnly permits only 1→0 transitions — the fast path WOM-code
+	// rewrites must take. Programming fails with ErrSetRequired otherwise.
+	ResetOnly WriteMode = iota
+	// FullWrite permits both SET and RESET transitions — the conventional
+	// PCM write and the WOM-code α-write.
+	FullWrite
+)
+
+func (m WriteMode) String() string {
+	switch m {
+	case ResetOnly:
+		return "reset-only"
+	case FullWrite:
+		return "full-write"
+	default:
+		return fmt.Sprintf("WriteMode(%d)", int(m))
+	}
+}
+
+// Array is a functional model of one PCM bank's cell array: rows of
+// rowBits cells, lazily materialized, storing actual bit patterns. It is
+// the correctness counterpart of the timing simulator: the architecture
+// layer programs encoded rows through it and the array verifies that each
+// write respects its declared mode.
+//
+// Rows not yet touched read back in the erased state. For the inverted
+// WOM-code architectures the erased state is all ones (every cell SET,
+// pre-conditioned at manufacture or by PCM-refresh); conventional arrays
+// erase to zero.
+type Array struct {
+	rowBits   int
+	rows      int
+	erasedOne bool
+	data      map[int][]byte
+	writes    map[int]uint64 // per-row lifetime program count (endurance)
+	setOps    uint64         // lifetime SET cell transitions
+	resetOps  uint64         // lifetime RESET cell transitions
+}
+
+// NewArray returns an array of rows rows × rowBits cells. erasedOne selects
+// the erased cell value (true for inverted WOM-code arrays).
+func NewArray(rows, rowBits int, erasedOne bool) (*Array, error) {
+	if rows <= 0 || rowBits <= 0 {
+		return nil, fmt.Errorf("pcm: array needs positive dimensions, got %d×%d", rows, rowBits)
+	}
+	return &Array{
+		rowBits:   rowBits,
+		rows:      rows,
+		erasedOne: erasedOne,
+		data:      make(map[int][]byte),
+		writes:    make(map[int]uint64),
+	}, nil
+}
+
+// RowBits returns the row width in cells.
+func (a *Array) RowBits() int { return a.rowBits }
+
+// Rows returns the number of rows.
+func (a *Array) Rows() int { return a.rows }
+
+func (a *Array) checkRow(row int) error {
+	if row < 0 || row >= a.rows {
+		return fmt.Errorf("pcm: row %d out of range [0,%d)", row, a.rows)
+	}
+	return nil
+}
+
+func (a *Array) erasedRow() []byte {
+	if a.erasedOne {
+		return bitvec.NewFilled(a.rowBits)
+	}
+	return bitvec.New(a.rowBits)
+}
+
+// ReadRow returns a copy of the row's cell contents.
+func (a *Array) ReadRow(row int) ([]byte, error) {
+	if err := a.checkRow(row); err != nil {
+		return nil, err
+	}
+	if r, ok := a.data[row]; ok {
+		return bitvec.Clone(r), nil
+	}
+	return a.erasedRow(), nil
+}
+
+// ProgramRow writes pattern into the row under the given mode. In ResetOnly
+// mode the write fails — leaving the row unchanged — if any cell would have
+// to transition 0→1. The returned counts report the cell transitions
+// actually performed.
+func (a *Array) ProgramRow(row int, pattern []byte, mode WriteMode) (sets, resets int, err error) {
+	if err := a.checkRow(row); err != nil {
+		return 0, 0, err
+	}
+	if len(pattern)*8 < a.rowBits {
+		return 0, 0, fmt.Errorf("pcm: pattern holds %d bits, row needs %d", len(pattern)*8, a.rowBits)
+	}
+	cur, ok := a.data[row]
+	if !ok {
+		cur = a.erasedRow()
+	}
+	sets, resets = bitvec.TransitionCounts(cur, pattern, a.rowBits)
+	if mode == ResetOnly && sets > 0 {
+		return 0, 0, fmt.Errorf("%w: %d cells would SET in row %d", ErrSetRequired, sets, row)
+	}
+	stored := bitvec.Clone(pattern[:(a.rowBits+7)/8])
+	bitvec.TrimPadding(stored, a.rowBits)
+	a.data[row] = stored
+	a.writes[row]++
+	a.setOps += uint64(sets)
+	a.resetOps += uint64(resets)
+	return sets, resets, nil
+}
+
+// EraseRow restores the row to the erased state (a SET-heavy operation for
+// inverted arrays; PCM-refresh pays this cost in idle cycles).
+func (a *Array) EraseRow(row int) (sets, resets int, err error) {
+	if err := a.checkRow(row); err != nil {
+		return 0, 0, err
+	}
+	return a.ProgramRow(row, a.erasedRow(), FullWrite)
+}
+
+// RowWrites returns the lifetime program count of a row — the endurance
+// counter the paper defers to future work.
+func (a *Array) RowWrites(row int) uint64 { return a.writes[row] }
+
+// Wear summarizes endurance across the array.
+type Wear struct {
+	// TouchedRows is the number of rows ever programmed.
+	TouchedRows int
+	// TotalWrites is the total number of row program operations.
+	TotalWrites uint64
+	// MaxRowWrites is the hottest row's program count.
+	MaxRowWrites uint64
+	// SetOps and ResetOps count lifetime cell transitions; SET transitions
+	// dominate energy and wear.
+	SetOps, ResetOps uint64
+}
+
+// WearStats aggregates the endurance counters.
+func (a *Array) WearStats() Wear {
+	w := Wear{TouchedRows: len(a.writes), SetOps: a.setOps, ResetOps: a.resetOps}
+	for _, n := range a.writes {
+		w.TotalWrites += n
+		if n > w.MaxRowWrites {
+			w.MaxRowWrites = n
+		}
+	}
+	return w
+}

@@ -1,0 +1,195 @@
+package pcm
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"womcpcm/internal/bitvec"
+)
+
+func newTestArray(t *testing.T, rows, rowBits int, erasedOne bool) *Array {
+	t.Helper()
+	a, err := NewArray(rows, rowBits, erasedOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestArrayErasedState(t *testing.T) {
+	inv := newTestArray(t, 4, 12, true)
+	row, err := inv.ReadRow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitvec.OnesCount(row, 12) != 12 {
+		t.Errorf("inverted array erases to %x, want all ones", row)
+	}
+	conv := newTestArray(t, 4, 12, false)
+	row, _ = conv.ReadRow(0)
+	if bitvec.OnesCount(row, 12) != 0 {
+		t.Errorf("conventional array erases to %x, want all zeros", row)
+	}
+}
+
+func TestArrayBounds(t *testing.T) {
+	a := newTestArray(t, 2, 8, true)
+	if _, err := a.ReadRow(2); err == nil {
+		t.Error("read past last row")
+	}
+	if _, err := a.ReadRow(-1); err == nil {
+		t.Error("read negative row")
+	}
+	if _, _, err := a.ProgramRow(5, []byte{0}, FullWrite); err == nil {
+		t.Error("programmed past last row")
+	}
+	if _, _, err := a.ProgramRow(0, []byte{}, FullWrite); err == nil {
+		t.Error("programmed short pattern")
+	}
+	if _, err := NewArray(0, 8, true); err == nil {
+		t.Error("accepted zero rows")
+	}
+	if _, err := NewArray(8, 0, true); err == nil {
+		t.Error("accepted zero width")
+	}
+}
+
+// TestArrayResetOnlyEnforcement: the physics guard at the heart of the
+// WOM-code architecture. From erased (all ones), clearing bits is fine in
+// ResetOnly mode; restoring a cleared bit is not.
+func TestArrayResetOnlyEnforcement(t *testing.T) {
+	a := newTestArray(t, 2, 8, true)
+	sets, resets, err := a.ProgramRow(0, []byte{0b1010_1010}, ResetOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets != 0 || resets != 4 {
+		t.Errorf("transitions = (%d, %d), want (0, 4)", sets, resets)
+	}
+	// Setting a cleared cell must fail and leave the row unchanged.
+	if _, _, err := a.ProgramRow(0, []byte{0b1010_1011}, ResetOnly); !errors.Is(err, ErrSetRequired) {
+		t.Fatalf("ResetOnly SET attempt: err = %v, want ErrSetRequired", err)
+	}
+	row, _ := a.ReadRow(0)
+	if row[0] != 0b1010_1010 {
+		t.Errorf("failed write mutated row: %08b", row[0])
+	}
+	// FullWrite succeeds.
+	sets, resets, err = a.ProgramRow(0, []byte{0b1010_1011}, FullWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets != 1 || resets != 0 {
+		t.Errorf("full write transitions = (%d, %d), want (1, 0)", sets, resets)
+	}
+}
+
+func TestArrayReadIsCopy(t *testing.T) {
+	a := newTestArray(t, 1, 8, false)
+	if _, _, err := a.ProgramRow(0, []byte{0x0f}, FullWrite); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := a.ReadRow(0)
+	row[0] = 0xff
+	again, _ := a.ReadRow(0)
+	if again[0] != 0x0f {
+		t.Error("ReadRow aliases internal storage")
+	}
+}
+
+func TestArrayEraseRow(t *testing.T) {
+	a := newTestArray(t, 1, 8, true)
+	if _, _, err := a.ProgramRow(0, []byte{0x00}, ResetOnly); err != nil {
+		t.Fatal(err)
+	}
+	sets, resets, err := a.EraseRow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets != 8 || resets != 0 {
+		t.Errorf("erase transitions = (%d, %d), want (8, 0)", sets, resets)
+	}
+	row, _ := a.ReadRow(0)
+	if row[0] != 0xff {
+		t.Errorf("row after erase = %08b", row[0])
+	}
+	if _, _, err := a.EraseRow(9); err == nil {
+		t.Error("erased out-of-range row")
+	}
+}
+
+func TestArrayPaddingTrimmed(t *testing.T) {
+	a := newTestArray(t, 1, 5, false)
+	if _, _, err := a.ProgramRow(0, []byte{0xff}, FullWrite); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := a.ReadRow(0)
+	if !bytes.Equal(row, []byte{0x1f}) {
+		t.Errorf("stored row = %08b, want 00011111 (padding trimmed)", row[0])
+	}
+}
+
+func TestArrayWearStats(t *testing.T) {
+	a := newTestArray(t, 8, 8, true)
+	for i := 0; i < 5; i++ {
+		if _, _, err := a.ProgramRow(3, []byte{byte(0xff >> uint(i+1))}, FullWrite); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := a.ProgramRow(1, []byte{0x00}, FullWrite); err != nil {
+		t.Fatal(err)
+	}
+	// One SET-heavy write so both transition counters move.
+	if _, _, err := a.ProgramRow(1, []byte{0x0f}, FullWrite); err != nil {
+		t.Fatal(err)
+	}
+	w := a.WearStats()
+	if w.TouchedRows != 2 {
+		t.Errorf("touched rows = %d, want 2", w.TouchedRows)
+	}
+	if w.TotalWrites != 7 {
+		t.Errorf("total writes = %d, want 7", w.TotalWrites)
+	}
+	if w.MaxRowWrites != 5 {
+		t.Errorf("max row writes = %d, want 5", w.MaxRowWrites)
+	}
+	if a.RowWrites(3) != 5 || a.RowWrites(0) != 0 {
+		t.Error("per-row counters wrong")
+	}
+	if w.ResetOps == 0 || w.SetOps == 0 {
+		t.Errorf("transition counters = %+v, want both nonzero", w)
+	}
+}
+
+// TestArrayRandomizedMonotoneSequence drives a row through a random
+// RESET-only descent and checks counts stay consistent with the stored
+// pattern at each step.
+func TestArrayRandomizedMonotoneSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := newTestArray(t, 1, 64, true)
+	cur := bitvec.NewFilled(64)
+	for step := 0; step < 20; step++ {
+		next := bitvec.Clone(cur)
+		// Clear a random subset of the still-set bits.
+		for i := 0; i < 64; i++ {
+			if bitvec.Get(next, i) && rng.Intn(4) == 0 {
+				bitvec.Set(next, i, false)
+			}
+		}
+		wantResets := bitvec.OnesCount(cur, 64) - bitvec.OnesCount(next, 64)
+		sets, resets, err := a.ProgramRow(0, next, ResetOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sets != 0 || resets != wantResets {
+			t.Fatalf("step %d: transitions (%d,%d), want (0,%d)", step, sets, resets, wantResets)
+		}
+		got, _ := a.ReadRow(0)
+		if !bitvec.Equal(got, next, 64) {
+			t.Fatalf("step %d: stored pattern mismatch", step)
+		}
+		cur = next
+	}
+}

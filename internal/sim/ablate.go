@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"womcpcm/internal/core"
+	"womcpcm/internal/memctrl"
+	"womcpcm/internal/stats"
+)
+
+// RthSweepResult measures the PCM-refresh threshold r_th (§3.2): low
+// thresholds refresh aggressively, higher thresholds wait for enough
+// at-limit banks to batch the burst-mode refresh.
+type RthSweepResult struct {
+	Thresholds []float64
+	// NormWrite is the across-benchmark mean normalized write latency of
+	// PCM-refresh at each threshold (versus conventional PCM).
+	NormWrite []float64
+	// Refreshes and Aborts are totals across benchmarks.
+	Refreshes []uint64
+	Aborts    []uint64
+}
+
+// RthSweep runs PCM-refresh at each threshold.
+func RthSweep(cfg ExpConfig, thresholds []float64) (*RthSweepResult, error) {
+	cfg = cfg.normalize()
+	res := &RthSweepResult{
+		Thresholds: append([]float64(nil), thresholds...),
+		NormWrite:  make([]float64, len(thresholds)),
+		Refreshes:  make([]uint64, len(thresholds)),
+		Aborts:     make([]uint64, len(thresholds)),
+	}
+	baseMeans := make([]float64, len(cfg.Profiles))
+	if err := parMap(len(cfg.Profiles), cfg.Parallelism, func(p int) error {
+		run, err := cfg.runArch(core.Baseline, cfg.Profiles[p], cfg.Geometry)
+		if err != nil {
+			return err
+		}
+		baseMeans[p] = run.WriteLatency.Mean()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	type job struct{ prof, th int }
+	var jobs []job
+	for p := range cfg.Profiles {
+		for t := range thresholds {
+			jobs = append(jobs, job{p, t})
+		}
+	}
+	type cell struct {
+		norm              float64
+		refreshes, aborts uint64
+	}
+	cells := make([][]cell, len(cfg.Profiles))
+	for p := range cells {
+		cells[p] = make([]cell, len(thresholds))
+	}
+	if err := parMap(len(jobs), cfg.Parallelism, func(i int) error {
+		j := jobs[i]
+		mc := memctrl.Config{
+			Geometry: cfg.Geometry,
+			Timing:   cfg.Timing,
+			WOM:      memctrl.DefaultWOM(),
+			Refresh:  &memctrl.RefreshConfig{ThresholdPct: thresholds[j.th], TableSize: 5},
+		}
+		run, err := cfg.runConfig(mc, cfg.Profiles[j.prof])
+		if err != nil {
+			return err
+		}
+		cells[j.prof][j.th] = cell{
+			norm:      run.WriteLatency.Mean() / baseMeans[j.prof],
+			refreshes: run.Refreshes,
+			aborts:    run.RefreshAborts,
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for t := range thresholds {
+		for p := range cfg.Profiles {
+			res.NormWrite[t] += cells[p][t].norm / float64(len(cfg.Profiles))
+			res.Refreshes[t] += cells[p][t].refreshes
+			res.Aborts[t] += cells[p][t].aborts
+		}
+	}
+	return res, nil
+}
+
+// OrgAblationResult compares the §3.1 memory organizations.
+type OrgAblationResult struct {
+	// WideWrite/HiddenWrite (and reads) are across-benchmark mean
+	// normalized latencies versus conventional PCM.
+	WideWrite, HiddenWrite float64
+	WideRead, HiddenRead   float64
+}
+
+// OrgAblation runs WOM-code PCM in both organizations.
+func OrgAblation(cfg ExpConfig) (*OrgAblationResult, error) {
+	cfg = cfg.normalize()
+	res := &OrgAblationResult{}
+	type triple struct{ base, wide, hidden *stats.Run }
+	rows := make([]triple, len(cfg.Profiles))
+	orgCfg := func(org memctrl.Organization) memctrl.Config {
+		return memctrl.Config{
+			Geometry: cfg.Geometry,
+			Timing:   cfg.Timing,
+			WOM:      &memctrl.WOMConfig{Rewrites: 2, Org: org},
+		}
+	}
+	if err := parMap(len(cfg.Profiles), cfg.Parallelism, func(p int) error {
+		base, err := cfg.runArch(core.Baseline, cfg.Profiles[p], cfg.Geometry)
+		if err != nil {
+			return err
+		}
+		wide, err := cfg.runConfig(orgCfg(memctrl.WideColumn), cfg.Profiles[p])
+		if err != nil {
+			return err
+		}
+		hidden, err := cfg.runConfig(orgCfg(memctrl.HiddenPage), cfg.Profiles[p])
+		if err != nil {
+			return err
+		}
+		rows[p] = triple{base, wide, hidden}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	n := float64(len(cfg.Profiles))
+	for _, r := range rows {
+		ww, wr := r.wide.Normalized(r.base)
+		hw, hr := r.hidden.Normalized(r.base)
+		res.WideWrite += ww / n
+		res.WideRead += wr / n
+		res.HiddenWrite += hw / n
+		res.HiddenRead += hr / n
+	}
+	return res, nil
+}
+
+// PausingAblationResult compares PCM-refresh with and without write
+// pausing (§3.2 combines them; this quantifies the combination).
+type PausingAblationResult struct {
+	// WithWrite/WithoutWrite are mean normalized write latencies; Aborts
+	// counts preemptions in the with-pausing runs.
+	WithWrite, WithoutWrite float64
+	WithRead, WithoutRead   float64
+	Aborts                  uint64
+}
+
+// PausingAblation runs PCM-refresh with pausing on and off.
+func PausingAblation(cfg ExpConfig) (*PausingAblationResult, error) {
+	cfg = cfg.normalize()
+	res := &PausingAblationResult{}
+	refreshCfg := func(noPausing bool) memctrl.Config {
+		return memctrl.Config{
+			Geometry: cfg.Geometry,
+			Timing:   cfg.Timing,
+			WOM:      memctrl.DefaultWOM(),
+			Refresh:  &memctrl.RefreshConfig{ThresholdPct: 10, TableSize: 5, NoPausing: noPausing},
+		}
+	}
+	type triple struct{ base, with, without *stats.Run }
+	rows := make([]triple, len(cfg.Profiles))
+	if err := parMap(len(cfg.Profiles), cfg.Parallelism, func(p int) error {
+		base, err := cfg.runArch(core.Baseline, cfg.Profiles[p], cfg.Geometry)
+		if err != nil {
+			return err
+		}
+		with, err := cfg.runConfig(refreshCfg(false), cfg.Profiles[p])
+		if err != nil {
+			return err
+		}
+		without, err := cfg.runConfig(refreshCfg(true), cfg.Profiles[p])
+		if err != nil {
+			return err
+		}
+		rows[p] = triple{base, with, without}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	n := float64(len(cfg.Profiles))
+	for _, r := range rows {
+		ww, wr := r.with.Normalized(r.base)
+		ow, or := r.without.Normalized(r.base)
+		res.WithWrite += ww / n
+		res.WithRead += wr / n
+		res.WithoutWrite += ow / n
+		res.WithoutRead += or / n
+		res.Aborts += r.with.RefreshAborts
+	}
+	return res, nil
+}
+
+// CodeAblationResult sweeps the rewrite budget k (§3.2: higher k lifts the
+// (k−1+S)/(kS) bound at higher memory overhead).
+type CodeAblationResult struct {
+	Rewrites []int
+	// NormWrite is the mean normalized write latency of WOM-code PCM (no
+	// refresh) at each k; Bound is the corresponding analytic limit.
+	NormWrite []float64
+	Bound     []float64
+}
+
+// CodeAblation runs WOM-code PCM at each rewrite budget.
+func CodeAblation(cfg ExpConfig, rewrites []int) (*CodeAblationResult, error) {
+	cfg = cfg.normalize()
+	model := struct{ s float64 }{float64(cfg.Timing.Set) / float64(cfg.Timing.Reset)}
+	res := &CodeAblationResult{
+		Rewrites:  append([]int(nil), rewrites...),
+		NormWrite: make([]float64, len(rewrites)),
+		Bound:     make([]float64, len(rewrites)),
+	}
+	for i, k := range rewrites {
+		res.Bound[i] = (float64(k) - 1 + model.s) / (float64(k) * model.s)
+	}
+	baseMeans := make([]float64, len(cfg.Profiles))
+	if err := parMap(len(cfg.Profiles), cfg.Parallelism, func(p int) error {
+		run, err := cfg.runArch(core.Baseline, cfg.Profiles[p], cfg.Geometry)
+		if err != nil {
+			return err
+		}
+		baseMeans[p] = run.WriteLatency.Mean()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	type job struct{ prof, k int }
+	var jobs []job
+	for p := range cfg.Profiles {
+		for k := range rewrites {
+			jobs = append(jobs, job{p, k})
+		}
+	}
+	norms := make([][]float64, len(cfg.Profiles))
+	for p := range norms {
+		norms[p] = make([]float64, len(rewrites))
+	}
+	if err := parMap(len(jobs), cfg.Parallelism, func(i int) error {
+		j := jobs[i]
+		mc := memctrl.Config{
+			Geometry: cfg.Geometry,
+			Timing:   cfg.Timing,
+			WOM:      &memctrl.WOMConfig{Rewrites: rewrites[j.k]},
+		}
+		run, err := cfg.runConfig(mc, cfg.Profiles[j.prof])
+		if err != nil {
+			return err
+		}
+		norms[j.prof][j.k] = run.WriteLatency.Mean() / baseMeans[j.prof]
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for k := range rewrites {
+		for p := range cfg.Profiles {
+			res.NormWrite[k] += norms[p][k] / float64(len(cfg.Profiles))
+		}
+	}
+	return res, nil
+}

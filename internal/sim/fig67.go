@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"sync"
+
+	"womcpcm/internal/core"
+	"womcpcm/internal/workload"
+)
+
+// Fig6BankCounts are the four organizations the paper sweeps.
+var Fig6BankCounts = []int{4, 8, 16, 32}
+
+// Fig6Row is one benchmark's WOM-cache hit rate per banks/rank setting.
+type Fig6Row struct {
+	Benchmark string
+	Suite     workload.Suite
+	HitRate   []float64 // parallel to the result's BanksPerRank
+}
+
+// Fig6Result regenerates Fig. 6: hit rate falls as banks/rank (and with it
+// the number of bank tags competing for each cache row) grows.
+type Fig6Result struct {
+	BanksPerRank []int
+	Rows         []Fig6Row
+	Mean         []float64
+}
+
+// Fig7Row is one benchmark's WCPCM write latency per banks/rank setting,
+// normalized to the 4-banks/rank organization.
+type Fig7Row struct {
+	Benchmark string
+	Suite     workload.Suite
+	NormWrite []float64
+}
+
+// Fig7Result regenerates Fig. 7: write latency falls as banks/rank grows
+// (more parallelism for victim write-backs and main-memory traffic).
+type Fig7Result struct {
+	BanksPerRank []int
+	Rows         []Fig7Row
+	Mean         []float64
+}
+
+// bankSweep runs WCPCM across the Fig6BankCounts organizations and hands
+// each (profile, bankIdx) run to collect.
+func bankSweep(cfg ExpConfig, collect func(prof, bankIdx int, hitRate, writeMean float64)) error {
+	cfg = cfg.normalize()
+	type job struct{ prof, bank int }
+	var jobs []job
+	for p := range cfg.Profiles {
+		for b := range Fig6BankCounts {
+			jobs = append(jobs, job{p, b})
+		}
+	}
+	var mu lockedCollect
+	mu.f = collect
+	return parMap(len(jobs), cfg.Parallelism, func(i int) error {
+		j := jobs[i]
+		g := cfg.Geometry
+		g.BanksPerRank = Fig6BankCounts[j.bank]
+		run, err := cfg.runArch(core.WCPCM, cfg.Profiles[j.prof], g)
+		if err != nil {
+			return err
+		}
+		mu.call(j.prof, j.bank, run.CacheHitRate(), run.WriteLatency.Mean())
+		return nil
+	})
+}
+
+// lockedCollect serializes collect callbacks from parallel workers.
+type lockedCollect struct {
+	mu sync.Mutex
+	f  func(prof, bankIdx int, hitRate, writeMean float64)
+}
+
+func (l *lockedCollect) call(prof, bankIdx int, hitRate, writeMean float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.f(prof, bankIdx, hitRate, writeMean)
+}
+
+// Fig6 measures the WOM-cache hit rate per organization.
+func Fig6(cfg ExpConfig) (*Fig6Result, error) {
+	cfg = cfg.normalize()
+	res := &Fig6Result{
+		BanksPerRank: append([]int(nil), Fig6BankCounts...),
+		Rows:         make([]Fig6Row, len(cfg.Profiles)),
+		Mean:         make([]float64, len(Fig6BankCounts)),
+	}
+	for p, prof := range cfg.Profiles {
+		res.Rows[p] = Fig6Row{
+			Benchmark: prof.Name,
+			Suite:     prof.Suite,
+			HitRate:   make([]float64, len(Fig6BankCounts)),
+		}
+	}
+	err := bankSweep(cfg, func(prof, bankIdx int, hitRate, _ float64) {
+		res.Rows[prof].HitRate[bankIdx] = hitRate
+	})
+	if err != nil {
+		return nil, err
+	}
+	for b := range Fig6BankCounts {
+		for p := range res.Rows {
+			res.Mean[b] += res.Rows[p].HitRate[b] / float64(len(res.Rows))
+		}
+	}
+	return res, nil
+}
+
+// Fig7 measures WCPCM write latency per organization, normalized to the
+// 4-banks/rank configuration.
+func Fig7(cfg ExpConfig) (*Fig7Result, error) {
+	cfg = cfg.normalize()
+	raw := make([][]float64, len(cfg.Profiles))
+	for p := range raw {
+		raw[p] = make([]float64, len(Fig6BankCounts))
+	}
+	err := bankSweep(cfg, func(prof, bankIdx int, _, writeMean float64) {
+		raw[prof][bankIdx] = writeMean
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{
+		BanksPerRank: append([]int(nil), Fig6BankCounts...),
+		Rows:         make([]Fig7Row, len(cfg.Profiles)),
+		Mean:         make([]float64, len(Fig6BankCounts)),
+	}
+	for p, prof := range cfg.Profiles {
+		row := Fig7Row{Benchmark: prof.Name, Suite: prof.Suite, NormWrite: make([]float64, len(Fig6BankCounts))}
+		for b := range Fig6BankCounts {
+			if raw[p][0] > 0 {
+				row.NormWrite[b] = raw[p][b] / raw[p][0]
+			}
+			res.Mean[b] += row.NormWrite[b] / float64(len(cfg.Profiles))
+		}
+		res.Rows[p] = row
+	}
+	return res, nil
+}

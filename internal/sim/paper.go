@@ -1,0 +1,33 @@
+package sim
+
+import "womcpcm/internal/core"
+
+// The paper's reported results (§1 abstract and §5), used by the reporting
+// layer and EXPERIMENTS.md to print paper-vs-measured side by side.
+var (
+	// PaperWriteReductionPct: average write latency reduction versus
+	// conventional PCM, Fig. 5(a).
+	PaperWriteReductionPct = map[core.Arch]float64{
+		core.WOMCode: 20.1,
+		core.Refresh: 54.9,
+		core.WCPCM:   47.2,
+	}
+	// PaperReadReductionPct: average read latency reduction, Fig. 5(b).
+	PaperReadReductionPct = map[core.Arch]float64{
+		core.WOMCode: 10.2,
+		core.Refresh: 47.9,
+		core.WCPCM:   44.0,
+	}
+)
+
+// Paper per-benchmark callouts (§5).
+const (
+	// PaperBestWOMBenchmark had the largest WOM-code improvement: 39.2 %.
+	PaperBestWOMBenchmark = "464.h264ref"
+	PaperBestWOMWritePct  = 39.2
+	// PaperBestRefreshWritePct is 464.h264ref's PCM-refresh improvement.
+	PaperBestRefreshWritePct = 65.3
+	// PaperWCPCMOverheadPct is the §4 memory overhead claim at 32
+	// banks/rank: 1.5/32.
+	PaperWCPCMOverheadPct = 4.7
+)

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"womcpcm/internal/core"
+)
+
+// RenderFig5 formats the Fig. 5 reproduction as two text tables plus the
+// paper-vs-measured average comparison.
+func RenderFig5(res *Fig5Result) string {
+	var b strings.Builder
+	arches := core.Arches()
+
+	section := func(title string, pick func(Fig5Row) [4]float64, mean [4]float64, paper map[core.Arch]float64) {
+		fmt.Fprintf(&b, "%s (normalized to PCM w/o WOM-code)\n", title)
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprint(tw, "benchmark\tsuite")
+		for _, a := range arches {
+			fmt.Fprintf(tw, "\t%s", a)
+		}
+		fmt.Fprintln(tw)
+		for _, row := range res.Rows {
+			fmt.Fprintf(tw, "%s\t%s", row.Benchmark, row.Suite)
+			vals := pick(row)
+			for i := range arches {
+				fmt.Fprintf(tw, "\t%.3f", vals[i])
+			}
+			fmt.Fprintln(tw)
+		}
+		fmt.Fprint(tw, "average\t")
+		for i := range arches {
+			fmt.Fprintf(tw, "\t%.3f", mean[i])
+		}
+		fmt.Fprintln(tw)
+		tw.Flush()
+		fmt.Fprintf(&b, "reduction vs baseline (measured | paper):\n")
+		for _, a := range arches[1:] {
+			fmt.Fprintf(&b, "  %-16s %5.1f%% | %4.1f%%\n", a, reduction(mean[a]), paper[a])
+		}
+		fmt.Fprintln(&b)
+	}
+
+	section("Fig. 5(a): average write latency",
+		func(r Fig5Row) [4]float64 { return r.Write }, res.MeanWrite, PaperWriteReductionPct)
+	section("Fig. 5(b): average read latency",
+		func(r Fig5Row) [4]float64 { return r.Read }, res.MeanRead, PaperReadReductionPct)
+	return b.String()
+}
+
+// RenderFig6 formats the hit-rate sweep.
+func RenderFig6(res *Fig6Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig. 6: WOM-cache hit rate in WCPCM")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark\tsuite")
+	for _, n := range res.BanksPerRank {
+		fmt.Fprintf(tw, "\t%d banks/rank", n)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%s", row.Benchmark, row.Suite)
+		for _, h := range row.HitRate {
+			fmt.Fprintf(tw, "\t%.1f%%", 100*h)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "average\t")
+	for _, h := range res.Mean {
+		fmt.Fprintf(tw, "\t%.1f%%", 100*h)
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+	fmt.Fprintln(&b, "paper trend: the more banks/rank, the lower the hit rate.")
+	return b.String()
+}
+
+// RenderFig7 formats the bank-count latency sweep.
+func RenderFig7(res *Fig7Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig. 7: WCPCM write latency (normalized to 4 banks/rank)")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "benchmark\tsuite")
+	for _, n := range res.BanksPerRank {
+		fmt.Fprintf(tw, "\t%d banks/rank", n)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%s", row.Benchmark, row.Suite)
+		for _, v := range row.NormWrite {
+			fmt.Fprintf(tw, "\t%.3f", v)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprint(tw, "average\t")
+	for _, v := range res.Mean {
+		fmt.Fprintf(tw, "\t%.3f", v)
+	}
+	fmt.Fprintln(tw)
+	tw.Flush()
+	fmt.Fprintln(&b, "paper trend: write latency decreases as banks/rank increases.")
+	return b.String()
+}
+
+// RenderRthSweep formats the refresh-threshold ablation.
+func RenderRthSweep(res *RthSweepResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation: PCM-refresh threshold r_th")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "r_th\tnorm. write latency\trefreshes\taborted")
+	for i, th := range res.Thresholds {
+		fmt.Fprintf(tw, "%.0f%%\t%.3f\t%d\t%d\n", th, res.NormWrite[i], res.Refreshes[i], res.Aborts[i])
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// RenderOrgAblation formats the organization comparison.
+func RenderOrgAblation(res *OrgAblationResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation: wide-column vs hidden-page organization (§3.1)")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "organization\tnorm. write\tnorm. read")
+	fmt.Fprintf(tw, "wide-column\t%.3f\t%.3f\n", res.WideWrite, res.WideRead)
+	fmt.Fprintf(tw, "hidden-page\t%.3f\t%.3f\n", res.HiddenWrite, res.HiddenRead)
+	tw.Flush()
+	return b.String()
+}
+
+// RenderPausingAblation formats the write-pausing comparison.
+func RenderPausingAblation(res *PausingAblationResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation: write pausing during PCM-refresh (§3.2)")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\tnorm. write\tnorm. read")
+	fmt.Fprintf(tw, "with pausing\t%.3f\t%.3f\n", res.WithWrite, res.WithRead)
+	fmt.Fprintf(tw, "without pausing\t%.3f\t%.3f\n", res.WithoutWrite, res.WithoutRead)
+	tw.Flush()
+	fmt.Fprintf(&b, "refreshes preempted with pausing on: %d\n", res.Aborts)
+	return b.String()
+}
+
+// RenderCodeAblation formats the rewrite-budget sweep.
+func RenderCodeAblation(res *CodeAblationResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation: WOM-code rewrite budget k (§3.2 bound (k-1+S)/(kS))")
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "k\tnorm. write latency\tanalytic bound")
+	for i, k := range res.Rewrites {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\n", k, res.NormWrite[i], res.Bound[i])
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -1,0 +1,154 @@
+// Package sim drives the paper's experiments (§5): it pairs the synthetic
+// benchmark workloads with the four architectures and regenerates every
+// figure of the evaluation — Fig. 5(a)/(b) normalized write/read latency,
+// Fig. 6 WOM-cache hit rates, Fig. 7 WCPCM bank-count scaling — plus the
+// ablations DESIGN.md calls out (refresh threshold, organization, write
+// pausing, rewrite budget).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"womcpcm/internal/core"
+	"womcpcm/internal/memctrl"
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/stats"
+	"womcpcm/internal/trace"
+	"womcpcm/internal/workload"
+)
+
+// ExpConfig parameterizes an experiment run. The zero value selects the
+// paper's setup with a laptop-scale request budget.
+type ExpConfig struct {
+	// Geometry defaults to the paper's 16 ranks × 32 banks (§5).
+	Geometry pcm.Geometry
+	// Timing defaults to the paper's latencies.
+	Timing pcm.Timing
+	// Requests is the per-benchmark trace length (default 200000). Short
+	// traces overstate cold-start α-writes that a long-running benchmark
+	// would amortize away.
+	Requests int
+	// Seed makes every experiment reproducible (default 1).
+	Seed int64
+	// Profiles defaults to all 20 paper benchmarks.
+	Profiles []workload.Profile
+	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
+	Parallelism int
+}
+
+func (c ExpConfig) normalize() ExpConfig {
+	if c.Geometry == (pcm.Geometry{}) {
+		c.Geometry = pcm.DefaultGeometry()
+	}
+	if c.Timing == (pcm.Timing{}) {
+		c.Timing = pcm.DefaultTiming()
+	}
+	if c.Requests == 0 {
+		c.Requests = 200000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Profiles) == 0 {
+		c.Profiles = workload.Profiles()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// source builds the deterministic request stream for one benchmark: the
+// same (profile, geometry, seed) always replays the same trace, so every
+// architecture sees identical input.
+func (c ExpConfig) source(p workload.Profile, g pcm.Geometry) (trace.Source, error) {
+	gen, err := workload.NewGenerator(p, g, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewLimit(gen, c.Requests), nil
+}
+
+// runArch simulates one benchmark on one architecture.
+func (c ExpConfig) runArch(a core.Arch, p workload.Profile, g pcm.Geometry) (*stats.Run, error) {
+	opts := core.DefaultOptions()
+	opts.Geometry = g
+	opts.Timing = c.Timing
+	sys, err := core.NewSystem(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	src, err := c.source(p, g)
+	if err != nil {
+		return nil, err
+	}
+	run, err := sys.Simulate(src)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s on %s: %w", a, p.Name, err)
+	}
+	run.Workload = p.Name
+	return run, nil
+}
+
+// runConfig simulates one benchmark on an explicit controller config (for
+// ablations that reach past the core presets).
+func (c ExpConfig) runConfig(cfg memctrl.Config, p workload.Profile) (*stats.Run, error) {
+	ctrl, err := memctrl.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src, err := c.source(p, cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	run, err := ctrl.Run(src)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s on %s: %w", cfg.ArchName(), p.Name, err)
+	}
+	run.Workload = p.Name
+	return run, nil
+}
+
+// parMap runs f(0..n-1) on at most workers goroutines and returns the first
+// error.
+func parMap(n, workers int, f func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := f(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return first
+}
+
+// reduction converts a normalized latency into the paper's "% reduction"
+// phrasing: 0.80 normalized → 20 % reduction.
+func reduction(normalized float64) float64 { return 100 * (1 - normalized) }

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TextWriter emits records in the text trace format, one per line:
+//
+//	R 0x7f2a40 2700
+//	W 0x7f2a80 2754
+//
+// Lines beginning with '#' are comments; blank lines are ignored on read.
+type TextWriter struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewTextWriter wraps w.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{w: bufio.NewWriter(w)}
+}
+
+// Comment writes a comment line.
+func (t *TextWriter) Comment(s string) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, "# %s\n", s)
+}
+
+// Write appends one record.
+func (t *TextWriter) Write(r Record) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, "%s 0x%x %d\n", r.Op, r.Addr, r.Time)
+	if t.err == nil {
+		t.n++
+	}
+}
+
+// Count returns the number of records written.
+func (t *TextWriter) Count() int { return t.n }
+
+// Flush flushes buffered output and returns the first error encountered.
+func (t *TextWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// TextReader parses the text trace format as a Source.
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+}
+
+// NewTextReader wraps r.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &TextReader{sc: sc}
+}
+
+// Next implements Source.
+func (t *TextReader) Next() (Record, bool) {
+	if t.err != nil {
+		return Record{}, false
+	}
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseTextRecord(line)
+		if err != nil {
+			t.err = fmt.Errorf("trace: line %d: %w", t.line, err)
+			return Record{}, false
+		}
+		return rec, true
+	}
+	t.err = t.sc.Err()
+	return Record{}, false
+}
+
+// Err implements Source.
+func (t *TextReader) Err() error { return t.err }
+
+func parseTextRecord(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return Record{}, fmt.Errorf("want 3 fields \"OP ADDR TIME\", got %d", len(fields))
+	}
+	op, err := ParseOp(fields[0])
+	if err != nil {
+		return Record{}, err
+	}
+	addr, err := strconv.ParseUint(fields[1], 0, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad address %q: %w", fields[1], err)
+	}
+	tm, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("bad time %q: %w", fields[2], err)
+	}
+	if tm < 0 {
+		return Record{}, fmt.Errorf("negative time %d", tm)
+	}
+	return Record{Op: op, Addr: addr, Time: tm}, nil
+}

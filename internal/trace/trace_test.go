@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Op: Read, Addr: 0x1000, Time: 0},
+		{Op: Write, Addr: 0x1040, Time: 27},
+		{Op: Write, Addr: 0xdeadbeef, Time: 150},
+		{Op: Read, Addr: 0, Time: 150},
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Error("op letters wrong")
+	}
+	if Op(9).String() != "Op(9)" {
+		t.Error("unknown op rendering")
+	}
+	for _, s := range []string{"R", "r"} {
+		if op, err := ParseOp(s); err != nil || op != Read {
+			t.Errorf("ParseOp(%q) = %v, %v", s, op, err)
+		}
+	}
+	if _, err := ParseOp("x"); err == nil {
+		t.Error("parsed bogus op")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	src := NewSliceSource(sampleRecords())
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleRecords()) {
+		t.Error("collect mismatch")
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("source yielded past end")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(sampleRecords()); err != nil {
+		t.Error(err)
+	}
+	bad := []Record{{Time: 10}, {Time: 5}}
+	if err := Validate(bad); err == nil {
+		t.Error("accepted time-disordered trace")
+	}
+	if err := Validate(nil); err != nil {
+		t.Error("rejected empty trace")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	src := NewLimit(NewSliceSource(sampleRecords()), 2)
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("limit yielded %d records, want 2", len(got))
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTextWriter(&buf)
+	w.Comment("synthetic trace")
+	for _, r := range sampleRecords() {
+		w.Write(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(sampleRecords()) {
+		t.Errorf("writer count = %d", w.Count())
+	}
+	got, err := Collect(NewTextReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleRecords()) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, sampleRecords())
+	}
+}
+
+func TestTextReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\nR 0x10 5\n   \n# mid\nW 16 7\n"
+	got, err := Collect(NewTextReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{{Read, 0x10, 5}, {Write, 16, 7}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTextReaderErrors(t *testing.T) {
+	cases := []string{
+		"R 0x10",            // missing time
+		"X 0x10 5",          // bad op
+		"R zz 5",            // bad addr
+		"R 0x10 notatime",   // bad time
+		"R 0x10 -5",         // negative time
+		"R 0x10 5 trailing", // extra field
+	}
+	for _, in := range cases {
+		_, err := Collect(NewTextReader(strings.NewReader(in)))
+		if err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestBinRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	for _, r := range sampleRecords() {
+		w.Write(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8+len(sampleRecords())*binRecordSize {
+		t.Errorf("encoded %d bytes", buf.Len())
+	}
+	got, err := Collect(NewBinReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleRecords()) {
+		t.Error("binary round trip mismatch")
+	}
+}
+
+func TestBinEmptyTraceHasHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewBinReader(&buf))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty trace: %v, %v", got, err)
+	}
+}
+
+func TestBinBadMagic(t *testing.T) {
+	_, err := Collect(NewBinReader(strings.NewReader("NOTATRACE HEADER")))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBinBadVersion(t *testing.T) {
+	raw := append([]byte("WOMT"), 99, 0, 0, 0)
+	_, err := Collect(NewBinReader(bytes.NewReader(raw)))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("err = %v, want version error", err)
+	}
+}
+
+func TestBinBadOpByte(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewBinWriter(&buf)
+	w.Write(Record{Op: Read})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[8] = 7 // corrupt the op byte of the first record
+	_, err := Collect(NewBinReader(bytes.NewReader(raw)))
+	if err == nil {
+		t.Error("accepted corrupt op byte")
+	}
+}
+
+// TestBinQuickRoundTrip property-checks arbitrary records through the
+// binary codec.
+func TestBinQuickRoundTrip(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := make([]Record, int(n%50))
+		tm := int64(0)
+		for i := range recs {
+			tm += rng.Int63n(100)
+			recs[i] = Record{Op: Op(rng.Intn(2)), Addr: rng.Uint64(), Time: tm}
+		}
+		var buf bytes.Buffer
+		w := NewBinWriter(&buf)
+		for _, r := range recs {
+			w.Write(r)
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		got, err := Collect(NewBinReader(&buf))
+		if err != nil {
+			return false
+		}
+		return len(got) == len(recs) && (len(recs) == 0 || reflect.DeepEqual(got, recs))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Package womcode implements write-once-memory (WOM) codes for phase change
+// memory, following Li and Mohanram, "Write-Once-Memory-Code Phase Change
+// Memory", DATE 2014, and Rivest and Shamir, "How to reuse a write-once
+// memory", Information and Control 55 (1982).
+//
+// A <v>^t/n WOM-code stores one of v values in n write-once bits ("wits")
+// and guarantees t successive writes. In the conventional orientation wits
+// start at 0 and may only be programmed 0→1. PCM has the opposite cost
+// asymmetry — programming 1 (SET) is 5–10× slower than programming 0
+// (RESET) — so the paper uses *inverted* WOM-codes: wits start at 1 and each
+// in-budget rewrite performs only fast 1→0 RESET transitions. Invert turns
+// any conventional Code into its inverted twin.
+//
+// The package provides the paper's <2^2>^2/3 Rivest–Shamir code (Table 1),
+// a t-write parity code over n wits, a row-level codec that applies a code
+// across an arbitrary-width memory row, a Flip-N-Write comparator encoder,
+// and an exhaustive verifier for the WOM property.
+package womcode
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by Encode implementations.
+var (
+	// ErrWriteLimit indicates the codeword has exhausted its write budget:
+	// the requested data cannot be represented without illegal transitions.
+	ErrWriteLimit = errors.New("womcode: write limit reached")
+	// ErrDataRange indicates the data value does not fit in DataBits().
+	ErrDataRange = errors.New("womcode: data value out of range")
+	// ErrGenRange indicates the write generation is outside [0, Writes()).
+	ErrGenRange = errors.New("womcode: write generation out of range")
+	// ErrInvalidState indicates the current wit pattern is not a state the
+	// code can have produced at the given generation.
+	ErrInvalidState = errors.New("womcode: invalid codeword state")
+)
+
+// Code is a write-once-memory code over a single codeword of Wits() wits.
+//
+// Encode computes the wit pattern that stores data as the gen-th write
+// (0-based, gen < Writes()) given the current pattern. For a conventional
+// code every returned pattern is a bitwise superset of current (only 0→1
+// transitions); for an inverted code it is a subset (only 1→0 transitions).
+// Decode recovers the stored value from a pattern and must not depend on the
+// generation.
+type Code interface {
+	// Name returns the code's conventional designation, e.g. "<2^2>^2/3".
+	Name() string
+	// DataBits returns k, the number of data bits per codeword (v = 2^k).
+	DataBits() int
+	// Wits returns n, the number of wits per codeword.
+	Wits() int
+	// Writes returns t, the guaranteed number of writes per codeword.
+	Writes() int
+	// Initial returns the manufactured/erased wit pattern: 0 for a
+	// conventional code, the all-ones mask for an inverted code.
+	Initial() uint64
+	// Inverted reports whether wits transition 1→0 (the PCM orientation).
+	Inverted() bool
+	// Encode returns the pattern storing data as write number gen.
+	Encode(current, data uint64, gen int) (uint64, error)
+	// Decode recovers the data stored in pattern.
+	Decode(pattern uint64) uint64
+}
+
+// WitMask returns the mask covering all wits of c.
+func WitMask(c Code) uint64 {
+	return (uint64(1) << uint(c.Wits())) - 1
+}
+
+// DataMask returns the mask covering all data bits of c.
+func DataMask(c Code) uint64 {
+	return (uint64(1) << uint(c.DataBits())) - 1
+}
+
+// Overhead returns the code's memory overhead factor Wits()/DataBits() − 1,
+// e.g. 0.5 for the <2^2>^2/3 code.
+func Overhead(c Code) float64 {
+	return float64(c.Wits())/float64(c.DataBits()) - 1
+}
+
+// checkArgs validates the data value and generation for c.
+func checkArgs(c Code, data uint64, gen int) error {
+	if data > DataMask(c) {
+		return fmt.Errorf("%w: %#x does not fit in %d bits", ErrDataRange, data, c.DataBits())
+	}
+	if gen < 0 || gen >= c.Writes() {
+		return fmt.Errorf("%w: gen %d, code allows %d writes", ErrGenRange, gen, c.Writes())
+	}
+	return nil
+}
+
+// legalTransition reports whether moving from cur to next respects the
+// write-once direction of c.
+func legalTransition(c Code, cur, next uint64) bool {
+	if c.Inverted() {
+		return next&cur == next // only 1→0
+	}
+	return next&cur == cur // only 0→1
+}

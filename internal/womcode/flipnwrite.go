@@ -1,0 +1,138 @@
+package womcode
+
+import (
+	"fmt"
+
+	"womcpcm/internal/bitvec"
+)
+
+// FlipNWrite implements the Flip-N-Write encoding of Cho and Lee (MICRO
+// 2009), which the paper cites as prior latency-aware coding for PCM
+// ([16], §1). Each group of GroupBits data bits carries one flag bit; the
+// group is stored either as-is (flag 0) or complemented (flag 1), whichever
+// needs fewer cell programming operations against the currently stored
+// pattern. Unlike a WOM-code it cannot eliminate SET operations — it only
+// halves the worst-case number of flipped cells — so it serves as the
+// ablation baseline for "coding that reduces writes" versus "coding that
+// removes SETs from the critical path".
+type FlipNWrite struct {
+	groupBits int
+	dataBits  int
+	groups    int
+}
+
+// NewFlipNWrite returns a Flip-N-Write encoder for rows of dataBits bits
+// using flag groups of groupBits bits (a common choice is 8 or 32).
+func NewFlipNWrite(dataBits, groupBits int) (*FlipNWrite, error) {
+	if dataBits <= 0 || groupBits <= 0 {
+		return nil, fmt.Errorf("womcode: flip-n-write widths must be positive (data %d, group %d)", dataBits, groupBits)
+	}
+	return &FlipNWrite{
+		groupBits: groupBits,
+		dataBits:  dataBits,
+		groups:    (dataBits + groupBits - 1) / groupBits,
+	}, nil
+}
+
+// DataBits returns the row data width in bits.
+func (f *FlipNWrite) DataBits() int { return f.dataBits }
+
+// EncodedBits returns the stored width: data bits plus one flag per group.
+func (f *FlipNWrite) EncodedBits() int { return f.dataBits + f.groups }
+
+// EncodedBytes returns the stored width in bytes. Flags are packed after the
+// data bits, one per group.
+func (f *FlipNWrite) EncodedBytes() int { return (f.EncodedBits() + 7) / 8 }
+
+// Overhead returns the storage overhead factor, 1/groupBits.
+func (f *FlipNWrite) Overhead() float64 { return 1 / float64(f.groupBits) }
+
+// InitialRow returns an all-zero stored row (PCM cells in the RESET state).
+func (f *FlipNWrite) InitialRow() []byte { return bitvec.New(f.EncodedBits()) }
+
+// Encode computes the stored pattern for data given the current stored
+// pattern, choosing per group between the plain and complemented forms to
+// minimize flipped cells. It returns the new stored row and the number of
+// 0→1 (SET) and 1→0 (RESET) cell operations required.
+func (f *FlipNWrite) Encode(current, data []byte) (next []byte, sets, resets int, err error) {
+	if len(current) < f.EncodedBytes() {
+		return nil, 0, 0, fmt.Errorf("womcode: stored row is %d bytes, need %d", len(current), f.EncodedBytes())
+	}
+	if len(data)*8 < f.dataBits {
+		return nil, 0, 0, fmt.Errorf("womcode: data row is %d bytes, need %d bits", len(data), f.dataBits)
+	}
+	next = bitvec.Clone(current[:f.EncodedBytes()])
+	for g := 0; g < f.groups; g++ {
+		start := g * f.groupBits
+		width := f.groupBits
+		if start+width > f.dataBits {
+			width = f.dataBits - start
+		}
+		flagPos := f.dataBits + g
+		curFlag := bitvec.Get(current, flagPos)
+
+		// Cost of storing plain (flag 0) versus complemented (flag 1).
+		plainFlips, compFlips := 0, 0
+		for i := 0; i < width; i++ {
+			d := bitvec.Get(data, start+i)
+			s := bitvec.Get(current, start+i)
+			if d != s {
+				plainFlips++
+			}
+			if !d != s {
+				compFlips++
+			}
+		}
+		if curFlag {
+			plainFlips++ // flag must flip 1→0
+		} else {
+			compFlips++ // flag must flip 0→1
+		}
+
+		complement := compFlips < plainFlips
+		for i := 0; i < width; i++ {
+			d := bitvec.Get(data, start+i)
+			if complement {
+				d = !d
+			}
+			old := bitvec.Get(next, start+i)
+			if old != d {
+				if d {
+					sets++
+				} else {
+					resets++
+				}
+				bitvec.Set(next, start+i, d)
+			}
+		}
+		if curFlag != complement {
+			if complement {
+				sets++
+			} else {
+				resets++
+			}
+			bitvec.Set(next, flagPos, complement)
+		}
+	}
+	return next, sets, resets, nil
+}
+
+// Decode recovers the data bits from a stored row.
+func (f *FlipNWrite) Decode(stored []byte) ([]byte, error) {
+	if len(stored) < f.EncodedBytes() {
+		return nil, fmt.Errorf("womcode: stored row is %d bytes, need %d", len(stored), f.EncodedBytes())
+	}
+	data := bitvec.New(f.dataBits)
+	for g := 0; g < f.groups; g++ {
+		start := g * f.groupBits
+		width := f.groupBits
+		if start+width > f.dataBits {
+			width = f.dataBits - start
+		}
+		flip := bitvec.Get(stored, f.dataBits+g)
+		for i := 0; i < width; i++ {
+			bitvec.Set(data, start+i, bitvec.Get(stored, start+i) != flip)
+		}
+	}
+	return data, nil
+}

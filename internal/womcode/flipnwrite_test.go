@@ -1,0 +1,144 @@
+package womcode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"womcpcm/internal/bitvec"
+)
+
+func TestFlipNWriteSizes(t *testing.T) {
+	f, err := NewFlipNWrite(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.EncodedBits() != 72 {
+		t.Errorf("EncodedBits = %d, want 72", f.EncodedBits())
+	}
+	if f.Overhead() != 0.125 {
+		t.Errorf("Overhead = %v, want 0.125", f.Overhead())
+	}
+	if _, err := NewFlipNWrite(0, 8); err == nil {
+		t.Error("accepted zero data width")
+	}
+	if _, err := NewFlipNWrite(8, 0); err == nil {
+		t.Error("accepted zero group width")
+	}
+}
+
+// TestFlipNWriteRoundTrip: random write sequences always decode to the last
+// written data.
+func TestFlipNWriteRoundTrip(t *testing.T) {
+	f, err := NewFlipNWrite(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	stored := f.InitialRow()
+	for i := 0; i < 50; i++ {
+		data := make([]byte, 8)
+		rng.Read(data)
+		next, _, _, err := f.Encode(stored, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Decode(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bitvec.Equal(got, data, 64) {
+			t.Fatalf("iteration %d: decode mismatch", i)
+		}
+		stored = next
+	}
+}
+
+// TestFlipNWriteHalvesWorstCase: writing the complement of the stored data
+// flips at most groupBits/2 + 1 cells per group (the Flip-N-Write bound),
+// versus groupBits without coding.
+func TestFlipNWriteHalvesWorstCase(t *testing.T) {
+	f, err := NewFlipNWrite(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := f.InitialRow()
+	data := []byte{0x0F}
+	stored, _, _, err = f.Encode(stored, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complement of stored data: without FNW this costs 8 flips.
+	next, sets, resets, err := f.Encode(stored, []byte{0xF0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := sets + resets; total > 8/2+1 {
+		t.Errorf("complement write flipped %d cells, bound is %d", total, 8/2+1)
+	}
+	got, _ := f.Decode(next)
+	if got[0] != 0xF0 {
+		t.Errorf("decode = %02x, want f0", got[0])
+	}
+}
+
+// TestFlipNWriteIdempotent: rewriting identical data flips nothing.
+func TestFlipNWriteIdempotent(t *testing.T) {
+	f, _ := NewFlipNWrite(32, 8)
+	stored := f.InitialRow()
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	stored, _, _, err := f.Encode(stored, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sets, resets, err := f.Encode(stored, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets+resets != 0 {
+		t.Errorf("idempotent rewrite flipped %d cells", sets+resets)
+	}
+}
+
+// TestFlipNWriteQuick: encode/decode round trip and flip-count optimality
+// versus the plain encoding, property-checked.
+func TestFlipNWriteQuick(t *testing.T) {
+	f, _ := NewFlipNWrite(16, 8)
+	prop := func(a, b uint16) bool {
+		stored := f.InitialRow()
+		var ab, bb [2]byte
+		bitvec.SetField(ab[:], 0, 16, uint64(a))
+		bitvec.SetField(bb[:], 0, 16, uint64(b))
+		stored, _, _, err := f.Encode(stored, ab[:])
+		if err != nil {
+			return false
+		}
+		next, sets, resets, err := f.Encode(stored, bb[:])
+		if err != nil {
+			return false
+		}
+		got, _ := f.Decode(next)
+		if bitvec.GetField(got, 0, 16) != uint64(b) {
+			return false
+		}
+		// Per 8-bit group the chosen form flips at most 8/2+1 cells
+		// including the flag, so 2 groups flip at most 10 cells total.
+		return sets+resets <= 10
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipNWriteErrors(t *testing.T) {
+	f, _ := NewFlipNWrite(16, 8)
+	if _, _, _, err := f.Encode(make([]byte, 1), make([]byte, 2)); err == nil {
+		t.Error("accepted short stored row")
+	}
+	if _, _, _, err := f.Encode(f.InitialRow(), make([]byte, 1)); err == nil {
+		t.Error("accepted short data")
+	}
+	if _, err := f.Decode(make([]byte, 1)); err == nil {
+		t.Error("decoded short row")
+	}
+}

@@ -1,0 +1,49 @@
+package womcode
+
+// inverted adapts a conventional WOM-code to the PCM orientation by
+// complementing every wit pattern (the paper's Fig. 1(b)). Wits start at the
+// all-ones "erased" state and every in-budget write performs only 1→0 RESET
+// transitions, which are 3.75× faster than SET in the paper's timing.
+//
+// Because the inverted table can be generated offline, runtime complexity is
+// identical to the conventional code; no per-bitline inverters (Fig. 1(a))
+// are required.
+type inverted struct {
+	inner Code
+}
+
+// Invert returns the inverted twin of a conventional code c. Inverting an
+// already-inverted code returns the original orientation.
+func Invert(c Code) Code {
+	if inv, ok := c.(inverted); ok {
+		return inv.inner
+	}
+	return inverted{inner: c}
+}
+
+func (c inverted) Name() string    { return "inv" + c.inner.Name() }
+func (c inverted) DataBits() int   { return c.inner.DataBits() }
+func (c inverted) Wits() int       { return c.inner.Wits() }
+func (c inverted) Writes() int     { return c.inner.Writes() }
+func (c inverted) Initial() uint64 { return WitMask(c) }
+func (c inverted) Inverted() bool  { return !c.inner.Inverted() }
+
+func (c inverted) Encode(current, data uint64, gen int) (uint64, error) {
+	mask := WitMask(c)
+	if current&^mask != 0 {
+		return 0, ErrInvalidState
+	}
+	next, err := c.inner.Encode(^current&mask, data, gen)
+	if err != nil {
+		return 0, err
+	}
+	return ^next & mask, nil
+}
+
+func (c inverted) Decode(pattern uint64) uint64 {
+	return c.inner.Decode(^pattern & WitMask(c))
+}
+
+// InvRS223 returns the paper's working code: the inverted <2^2>^2/3
+// Rivest–Shamir code in which every rewrite uses only RESET operations.
+func InvRS223() Code { return Invert(RS223()) }

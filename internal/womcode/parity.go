@@ -1,0 +1,61 @@
+package womcode
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// parity is the classic <2>^n/n WOM-code: n wits store a single data bit as
+// the parity of the number of programmed wits, and support n writes (each
+// write programs at most one additional wit). It is the simplest member of
+// the family Rivest and Shamir analyze and gives an arbitrarily high rewrite
+// limit at linear overhead — useful here to study the paper's observation
+// (§3.2) that a higher rewrite limit k raises the performance bound
+// (k−1+S)/(kS) at the cost of memory.
+type parity struct {
+	n int
+}
+
+// Parity returns the conventional <2>^n/n parity WOM-code over n wits,
+// 1 ≤ n ≤ 64.
+func Parity(n int) Code {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("womcode: parity code needs 1..64 wits, got %d", n))
+	}
+	return parity{n: n}
+}
+
+func (c parity) Name() string  { return fmt.Sprintf("<2>^%d/%d", c.n, c.n) }
+func (parity) DataBits() int   { return 1 }
+func (c parity) Wits() int     { return c.n }
+func (c parity) Writes() int   { return c.n }
+func (parity) Initial() uint64 { return 0 }
+func (parity) Inverted() bool  { return false }
+func (c parity) Decode(p uint64) uint64 {
+	return uint64(bits.OnesCount64(p&WitMask(c)) & 1)
+}
+
+func (c parity) Encode(current, data uint64, gen int) (uint64, error) {
+	if err := checkArgs(c, data, gen); err != nil {
+		return 0, err
+	}
+	mask := WitMask(c)
+	if current&^mask != 0 {
+		return 0, ErrInvalidState
+	}
+	used := bits.OnesCount64(current)
+	if used > gen {
+		// More wits are programmed than writes have happened; the caller's
+		// generation bookkeeping is out of sync with the codeword.
+		return 0, ErrInvalidState
+	}
+	if c.Decode(current) == data {
+		return current, nil
+	}
+	if used == c.n {
+		return 0, ErrWriteLimit
+	}
+	// Program the lowest unprogrammed wit to flip the parity.
+	low := ^current & mask
+	return current | (low & -low), nil
+}

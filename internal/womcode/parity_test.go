@@ -1,0 +1,148 @@
+package womcode
+
+import (
+	"errors"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestParityParameters(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64} {
+		c := Parity(n)
+		if c.DataBits() != 1 || c.Wits() != n || c.Writes() != n {
+			t.Errorf("Parity(%d): parameters (%d,%d,%d)", n, c.DataBits(), c.Wits(), c.Writes())
+		}
+		if c.Initial() != 0 || c.Inverted() {
+			t.Errorf("Parity(%d): bad initial state", n)
+		}
+	}
+}
+
+func TestParityPanicsOnBadWidth(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Parity(%d) did not panic", n)
+				}
+			}()
+			Parity(n)
+		}()
+	}
+}
+
+// TestParityWritesFullBudget drives a Parity(n) codeword through n
+// alternating writes — the worst case, each flipping the stored bit — and
+// checks decode at every step.
+func TestParityWritesFullBudget(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 8} {
+		c := Parity(n)
+		cur := c.Initial()
+		for gen := 0; gen < n; gen++ {
+			want := uint64(gen+1) & 1 // alternate 1,0,1,...
+			next, err := c.Encode(cur, want, gen)
+			if err != nil {
+				t.Fatalf("Parity(%d) gen %d: %v", n, gen, err)
+			}
+			if next&cur != cur {
+				t.Fatalf("Parity(%d) gen %d cleared a wit: %b → %b", n, gen, cur, next)
+			}
+			if got := c.Decode(next); got != want {
+				t.Fatalf("Parity(%d) gen %d decodes %d, want %d", n, gen, got, want)
+			}
+			if bits.OnesCount64(next) != bits.OnesCount64(cur)+1 {
+				t.Fatalf("Parity(%d) gen %d programmed %d wits, want exactly 1",
+					n, gen, bits.OnesCount64(next)-bits.OnesCount64(cur))
+			}
+			cur = next
+		}
+		// Budget exhausted: flipping again must fail.
+		if _, err := c.Encode(cur, uint64(n)&1, n-1); err == nil {
+			// gen n-1 with all wits set and a flip request:
+			t.Fatalf("Parity(%d): expected failure after exhausting wits", n)
+		}
+	}
+}
+
+// TestParitySameValueIsFree: rewriting the stored value consumes no wits.
+func TestParitySameValueIsFree(t *testing.T) {
+	c := Parity(4)
+	cur, err := c.Encode(c.Initial(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gen := 1; gen < 4; gen++ {
+		next, err := c.Encode(cur, 1, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != cur {
+			t.Fatalf("gen %d rewrite of same value changed %b → %b", gen, cur, next)
+		}
+	}
+}
+
+func TestParityErrors(t *testing.T) {
+	c := Parity(3)
+	if _, err := c.Encode(0, 2, 0); !errors.Is(err, ErrDataRange) {
+		t.Errorf("data range: %v", err)
+	}
+	if _, err := c.Encode(0, 0, 3); !errors.Is(err, ErrGenRange) {
+		t.Errorf("gen range: %v", err)
+	}
+	if _, err := c.Encode(0b1000, 0, 0); !errors.Is(err, ErrInvalidState) {
+		t.Errorf("pattern outside mask: %v", err)
+	}
+	// Two wits programmed but claiming generation 1 is inconsistent.
+	if _, err := c.Encode(0b011, 0, 1); !errors.Is(err, ErrInvalidState) {
+		t.Errorf("desynced generation: %v", err)
+	}
+	// All wits used at the final generation: before the gen-th write at
+	// most gen wits can be programmed, so this is a desynced state too.
+	if _, err := c.Encode(0b111, 0, 2); !errors.Is(err, ErrInvalidState) {
+		t.Errorf("exhausted codeword: %v", err)
+	}
+}
+
+// TestParityQuickProperty: for random write sequences within budget, decode
+// always tracks the last value written and transitions stay monotone.
+func TestParityQuickProperty(t *testing.T) {
+	c := Parity(8)
+	prop := func(seq [8]bool) bool {
+		cur := c.Initial()
+		for gen, b := range seq {
+			data := uint64(0)
+			if b {
+				data = 1
+			}
+			next, err := c.Encode(cur, data, gen)
+			if err != nil {
+				return false
+			}
+			if next&cur != cur || c.Decode(next) != data {
+				return false
+			}
+			cur = next
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInvertedParity exercises the inverted wrapper over a different inner
+// code than RS223.
+func TestInvertedParity(t *testing.T) {
+	c := Invert(Parity(5))
+	if !c.Inverted() || c.Initial() != 0b11111 {
+		t.Fatalf("bad inverted parity: initial %b", c.Initial())
+	}
+	if err := Verify(c); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := MaxSETTransitions(c); err != nil || n != 0 {
+		t.Errorf("inverted parity max SETs = %d (%v), want 0", n, err)
+	}
+}

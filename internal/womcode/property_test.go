@@ -1,0 +1,150 @@
+package womcode
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// TestRS223QuickTwoWrites: any (x, y) pair survives the two-write protocol
+// in both orientations with legal transitions and correct decodes.
+func TestRS223QuickTwoWrites(t *testing.T) {
+	for _, c := range []Code{RS223(), InvRS223()} {
+		c := c
+		prop := func(x, y uint8) bool {
+			vx, vy := uint64(x%4), uint64(y%4)
+			first, err := c.Encode(c.Initial(), vx, 0)
+			if err != nil || c.Decode(first) != vx {
+				return false
+			}
+			second, err := c.Encode(first, vy, 1)
+			if err != nil || c.Decode(second) != vy {
+				return false
+			}
+			return legalTransition(c, c.Initial(), first) && legalTransition(c, first, second)
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestInvertDoubleComplement: Invert(Invert(c)) behaves identically to c on
+// every first-write encode/decode.
+func TestInvertDoubleComplement(t *testing.T) {
+	orig := Parity(6)
+	round := Invert(Invert(orig))
+	prop := func(d uint8) bool {
+		data := uint64(d % 2)
+		a, errA := orig.Encode(orig.Initial(), data, 0)
+		b, errB := round.Encode(round.Initial(), data, 0)
+		return (errA == nil) == (errB == nil) && a == b
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRowCodecWidthsQuick: random data round-trips through the codec at
+// awkward row widths with the searched code.
+func TestRowCodecWidthsQuick(t *testing.T) {
+	base, err := Search(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := Invert(base)
+	for _, width := range []int{1, 2, 3, 7, 17, 64, 65, 127} {
+		rc, err := NewRowCodec(code, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		prop := func(seed uint32) bool {
+			data := make([]byte, rc.DataBytes())
+			s := seed
+			for i := range data {
+				s = s*1664525 + 1013904223
+				data[i] = byte(s >> 24)
+			}
+			// Mask padding bits beyond the row width.
+			if width%8 != 0 {
+				data[len(data)-1] &= byte(1<<uint(width%8)) - 1
+			}
+			enc, err := rc.Encode(rc.InitialRow(), data, 0)
+			if err != nil {
+				return false
+			}
+			got, err := rc.Decode(enc)
+			if err != nil {
+				return false
+			}
+			for i := range data {
+				if got[i] != data[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("width %d: %v", width, err)
+		}
+	}
+}
+
+// TestMaxSETTransitionsMatchesVerifyWalk: for the conventional RS223 the
+// worst case is setting all three wits (second write of 00 from state 000
+// is illegal, but 000→111 happens when rewriting 00 over r(00)).
+func TestMaxSETTransitionsRS223Value(t *testing.T) {
+	n, err := MaxSETTransitions(RS223())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From r(11)=001, writing 00 programs 111: two SETs; from r(00)=000,
+	// writing 11's r'(11)=110 programs two; the true max over the walk is 2
+	// (first writes from 000 set at most one wit).
+	if n != 2 {
+		t.Errorf("max SETs = %d, want 2", n)
+	}
+}
+
+// TestCostModelBoundQuick: the bound is always in (0, 1] for S ≥ 1 and
+// decreases with k.
+func TestCostModelBoundQuick(t *testing.T) {
+	prop := func(s8, k8 uint8) bool {
+		s := 1 + float64(s8%40)/4 // S in [1, 10.75]
+		k := 1 + int(k8%32)
+		m := CostModel{ResetLatency: 40, Slowdown: s}
+		b := m.RewriteBound(k)
+		if b <= 0 || b > 1 {
+			return false
+		}
+		return m.RewriteBound(k+1) <= b
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSearchedDecodeTotal: the searched code's decode is defined on every
+// pattern inside the wit mask (no panics, values in range).
+func TestSearchedDecodeTotal(t *testing.T) {
+	c, err := Search(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := uint64(0); p <= WitMask(c); p++ {
+		if v := c.Decode(p); v > DataMask(c) {
+			t.Fatalf("Decode(%b) = %d out of range", p, v)
+		}
+	}
+	// Weight-1 states decode to their wit's label — spot-check coverage:
+	// all 2^k values must be reachable among low-weight states.
+	seen := map[uint64]bool{}
+	for p := uint64(0); p <= WitMask(c); p++ {
+		if bits.OnesCount64(p) <= 2 {
+			seen[c.Decode(p)] = true
+		}
+	}
+	if len(seen) != 1<<3 {
+		t.Errorf("only %d of 8 values reachable within two wits", len(seen))
+	}
+}

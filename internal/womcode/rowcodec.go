@@ -1,0 +1,124 @@
+package womcode
+
+import (
+	"fmt"
+
+	"womcpcm/internal/bitvec"
+)
+
+// RowCodec applies a WOM-code symbol-wise across a whole memory row, the
+// unit at which the paper's architectures encode data (§3.1: "the WOM-code
+// can encode the data at the row-level"; the wide-column organization widens
+// each column from Z to Z·Wits/DataBits bits to hold the extra wits).
+//
+// A row of D data bits is split into ceil(D/k) k-bit symbols, each stored in
+// its own n-wit codeword; codewords are packed consecutively, LSB-first.
+// All symbols of a row share one write generation: the memory controller
+// rewrites whole rows, so per-symbol generations would never diverge.
+type RowCodec struct {
+	code     Code
+	dataBits int
+	symbols  int
+}
+
+// NewRowCodec returns a codec that stores dataBits bits per row using code.
+// dataBits must be positive; rows whose size is not a multiple of the code's
+// data width get a zero-padded final symbol.
+func NewRowCodec(code Code, dataBits int) (*RowCodec, error) {
+	if dataBits <= 0 {
+		return nil, fmt.Errorf("womcode: row data width must be positive, got %d", dataBits)
+	}
+	k := code.DataBits()
+	return &RowCodec{
+		code:     code,
+		dataBits: dataBits,
+		symbols:  (dataBits + k - 1) / k,
+	}, nil
+}
+
+// Code returns the per-symbol code in use.
+func (rc *RowCodec) Code() Code { return rc.code }
+
+// DataBits returns the row's data width in bits.
+func (rc *RowCodec) DataBits() int { return rc.dataBits }
+
+// EncodedBits returns the encoded row width in wits.
+func (rc *RowCodec) EncodedBits() int { return rc.symbols * rc.code.Wits() }
+
+// EncodedBytes returns the encoded row width in bytes.
+func (rc *RowCodec) EncodedBytes() int { return (rc.EncodedBits() + 7) / 8 }
+
+// DataBytes returns the data row width in bytes.
+func (rc *RowCodec) DataBytes() int { return (rc.dataBits + 7) / 8 }
+
+// Writes returns the code's guaranteed rewrite count t.
+func (rc *RowCodec) Writes() int { return rc.code.Writes() }
+
+// InitialRow returns a freshly erased encoded row: every codeword holds the
+// code's initial pattern (all wits erased; all-ones for an inverted code).
+func (rc *RowCodec) InitialRow() []byte {
+	row := bitvec.New(rc.EncodedBits())
+	init := rc.code.Initial()
+	if init != 0 {
+		n := rc.code.Wits()
+		for s := 0; s < rc.symbols; s++ {
+			bitvec.SetField(row, s*n, n, init)
+		}
+	}
+	return row
+}
+
+// Encode computes the encoded row that stores data (DataBytes() bytes) as
+// write generation gen, given the current encoded row. The returned slice is
+// freshly allocated; current is not modified. Every codeword transition
+// respects the code's write-once direction or the call fails.
+func (rc *RowCodec) Encode(current, data []byte, gen int) ([]byte, error) {
+	if len(current) < rc.EncodedBytes() {
+		return nil, fmt.Errorf("womcode: encoded row is %d bytes, need %d", len(current), rc.EncodedBytes())
+	}
+	if len(data) < rc.DataBytes() {
+		return nil, fmt.Errorf("womcode: data row is %d bytes, need %d", len(data), rc.DataBytes())
+	}
+	k, n := rc.code.DataBits(), rc.code.Wits()
+	next := bitvec.Clone(current[:rc.EncodedBytes()])
+	for s := 0; s < rc.symbols; s++ {
+		width := k
+		if off := s * k; off+width > rc.dataBits {
+			width = rc.dataBits - off
+		}
+		sym := bitvec.GetField(data, s*k, width)
+		cur := bitvec.GetField(current, s*n, n)
+		enc, err := rc.code.Encode(cur, sym, gen)
+		if err != nil {
+			return nil, fmt.Errorf("womcode: symbol %d: %w", s, err)
+		}
+		bitvec.SetField(next, s*n, n, enc)
+	}
+	return next, nil
+}
+
+// Decode recovers the row's data bits from an encoded row.
+func (rc *RowCodec) Decode(encoded []byte) ([]byte, error) {
+	if len(encoded) < rc.EncodedBytes() {
+		return nil, fmt.Errorf("womcode: encoded row is %d bytes, need %d", len(encoded), rc.EncodedBytes())
+	}
+	k, n := rc.code.DataBits(), rc.code.Wits()
+	data := bitvec.New(rc.dataBits)
+	for s := 0; s < rc.symbols; s++ {
+		sym := rc.code.Decode(bitvec.GetField(encoded, s*n, n))
+		width := k
+		if off := s * k; off+width > rc.dataBits {
+			width = rc.dataBits - off
+		}
+		bitvec.SetField(data, s*k, width, sym)
+	}
+	return data, nil
+}
+
+// Transitions reports the 0→1 (SET) and 1→0 (RESET) cell programming
+// operations needed to move the stored row from cur to next. The timing
+// model uses this to classify writes: a write with zero SET transitions
+// completes at RESET latency.
+func (rc *RowCodec) Transitions(cur, next []byte) (sets, resets int) {
+	return bitvec.TransitionCounts(cur, next, rc.EncodedBits())
+}

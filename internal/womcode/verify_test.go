@@ -1,0 +1,110 @@
+package womcode
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestVerifyAllShippedCodes: every code the package exports must pass the
+// exhaustive WOM-property check in both orientations.
+func TestVerifyAllShippedCodes(t *testing.T) {
+	codes := []Code{
+		RS223(),
+		InvRS223(),
+		Parity(1),
+		Parity(2),
+		Parity(4),
+		Parity(8),
+		Invert(Parity(3)),
+		Invert(Parity(6)),
+	}
+	for _, c := range codes {
+		if err := Verify(c); err != nil {
+			t.Errorf("Verify(%s): %v", c.Name(), err)
+		}
+	}
+}
+
+// brokenCode violates the WOM property on purpose: its second write of a
+// differing value reuses the first-write table, clearing wits.
+type brokenCode struct{ Code }
+
+func (b brokenCode) Encode(current, data uint64, gen int) (uint64, error) {
+	if gen > 0 {
+		return rs223First[data], nil
+	}
+	return b.Code.Encode(current, data, gen)
+}
+
+func TestVerifyCatchesIllegalTransition(t *testing.T) {
+	err := Verify(brokenCode{RS223()})
+	if err == nil {
+		t.Fatal("Verify accepted a code that clears wits")
+	}
+	if !strings.Contains(err.Error(), "illegal transition") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// misdecodeCode decodes everything as zero.
+type misdecodeCode struct{ Code }
+
+func (misdecodeCode) Decode(uint64) uint64 { return 0 }
+
+func TestVerifyCatchesMisdecode(t *testing.T) {
+	if err := Verify(misdecodeCode{RS223()}); err == nil {
+		t.Fatal("Verify accepted a code that decodes incorrectly")
+	}
+}
+
+// badParams trips the structural checks.
+type badParams struct{ Code }
+
+func (badParams) Writes() int { return 0 }
+
+func TestVerifyCatchesBadParameters(t *testing.T) {
+	if err := Verify(badParams{RS223()}); err == nil {
+		t.Fatal("Verify accepted t = 0")
+	}
+}
+
+type hugeCode struct{ Code }
+
+func (hugeCode) DataBits() int { return 32 }
+
+func TestVerifyRefusesHugeCodes(t *testing.T) {
+	if err := Verify(hugeCode{RS223()}); err == nil {
+		t.Fatal("Verify attempted an infeasible exhaustive search")
+	}
+}
+
+// TestRewriteBound pins the §3.2 bound (k−1+S)/(kS) at the paper's numbers:
+// S = 150/40 = 3.75, k = 2 gives 0.6333…, i.e. at most a 36.7 % write
+// latency reduction for the <2^2>^2/3 code without PCM-refresh.
+func TestRewriteBound(t *testing.T) {
+	m := CostModel{ResetLatency: 40, Slowdown: 150.0 / 40.0}
+	got := m.RewriteBound(2)
+	want := (2 - 1 + 3.75) / (2 * 3.75)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RewriteBound(2) = %v, want %v", got, want)
+	}
+	if math.Abs(want-0.63333333) > 1e-6 {
+		t.Errorf("paper bound check drifted: %v", want)
+	}
+	// Monotone: more rewrites → lower (better) bound, approaching 1/S.
+	prev := math.Inf(1)
+	for k := 1; k <= 64; k *= 2 {
+		b := m.RewriteBound(k)
+		if b >= prev {
+			t.Errorf("RewriteBound(%d) = %v not decreasing (prev %v)", k, b, prev)
+		}
+		prev = b
+	}
+	if lim := 1 / m.Slowdown; prev < lim {
+		t.Errorf("bound %v fell below asymptote 1/S = %v", prev, lim)
+	}
+	if m.RewriteBound(0) != 1 {
+		t.Errorf("RewriteBound(0) should clamp to 1")
+	}
+}

@@ -1,0 +1,89 @@
+package womcode
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// xorCode is the Rivest–Shamir linear generalization of Table 1: a
+// <2^k>^2/(2^k−1) WOM-code. Wits are indexed 1..2^k−1 and a state decodes
+// to the XOR of its set wits' indices. The paper's Table 1 is exactly the
+// k = 2 instance (3 wits, 2 writes); larger k trades a deeper overhead
+// curve — (2^k−1)/k wits per bit — against the same 2-write guarantee, the
+// family Rivest and Shamir use to approach the information-theoretic rate.
+//
+//	write 1: set the single wit indexed by the data (data 0 sets none)
+//	write 2: to move the decode by Δ = old ⊕ new, set wit Δ if it is
+//	         still clear, else set two clear wits a, b with a ⊕ b = Δ
+//
+// After write 1 at most one wit is set, so write 2 always finds its wit or
+// pair among the ≥ 2^k−2 clear wits (for k ≥ 2).
+type xorCode struct {
+	k int
+	n int
+}
+
+// XOR returns the <2^k>^2/(2^k−1) code for k data bits, 2 ≤ k ≤ 6.
+func XOR(k int) Code {
+	if k < 2 || k > 6 {
+		panic(fmt.Sprintf("womcode: XOR code supports 2..6 data bits, got %d", k))
+	}
+	return xorCode{k: k, n: 1<<uint(k) - 1}
+}
+
+func (c xorCode) Name() string  { return fmt.Sprintf("<2^%d>^2/%d", c.k, c.n) }
+func (c xorCode) DataBits() int { return c.k }
+func (c xorCode) Wits() int     { return c.n }
+func (xorCode) Writes() int     { return 2 }
+func (xorCode) Initial() uint64 { return 0 }
+func (xorCode) Inverted() bool  { return false }
+
+// Decode XORs the (1-based) indices of all set wits; wit index i is stored
+// at bit i−1.
+func (c xorCode) Decode(pattern uint64) uint64 {
+	var acc uint64
+	p := pattern & WitMask(c)
+	for p != 0 {
+		bit := bits.TrailingZeros64(p)
+		acc ^= uint64(bit + 1)
+		p &= p - 1
+	}
+	return acc
+}
+
+// witBit returns the pattern bit holding wit index i (1-based).
+func witBit(i uint64) uint64 { return 1 << (i - 1) }
+
+func (c xorCode) Encode(current, data uint64, gen int) (uint64, error) {
+	if err := checkArgs(c, data, gen); err != nil {
+		return 0, err
+	}
+	mask := WitMask(c)
+	if current&^mask != 0 {
+		return 0, ErrInvalidState
+	}
+	cur := c.Decode(current)
+	if cur == data {
+		return current, nil
+	}
+	delta := cur ^ data
+	if gen == 0 && current != 0 {
+		return 0, ErrInvalidState
+	}
+	// Single-wit move.
+	if current&witBit(delta) == 0 {
+		return current | witBit(delta), nil
+	}
+	// Pair move: find clear a < b with a ⊕ b = delta.
+	for a := uint64(1); a <= uint64(c.n); a++ {
+		b := a ^ delta
+		if b <= a || b > uint64(c.n) {
+			continue
+		}
+		if current&witBit(a) == 0 && current&witBit(b) == 0 {
+			return current | witBit(a) | witBit(b), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: state %0*b cannot reach %0*b",
+		ErrWriteLimit, c.n, current, c.k, data)
+}

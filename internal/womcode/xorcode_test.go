@@ -1,0 +1,179 @@
+package womcode
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// TestXORCodesSatisfyWOMProperty: the whole family verifies exhaustively
+// in both orientations, with zero SETs per in-budget inverted write.
+func TestXORCodesSatisfyWOMProperty(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		c := XOR(k)
+		if err := Verify(c); err != nil {
+			t.Errorf("XOR(%d): %v", k, err)
+		}
+		if err := Verify(Invert(c)); err != nil {
+			t.Errorf("inverted XOR(%d): %v", k, err)
+		}
+		if n, err := MaxSETTransitions(Invert(c)); err != nil || n != 0 {
+			t.Errorf("inverted XOR(%d) needs %d SETs (%v)", k, n, err)
+		}
+	}
+}
+
+// TestXORMatchesTable1Parameters: k = 2 reproduces the paper's code's
+// parameters exactly — 2-bit data, 3 wits, 2 writes, 50 % overhead.
+func TestXORMatchesTable1Parameters(t *testing.T) {
+	c := XOR(2)
+	if c.DataBits() != 2 || c.Wits() != 3 || c.Writes() != 2 {
+		t.Errorf("XOR(2) = (%d,%d,%d), want (2,3,2)", c.DataBits(), c.Wits(), c.Writes())
+	}
+	if Overhead(c) != 0.5 {
+		t.Errorf("overhead = %v, want 0.5", Overhead(c))
+	}
+	if c.Name() != "<2^2>^2/3" {
+		t.Errorf("name = %q", c.Name())
+	}
+	// The overhead curve: (2^k−1)/k − 1 rises with k.
+	if o3, o4 := Overhead(XOR(3)), Overhead(XOR(4)); !(o3 > 0.5 && o4 > o3) {
+		t.Errorf("overhead ladder broken: %v, %v", o3, o4)
+	}
+}
+
+// TestXORWritePairMechanics: from a single-wit state, writing back the
+// value 0 requires the two-wit move (the Δ wit is taken).
+func TestXORWritePairMechanics(t *testing.T) {
+	c := XOR(3)
+	// Write 5 first: sets wit index 5 only.
+	first, err := c.Encode(0, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != witBit(5) {
+		t.Fatalf("first write pattern = %b", first)
+	}
+	// Write 0: Δ = 5, wit 5 is set, so a clear pair a⊕b=5 must be used.
+	second, err := c.Encode(first, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Decode(second) != 0 {
+		t.Fatalf("decode = %d, want 0", c.Decode(second))
+	}
+	if second&first != first {
+		t.Fatal("cleared a wit")
+	}
+	added := second &^ first
+	if got := popcount(added); got != 2 {
+		t.Fatalf("added %d wits, want 2", got)
+	}
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// TestXORQuickRoundTrip: any (x, y) sequence encodes and decodes for every
+// k, in the inverted orientation through a row codec.
+func TestXORQuickRoundTrip(t *testing.T) {
+	rc, err := NewRowCodec(Invert(XOR(4)), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b uint32) bool {
+		var d0, d1 [4]byte
+		for i := 0; i < 4; i++ {
+			d0[i], d1[i] = byte(a>>(8*i)), byte(b>>(8*i))
+		}
+		row := rc.InitialRow()
+		row, err := rc.Encode(row, d0[:], 0)
+		if err != nil {
+			return false
+		}
+		if sets, _ := rc.Transitions(rc.InitialRow(), row); sets != 0 {
+			return false
+		}
+		row2, err := rc.Encode(row, d1[:], 1)
+		if err != nil {
+			return false
+		}
+		if sets, _ := rc.Transitions(row, row2); sets != 0 {
+			return false
+		}
+		got, err := rc.Decode(row2)
+		if err != nil {
+			return false
+		}
+		for i := range d1 {
+			if got[i] != d1[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORErrors(t *testing.T) {
+	c := XOR(2)
+	if _, err := c.Encode(0, 4, 0); !errors.Is(err, ErrDataRange) {
+		t.Errorf("data range: %v", err)
+	}
+	if _, err := c.Encode(0, 0, 2); !errors.Is(err, ErrGenRange) {
+		t.Errorf("gen range: %v", err)
+	}
+	if _, err := c.Encode(1<<10, 0, 0); !errors.Is(err, ErrInvalidState) {
+		t.Errorf("state mask: %v", err)
+	}
+	if _, err := c.Encode(0b011, 2, 0); !errors.Is(err, ErrInvalidState) {
+		t.Errorf("dirty gen-0 state: %v", err)
+	}
+	for _, k := range []int{1, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("XOR(%d) did not panic", k)
+				}
+			}()
+			XOR(k)
+		}()
+	}
+}
+
+// TestXORFunctionalIntegration: the k = 3 instance drives the functional
+// memory (indirectly proving the §2.2 plug-in claim at a third code
+// family; the arch layer only needs Writes()).
+func TestXORFunctionalIntegration(t *testing.T) {
+	code := Invert(XOR(3))
+	rc, err := NewRowCodec(code, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24 data bits → 8 symbols × 7 wits = 56 wits.
+	if rc.EncodedBits() != 56 {
+		t.Fatalf("encoded bits = %d", rc.EncodedBits())
+	}
+	row := rc.InitialRow()
+	for gen := 0; gen < 2; gen++ {
+		data := []byte{byte(0x12 * (gen + 1)), 0x34, 0x56}
+		row, err = rc.Encode(row, data, gen)
+		if err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		got, err := rc.Decode(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != data[0] || got[1] != 0x34 || got[2] != 0x56 {
+			t.Fatalf("gen %d decode mismatch: %x", gen, got)
+		}
+	}
+}

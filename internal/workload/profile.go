@@ -1,0 +1,201 @@
+// Package workload synthesizes memory access traces that stand in for the
+// paper's Pin-captured benchmark traces (§5). Each of the 20 benchmarks —
+// SPEC CPU2006 integer and floating point, MiBench, SPLASH-2 — is described
+// by a Profile whose knobs drive exactly the behaviors the paper's results
+// hinge on:
+//
+//   - ReadFraction: the read/write mix; writes are what WOM-codes speed up.
+//   - MeanGapNs / BurstLen / BurstGapNs: memory intensity and burstiness;
+//     idle rank cycles are what PCM-refresh harvests, and same-bank bursts
+//     are what makes slow writes block reads (the Fig. 5(b) effect).
+//   - FootprintRows / ZipfS: working-set size and row-reuse skew; repeated
+//     writes to the same rows exercise the WOM rewrite budget and determine
+//     the WOM-cache hit rate (Fig. 6).
+//   - SeqFraction: streaming behavior; sequential lines share a row and a
+//     bank, adding row-buffer-style locality and bank pressure.
+//   - WriteHotFraction / HotRows: extra write clustering, modeling stores
+//     concentrating on a few structures (e.g. h264ref reference frames).
+//
+// Generators are deterministic given (Profile, seed, geometry), so every
+// experiment is reproducible bit-for-bit.
+package workload
+
+import "fmt"
+
+// Suite labels the benchmark's origin suite.
+type Suite string
+
+// The paper's three suites (§5).
+const (
+	SPEC   Suite = "SPEC CPU2006"
+	MiB    Suite = "MiBench"
+	SPLASH Suite = "SPLASH-2"
+)
+
+// Profile parameterizes one synthetic benchmark.
+type Profile struct {
+	// Name is the benchmark's name as the paper lists it.
+	Name string
+	// Suite is the origin suite.
+	Suite Suite
+
+	// ReadFraction is the fraction of accesses that are reads, in [0,1].
+	ReadFraction float64
+
+	// FootprintRows is the number of distinct memory rows the benchmark
+	// touches (its working set at row granularity).
+	FootprintRows int
+
+	// ZipfS is the Zipf skew (> 1) of row reuse: higher values concentrate
+	// accesses on few rows.
+	ZipfS float64
+
+	// SeqFraction is the fraction of accesses issued by the sequential
+	// streaming cursor rather than the reuse distribution, in [0,1].
+	SeqFraction float64
+
+	// SeqRunLines bounds how many consecutive lines the streaming cursor
+	// emits within one row before hopping to the next row (and, under the
+	// row-interleaved mapping, the next bank). Real LLC miss streams do
+	// not camp on a single 16 KB row for 256 consecutive misses — PCM
+	// memory controllers interleave streams across banks at fine
+	// granularity; 0 selects the default of 2.
+	SeqRunLines int
+
+	// MeanGapNs is the mean inter-burst gap in nanoseconds (exponential);
+	// smaller means more memory-intensive.
+	MeanGapNs float64
+
+	// BurstLen is the mean number of accesses per burst (geometric).
+	BurstLen int
+
+	// BurstGapNs is the arrival gap between accesses within a burst.
+	BurstGapNs int64
+
+	// WriteHotFraction is the probability a write is redirected to the hot
+	// row set, in [0,1].
+	WriteHotFraction float64
+
+	// HotRows is the size of the hot row set (≤ FootprintRows).
+	HotRows int
+
+	// ReadReuse is the probability a read targets the most recently
+	// written row, in [0,1]. Read-after-write row reuse is what queues
+	// reads behind slow writes at a bank — the mechanism behind the
+	// paper's Fig. 5(b) read latency improvements.
+	ReadReuse float64
+
+	// RankAffinity is the probability an access within a burst stays in
+	// the rank the burst started on, in [0,1]. Bursts of LLC misses share
+	// spatial locality, so they tend to land in one rank — concentrating
+	// load on its banks and, under WCPCM, its WOM-cache array (the Fig. 7
+	// banks/rank parallelism effect).
+	RankAffinity float64
+}
+
+// Validate checks the profile's parameter ranges.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("workload: profile needs a name")
+	case p.ReadFraction < 0 || p.ReadFraction > 1:
+		return fmt.Errorf("workload: %s: ReadFraction %v outside [0,1]", p.Name, p.ReadFraction)
+	case p.FootprintRows < 1:
+		return fmt.Errorf("workload: %s: FootprintRows %d < 1", p.Name, p.FootprintRows)
+	case p.ZipfS <= 1:
+		return fmt.Errorf("workload: %s: ZipfS %v must exceed 1", p.Name, p.ZipfS)
+	case p.SeqFraction < 0 || p.SeqFraction > 1:
+		return fmt.Errorf("workload: %s: SeqFraction %v outside [0,1]", p.Name, p.SeqFraction)
+	case p.MeanGapNs <= 0:
+		return fmt.Errorf("workload: %s: MeanGapNs %v must be positive", p.Name, p.MeanGapNs)
+	case p.BurstLen < 1:
+		return fmt.Errorf("workload: %s: BurstLen %d < 1", p.Name, p.BurstLen)
+	case p.BurstGapNs < 0:
+		return fmt.Errorf("workload: %s: negative BurstGapNs", p.Name)
+	case p.WriteHotFraction < 0 || p.WriteHotFraction > 1:
+		return fmt.Errorf("workload: %s: WriteHotFraction %v outside [0,1]", p.Name, p.WriteHotFraction)
+	case p.HotRows < 1 || p.HotRows > p.FootprintRows:
+		return fmt.Errorf("workload: %s: HotRows %d outside [1,FootprintRows]", p.Name, p.HotRows)
+	case p.ReadReuse < 0 || p.ReadReuse > 1:
+		return fmt.Errorf("workload: %s: ReadReuse %v outside [0,1]", p.Name, p.ReadReuse)
+	case p.RankAffinity < 0 || p.RankAffinity > 1:
+		return fmt.Errorf("workload: %s: RankAffinity %v outside [0,1]", p.Name, p.RankAffinity)
+	}
+	return nil
+}
+
+// Profiles returns the 20 benchmark profiles of §5 in the paper's order:
+// five SPEC integer, five SPEC floating point, five MiBench, five SPLASH-2.
+//
+// The parameters encode each benchmark's published memory character
+// (intensity, mix, locality) at the level of fidelity the experiments need;
+// see DESIGN.md §3 for the substitution rationale.
+func Profiles() []Profile {
+	return []Profile{
+		// --- SPEC CPU2006 integer ---
+		{Name: "400.perlbench", Suite: SPEC, ReadFraction: 0.72, FootprintRows: 14000, ZipfS: 1.35,
+			SeqFraction: 0.15, MeanGapNs: 340, BurstLen: 4, BurstGapNs: 30, WriteHotFraction: 0.70, HotRows: 500, ReadReuse: 0.55, RankAffinity: 0},
+		{Name: "401.bzip2", Suite: SPEC, ReadFraction: 0.64, FootprintRows: 8400, ZipfS: 1.25,
+			SeqFraction: 0.45, MeanGapNs: 300, BurstLen: 6, BurstGapNs: 25, WriteHotFraction: 0.65, HotRows: 800, ReadReuse: 0.50, RankAffinity: 0},
+		{Name: "456.hmmer", Suite: SPEC, ReadFraction: 0.80, FootprintRows: 4200, ZipfS: 1.60,
+			SeqFraction: 0.20, MeanGapNs: 380, BurstLen: 3, BurstGapNs: 30, WriteHotFraction: 0.75, HotRows: 250, ReadReuse: 0.60, RankAffinity: 0},
+		{Name: "462.libq", Suite: SPEC, ReadFraction: 0.74, FootprintRows: 3500, ZipfS: 1.10,
+			SeqFraction: 0.80, MeanGapNs: 240, BurstLen: 8, BurstGapNs: 20, WriteHotFraction: 0.50, HotRows: 600, ReadReuse: 0.40, RankAffinity: 0},
+		{Name: "464.h264ref", Suite: SPEC, ReadFraction: 0.55, FootprintRows: 6300, ZipfS: 1.55,
+			SeqFraction: 0.25, MeanGapNs: 320, BurstLen: 5, BurstGapNs: 25, WriteHotFraction: 0.90, HotRows: 300, ReadReuse: 0.65, RankAffinity: 0},
+		// --- SPEC CPU2006 floating point ---
+		{Name: "410.bwaves", Suite: SPEC, ReadFraction: 0.70, FootprintRows: 4200, ZipfS: 1.08,
+			SeqFraction: 0.75, MeanGapNs: 220, BurstLen: 10, BurstGapNs: 15, WriteHotFraction: 0.55, HotRows: 800, ReadReuse: 0.45, RankAffinity: 0},
+		{Name: "436.cactusADM", Suite: SPEC, ReadFraction: 0.62, FootprintRows: 10500, ZipfS: 1.20,
+			SeqFraction: 0.40, MeanGapNs: 280, BurstLen: 6, BurstGapNs: 22, WriteHotFraction: 0.70, HotRows: 700, ReadReuse: 0.55, RankAffinity: 0},
+		{Name: "465.tonto", Suite: SPEC, ReadFraction: 0.71, FootprintRows: 7000, ZipfS: 1.40,
+			SeqFraction: 0.25, MeanGapNs: 360, BurstLen: 4, BurstGapNs: 28, WriteHotFraction: 0.70, HotRows: 400, ReadReuse: 0.55, RankAffinity: 0},
+		{Name: "470.lbm", Suite: SPEC, ReadFraction: 0.52, FootprintRows: 4200, ZipfS: 1.06,
+			SeqFraction: 0.85, MeanGapNs: 200, BurstLen: 12, BurstGapNs: 12, WriteHotFraction: 0.55, HotRows: 1000, ReadReuse: 0.45, RankAffinity: 0},
+		{Name: "482.sphinx3", Suite: SPEC, ReadFraction: 0.85, FootprintRows: 6300, ZipfS: 1.45,
+			SeqFraction: 0.30, MeanGapNs: 330, BurstLen: 4, BurstGapNs: 26, WriteHotFraction: 0.70, HotRows: 300, ReadReuse: 0.60, RankAffinity: 0},
+		// --- MiBench (embedded: lower intensity, smaller footprints) ---
+		{Name: "qsort", Suite: MiB, ReadFraction: 0.60, FootprintRows: 2100, ZipfS: 1.45,
+			SeqFraction: 0.20, MeanGapNs: 900, BurstLen: 3, BurstGapNs: 35, WriteHotFraction: 0.80, HotRows: 200, ReadReuse: 0.60, RankAffinity: 0},
+		{Name: "mad", Suite: MiB, ReadFraction: 0.70, FootprintRows: 2800, ZipfS: 1.35,
+			SeqFraction: 0.55, MeanGapNs: 750, BurstLen: 4, BurstGapNs: 30, WriteHotFraction: 0.75, HotRows: 160, ReadReuse: 0.55, RankAffinity: 0},
+		{Name: "FFT", Suite: MiB, ReadFraction: 0.66, FootprintRows: 3500, ZipfS: 1.30,
+			SeqFraction: 0.35, MeanGapNs: 800, BurstLen: 4, BurstGapNs: 30, WriteHotFraction: 0.75, HotRows: 250, ReadReuse: 0.55, RankAffinity: 0},
+		{Name: "typeset", Suite: MiB, ReadFraction: 0.75, FootprintRows: 5600, ZipfS: 1.40,
+			SeqFraction: 0.25, MeanGapNs: 650, BurstLen: 4, BurstGapNs: 32, WriteHotFraction: 0.70, HotRows: 280, ReadReuse: 0.55, RankAffinity: 0},
+		{Name: "stringsearch", Suite: MiB, ReadFraction: 0.88, FootprintRows: 1050, ZipfS: 1.70,
+			SeqFraction: 0.40, MeanGapNs: 1000, BurstLen: 3, BurstGapNs: 35, WriteHotFraction: 0.80, HotRows: 100, ReadReuse: 0.65, RankAffinity: 0},
+		// --- SPLASH-2 (HPC: higher intensity, larger footprints) ---
+		{Name: "ocean", Suite: SPLASH, ReadFraction: 0.60, FootprintRows: 5600, ZipfS: 1.10,
+			SeqFraction: 0.60, MeanGapNs: 220, BurstLen: 8, BurstGapNs: 15, WriteHotFraction: 0.60, HotRows: 900, ReadReuse: 0.50, RankAffinity: 0},
+		{Name: "water-ns", Suite: SPLASH, ReadFraction: 0.70, FootprintRows: 6300, ZipfS: 1.35,
+			SeqFraction: 0.25, MeanGapNs: 260, BurstLen: 6, BurstGapNs: 18, WriteHotFraction: 0.70, HotRows: 500, ReadReuse: 0.60, RankAffinity: 0},
+		{Name: "water-sp", Suite: SPLASH, ReadFraction: 0.72, FootprintRows: 5600, ZipfS: 1.38,
+			SeqFraction: 0.25, MeanGapNs: 270, BurstLen: 6, BurstGapNs: 18, WriteHotFraction: 0.72, HotRows: 450, ReadReuse: 0.60, RankAffinity: 0},
+		{Name: "raytrace", Suite: SPLASH, ReadFraction: 0.84, FootprintRows: 11200, ZipfS: 1.22,
+			SeqFraction: 0.15, MeanGapNs: 280, BurstLen: 6, BurstGapNs: 20, WriteHotFraction: 0.60, HotRows: 700, ReadReuse: 0.50, RankAffinity: 0},
+		{Name: "lu-ncb", Suite: SPLASH, ReadFraction: 0.61, FootprintRows: 6300, ZipfS: 1.30,
+			SeqFraction: 0.45, MeanGapNs: 250, BurstLen: 7, BurstGapNs: 16, WriteHotFraction: 0.68, HotRows: 650, ReadReuse: 0.55, RankAffinity: 0},
+	}
+}
+
+// ProfileByName finds a profile by benchmark name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// SuiteProfiles returns the profiles belonging to one suite.
+func SuiteProfiles(s Suite) []Profile {
+	var out []Profile
+	for _, p := range Profiles() {
+		if p.Suite == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/trace"
+)
+
+func testGeometry() pcm.Geometry {
+	return pcm.Geometry{Ranks: 4, BanksPerRank: 8, RowsPerBank: 4096, ColsPerRow: 256, BitsPerCol: 4, Devices: 16}
+}
+
+func TestProfilesCoverThePaper(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 20 {
+		t.Fatalf("got %d profiles, the paper evaluates 20", len(ps))
+	}
+	counts := map[Suite]int{}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate profile %s", p.Name)
+		}
+		names[p.Name] = true
+		counts[p.Suite]++
+	}
+	if counts[SPEC] != 10 || counts[MiB] != 5 || counts[SPLASH] != 5 {
+		t.Errorf("suite sizes = %v, want SPEC 10 / MiBench 5 / SPLASH-2 5", counts)
+	}
+	// Benchmarks the paper calls out by name must exist.
+	for _, name := range []string{"464.h264ref", "470.lbm", "qsort", "ocean", "stringsearch"} {
+		if !names[name] {
+			t.Errorf("missing paper benchmark %s", name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, err := ProfileByName("464.h264ref")
+	if err != nil || p.Suite != SPEC {
+		t.Fatalf("ProfileByName: %v, %v", p, err)
+	}
+	if _, err := ProfileByName("no-such-benchmark"); err == nil {
+		t.Error("found a bogus benchmark")
+	}
+}
+
+func TestSuiteProfiles(t *testing.T) {
+	if got := len(SuiteProfiles(MiB)); got != 5 {
+		t.Errorf("MiBench has %d profiles, want 5", got)
+	}
+}
+
+func TestProfileValidateRejectsBadKnobs(t *testing.T) {
+	base := Profiles()[0]
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.ReadFraction = 1.5 },
+		func(p *Profile) { p.FootprintRows = 0 },
+		func(p *Profile) { p.ZipfS = 1.0 },
+		func(p *Profile) { p.SeqFraction = -0.1 },
+		func(p *Profile) { p.MeanGapNs = 0 },
+		func(p *Profile) { p.BurstLen = 0 },
+		func(p *Profile) { p.BurstGapNs = -1 },
+		func(p *Profile) { p.WriteHotFraction = 2 },
+		func(p *Profile) { p.HotRows = 0 },
+		func(p *Profile) { p.HotRows = p.FootprintRows + 1 },
+		func(p *Profile) { p.ReadReuse = -0.5 },
+		func(p *Profile) { p.ReadReuse = 1.5 },
+		func(p *Profile) { p.RankAffinity = -1 },
+		func(p *Profile) { p.RankAffinity = 2 },
+	}
+	for i, mut := range mutations {
+		p := base
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ProfileByName("qsort")
+	a, err := Generate(p, testGeometry(), 42, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, testGeometry(), 42, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different traces")
+	}
+	c, err := Generate(p, testGeometry(), 43, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratorTimeOrdered(t *testing.T) {
+	for _, p := range Profiles() {
+		recs, err := Generate(p, testGeometry(), 7, 2000)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := trace.Validate(recs); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+// TestGeneratorMixMatchesProfile: the empirical read fraction must track the
+// profile within sampling noise.
+func TestGeneratorMixMatchesProfile(t *testing.T) {
+	for _, name := range []string{"470.lbm", "stringsearch", "464.h264ref"} {
+		p, _ := ProfileByName(name)
+		recs, err := Generate(p, testGeometry(), 1, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads := 0
+		for _, r := range recs {
+			if r.Op == trace.Read {
+				reads++
+			}
+		}
+		got := float64(reads) / float64(len(recs))
+		if diff := got - p.ReadFraction; diff > 0.02 || diff < -0.02 {
+			t.Errorf("%s: read fraction %.3f, profile %.3f", name, got, p.ReadFraction)
+		}
+	}
+}
+
+// TestGeneratorFootprint: addresses stay within the profile's row footprint
+// and line alignment.
+func TestGeneratorFootprint(t *testing.T) {
+	p, _ := ProfileByName("stringsearch")
+	g := testGeometry()
+	recs, err := Generate(p, g, 3, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := uint64(p.FootprintRows) * uint64(g.RowBytes())
+	for _, r := range recs {
+		if r.Addr >= limit {
+			t.Fatalf("address %#x beyond footprint %#x", r.Addr, limit)
+		}
+		if r.Addr%LineBytes != 0 {
+			t.Fatalf("address %#x not line aligned", r.Addr)
+		}
+	}
+}
+
+// TestGeneratorReuse: a skewed profile must revisit rows; a streaming one
+// must touch many more distinct rows.
+func TestGeneratorReuse(t *testing.T) {
+	g := testGeometry()
+	distinct := func(name string) int {
+		p, _ := ProfileByName(name)
+		recs, err := Generate(p, g, 5, 8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := map[uint64]bool{}
+		for _, r := range recs {
+			rows[r.Addr/uint64(g.RowBytes())] = true
+		}
+		return len(rows)
+	}
+	hot := distinct("stringsearch") // tiny footprint, high skew
+	cold := distinct("470.lbm")     // streaming, huge footprint
+	if hot >= cold {
+		t.Errorf("distinct rows: stringsearch %d, lbm %d; want stringsearch ≪ lbm", hot, cold)
+	}
+	if cold < 500 {
+		t.Errorf("lbm touched only %d distinct rows; streaming broken?", cold)
+	}
+}
+
+// TestGeneratorIntensityOrdering: HPC workloads must arrive far faster than
+// embedded ones, giving PCM-refresh different idle budgets.
+func TestGeneratorIntensityOrdering(t *testing.T) {
+	g := testGeometry()
+	span := func(name string) int64 {
+		p, _ := ProfileByName(name)
+		recs, err := Generate(p, g, 11, 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs[len(recs)-1].Time
+	}
+	if hpc, emb := span("ocean"), span("stringsearch"); hpc*3 > emb {
+		t.Errorf("ocean span %d ns vs stringsearch %d ns: want ≥3× intensity difference", hpc, emb)
+	}
+}
+
+func TestGeneratorRejectsBadInputs(t *testing.T) {
+	p := Profiles()[0]
+	p.ZipfS = 0.5
+	if _, err := NewGenerator(p, testGeometry(), 1); err == nil {
+		t.Error("accepted invalid profile")
+	}
+	if _, err := NewGenerator(Profiles()[0], pcm.Geometry{}, 1); err == nil {
+		t.Error("accepted invalid geometry")
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if hashString("ocean") != hashString("ocean") {
+		t.Error("hash not deterministic")
+	}
+	if hashString("ocean") == hashString("water-ns") {
+		t.Error("suspicious hash collision between benchmark names")
+	}
+}
+
+// TestReadReuseFollowsWrites: with full read reuse, most reads land on the
+// row most recently written; with none, they rarely do.
+func TestReadReuseFollowsWrites(t *testing.T) {
+	g := testGeometry()
+	followRate := func(reuse float64) float64 {
+		p, _ := ProfileByName("qsort")
+		p.ReadReuse = reuse
+		recs, err := Generate(p, g, 9, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lastWrite uint64
+		var wrote bool
+		follows, reads := 0, 0
+		rowOf := func(a uint64) uint64 { return a / uint64(g.RowBytes()) }
+		for _, r := range recs {
+			if r.Op == trace.Write {
+				lastWrite, wrote = rowOf(r.Addr), true
+				continue
+			}
+			if !wrote {
+				continue
+			}
+			reads++
+			if rowOf(r.Addr) == lastWrite {
+				follows++
+			}
+		}
+		return float64(follows) / float64(reads)
+	}
+	high, low := followRate(0.9), followRate(0)
+	if high < 0.5 {
+		t.Errorf("follow rate with reuse 0.9 = %.2f, want ≥ 0.5", high)
+	}
+	if low > 0.2 {
+		t.Errorf("follow rate with reuse 0 = %.2f, want small", low)
+	}
+	if high <= low {
+		t.Errorf("reuse knob inert: %.2f vs %.2f", high, low)
+	}
+}
+
+// TestRankAffinityClustersBursts: with affinity on, accesses within a
+// burst stay in the anchor rank far more often than without.
+func TestRankAffinityClustersBursts(t *testing.T) {
+	g := testGeometry()
+	mapper, err := pcm.NewAddrMapper(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRankRate := func(affinity float64) float64 {
+		p, _ := ProfileByName("464.h264ref")
+		p.RankAffinity = affinity
+		p.SeqFraction = 0 // streams ignore affinity by design
+		p.ReadReuse = 0
+		recs, err := Generate(p, g, 3, 8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same, pairs := 0, 0
+		for i := 1; i < len(recs); i++ {
+			// Same-burst heuristic: arrivals within the intra-burst gap.
+			if recs[i].Time-recs[i-1].Time > int64(p.BurstGapNs) {
+				continue
+			}
+			pairs++
+			if mapper.Map(recs[i].Addr).Rank == mapper.Map(recs[i-1].Addr).Rank {
+				same++
+			}
+		}
+		if pairs == 0 {
+			t.Fatal("no burst pairs found")
+		}
+		return float64(same) / float64(pairs)
+	}
+	with, without := sameRankRate(0.95), sameRankRate(0)
+	if with <= without+0.2 {
+		t.Errorf("rank affinity inert: %.2f with vs %.2f without", with, without)
+	}
+}

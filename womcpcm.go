@@ -1,0 +1,218 @@
+// Package womcpcm is a from-scratch Go reproduction of "Write-Once-Memory-
+// Code Phase Change Memory" (Jiayin Li and Kartik Mohanram, DATE 2014): a
+// PCM memory architecture that integrates inverted WOM-codes at the memory
+// organization and controller levels so that row rewrites use only fast
+// RESET operations, plus the paper's PCM-refresh policy and the WCPCM
+// WOM-cache architecture.
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/womcode — WOM codes: the paper's <2^2>^2/3 Rivest–Shamir
+//     code (Table 1), inversion, parity codes, row codecs, Flip-N-Write,
+//     and an exhaustive WOM-property verifier.
+//   - internal/pcm — device model: §5 geometry and timing, physical
+//     address mapping, and a functional cell array that enforces the
+//     RESET-only programming discipline.
+//   - internal/memctrl — the event-driven memory-system simulator
+//     (DRAMSim2 stand-in): banks, queues, write-through row buffers, the
+//     PCM-refresh engine with write pausing, and the per-rank WOM-cache.
+//   - internal/core — the four evaluated architectures as timing Systems
+//     and data-carrying FunctionalMemory models.
+//   - internal/workload — synthetic generators for the paper's 20
+//     benchmarks (the Pin-trace substitution).
+//   - internal/sim — the experiment harness regenerating every figure,
+//     plus scheduling/hybrid/organization/pausing/rewrite-budget ablations.
+//   - internal/energy — post-hoc energy pricing (§3.2's refresh rule).
+//   - internal/endurance — Start-Gap wear leveling and lifetime projection
+//     (the paper's §6 future work).
+//
+// Quick start:
+//
+//	sys, _ := womcpcm.NewSystem(womcpcm.Refresh, womcpcm.DefaultOptions())
+//	gen, _ := womcpcm.NewGenerator(womcpcm.MustProfile("qsort"), womcpcm.DefaultGeometry(), 1)
+//	run, _ := sys.Simulate(womcpcm.Limit(gen, 100000))
+//	fmt.Println(run.Summary())
+//
+// See cmd/womsim for the full evaluation, examples/ for runnable scenarios,
+// and EXPERIMENTS.md for paper-versus-measured results.
+package womcpcm
+
+import (
+	"womcpcm/internal/core"
+	"womcpcm/internal/endurance"
+	"womcpcm/internal/energy"
+	"womcpcm/internal/memctrl"
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/sim"
+	"womcpcm/internal/stats"
+	"womcpcm/internal/trace"
+	"womcpcm/internal/womcode"
+	"womcpcm/internal/workload"
+)
+
+// Architectures (the paper's four evaluated systems).
+type (
+	// Arch identifies an architecture; see Baseline, WOMCode, Refresh, WCPCM.
+	Arch = core.Arch
+	// Options tunes a System away from the paper's §5 defaults.
+	Options = core.Options
+	// System is a reusable timing simulation of one architecture.
+	System = core.System
+	// FunctionalMemory stores real bits through the WOM codec.
+	FunctionalMemory = core.FunctionalMemory
+	// WriteResult reports what a functional write physically did.
+	WriteResult = core.WriteResult
+)
+
+// The four architectures in the paper's plotting order.
+const (
+	Baseline = core.Baseline
+	WOMCode  = core.WOMCode
+	Refresh  = core.Refresh
+	WCPCM    = core.WCPCM
+)
+
+// Device model.
+type (
+	// Geometry is the §5 memory organization.
+	Geometry = pcm.Geometry
+	// Timing is the §5 latency set.
+	Timing = pcm.Timing
+	// Wear aggregates endurance counters.
+	Wear = pcm.Wear
+)
+
+// WOM codes.
+type (
+	// Code is a write-once-memory code.
+	Code = womcode.Code
+	// RowCodec applies a Code across a whole memory row.
+	RowCodec = womcode.RowCodec
+)
+
+// Traces and workloads.
+type (
+	// Record is one memory access.
+	Record = trace.Record
+	// Source yields a time-ordered access stream.
+	Source = trace.Source
+	// Profile parameterizes a synthetic benchmark.
+	Profile = workload.Profile
+	// Generator produces a deterministic access stream for a Profile.
+	Generator = workload.Generator
+)
+
+// Results.
+type (
+	// Run is the statistics of one simulation.
+	Run = stats.Run
+	// ExpConfig parameterizes a paper experiment.
+	ExpConfig = sim.ExpConfig
+)
+
+// Architecture construction.
+var (
+	// NewSystem builds a timing simulation of an architecture.
+	NewSystem = core.NewSystem
+	// NewFunctionalMemory builds a data-carrying model of an architecture.
+	NewFunctionalMemory = core.NewFunctionalMemory
+	// DefaultOptions is the paper's §5 configuration.
+	DefaultOptions = core.DefaultOptions
+	// Arches lists the four architectures in plotting order.
+	Arches = core.Arches
+)
+
+// Device defaults.
+var (
+	// DefaultGeometry is the §5 organization: 16 ranks × 32 banks.
+	DefaultGeometry = pcm.DefaultGeometry
+	// DefaultTiming is the §5 latency set (27/150/40/150 ns).
+	DefaultTiming = pcm.DefaultTiming
+)
+
+// Codes.
+var (
+	// RS223 is the conventional <2^2>^2/3 Rivest–Shamir code (Table 1).
+	RS223 = womcode.RS223
+	// InvRS223 is its PCM-inverted form — the paper's working code.
+	InvRS223 = womcode.InvRS223
+	// Parity is the <2>^n/n parity code (n rewrites of one bit).
+	Parity = womcode.Parity
+	// XOR is the Rivest–Shamir <2^k>^2/(2^k−1) family; Table 1 is XOR(2).
+	XOR = womcode.XOR
+	// Invert flips a code between conventional and PCM orientation.
+	Invert = womcode.Invert
+	// NewRowCodec applies a code across a row of the given width.
+	NewRowCodec = womcode.NewRowCodec
+	// VerifyCode exhaustively checks the WOM property.
+	VerifyCode = womcode.Verify
+)
+
+// Workloads and traces.
+var (
+	// Profiles lists the paper's 20 benchmarks.
+	Profiles = workload.Profiles
+	// ProfileByName finds one benchmark profile.
+	ProfileByName = workload.ProfileByName
+	// NewGenerator builds a deterministic trace generator.
+	NewGenerator = workload.NewGenerator
+)
+
+// Experiments (one per paper figure; see also cmd/womsim).
+var (
+	// Fig5 regenerates Fig. 5(a)/(b): normalized write/read latency.
+	Fig5 = sim.Fig5
+	// Fig6 regenerates Fig. 6: WOM-cache hit rates per banks/rank.
+	Fig6 = sim.Fig6
+	// Fig7 regenerates Fig. 7: WCPCM write latency per banks/rank.
+	Fig7 = sim.Fig7
+)
+
+// MustProfile returns a benchmark profile or panics; convenient for
+// examples and tests.
+func MustProfile(name string) Profile {
+	p, err := workload.ProfileByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Limit bounds a source to n records.
+func Limit(src Source, n int) Source { return trace.NewLimit(src, n) }
+
+// Records adapts an in-memory slice to a Source.
+func Records(recs []Record) Source { return trace.NewSliceSource(recs) }
+
+// ControllerConfig exposes the underlying memory-controller configuration
+// type for advanced experiments (custom thresholds, pausing ablations).
+type ControllerConfig = memctrl.Config
+
+// Extensions beyond the paper's figures.
+type (
+	// EnergyModel prices a run's operations (§3.2 refresh-energy rule).
+	EnergyModel = energy.Model
+	// EnergyBreakdown is a priced run.
+	EnergyBreakdown = energy.Breakdown
+	// StartGap is the MICRO 2009 wear-leveling scheme (§6 future work).
+	StartGap = endurance.StartGap
+	// Lifetime projects device lifetime from wear counters.
+	Lifetime = endurance.Lifetime
+)
+
+var (
+	// NewMultiChannel stripes cache lines across n independent channels,
+	// the §1 capacity/bandwidth scaling axis beyond the paper's single
+	// channel.
+	NewMultiChannel = memctrl.NewMultiChannel
+	// DefaultEnergy is a representative pJ-per-row-operation pricing.
+	DefaultEnergy = energy.Default
+	// PriceRuns renders an energy comparison across runs.
+	PriceRuns = energy.Compare
+	// NewStartGap builds a wear-leveling region.
+	NewStartGap = endurance.NewStartGap
+	// DefaultLifetime assumes 10^8-write cells.
+	DefaultLifetime = endurance.DefaultLifetime
+	// SearchCode constructs a WOM-code for k data bits over n wits.
+	SearchCode = womcode.Search
+)
