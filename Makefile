@@ -1,0 +1,34 @@
+# womcpcm build/verify entry points. `make verify` is the tier-1 gate
+# (build + test); `make race` and `make fuzz` are the deeper checks the
+# service subsystem relies on.
+
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: all build test vet race fuzz bench verify clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Round-trip fuzzing of the trace codecs womd exposes to uploads.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzTrace -fuzztime=$(FUZZTIME) ./internal/trace/
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+verify: build test vet
+
+clean:
+	$(GO) clean ./...

@@ -10,9 +10,12 @@
 package womcpcm_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"womcpcm/internal/core"
+	"womcpcm/internal/engine"
 	"womcpcm/internal/pcm"
 	"womcpcm/internal/sim"
 	"womcpcm/internal/womcode"
@@ -223,6 +226,83 @@ func itoa(v int) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// engineJobParams is one small service job: a four-architecture comparison
+// of one benchmark on a reduced geometry, single-threaded so that the
+// worker count — not per-job fan-out — sets the concurrency.
+func engineJobParams() sim.Params {
+	return sim.Params{Requests: 4000, Seed: 3, Bench: []string{"qsort"}, Ranks: 2, Parallelism: 1}
+}
+
+// BenchmarkEngineThroughput measures womd job throughput through the
+// manager (no HTTP) at worker counts 1/2/4/8: b.N jobs are submitted and
+// the pool drained, reporting completed jobs per second.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			mgr := engine.New(engine.Config{
+				Workers:    workers,
+				QueueDepth: b.N,
+				MaxJobs:    b.N + 1,
+			})
+			req := engine.JobRequest{Experiment: "fig5", Params: engineJobParams()}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mgr.Submit(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := mgr.Shutdown(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			snap := mgr.Metrics().Snapshot()
+			if snap.JobsCompleted != uint64(b.N) {
+				b.Fatalf("completed %d of %d jobs", snap.JobsCompleted, b.N)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkEngineQueueSaturation measures admission control under
+// overload: with the single worker busy and the queue full, every further
+// submission must be rejected quickly (this is the 429 path a saturated
+// womd serves). Reports the rejection rate and the cost of a rejection.
+func BenchmarkEngineQueueSaturation(b *testing.B) {
+	mgr := engine.New(engine.Config{Workers: 1, QueueDepth: 2, MaxJobs: b.N + 8})
+	// A slower job pins the worker while rejections are measured.
+	slow := engineJobParams()
+	slow.Requests = 400000
+	req := engine.JobRequest{Experiment: "fig5", Params: slow}
+	var accepted, rejected int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch _, err := mgr.Submit(req); {
+		case err == nil:
+			accepted++
+		case errors.Is(err, engine.ErrQueueFull):
+			rejected++
+		default:
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// The worker can drain at most a few slow jobs while b.N submissions
+	// race in, so nearly everything past the queue depth must bounce.
+	if b.N > 8 && rejected == 0 {
+		b.Fatal("queue never saturated")
+	}
+	for _, j := range mgr.Jobs() {
+		if err := mgr.Cancel(j.ID()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := mgr.Shutdown(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(100*float64(rejected)/float64(b.N), "rejected%")
 }
 
 // BenchmarkSchedulingAblation compares write scheduling ([7]) against

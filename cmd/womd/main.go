@@ -1,0 +1,91 @@
+// Command womd is the simulation service daemon: it serves the experiment
+// registry (internal/sim) over an HTTP/JSON API, executing jobs on a
+// bounded worker pool with admission control, per-job timeouts, service
+// metrics, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	womd -addr :8080 -workers 4 -queue 64 -timeout 10m
+//
+// Quickstart:
+//
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"experiment":"fig5","params":{"requests":20000,"bench":["qsort"]}}'
+//	curl -s localhost:8080/v1/jobs/j-000001/result
+//	curl -s localhost:8080/metrics
+//
+// See DESIGN.md for the API surface and job lifecycle.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"womcpcm/internal/engine"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "job queue depth; full queue returns HTTP 429")
+		timeout    = flag.Duration("timeout", 15*time.Minute, "default per-job timeout (0 = none)")
+		drain      = flag.Duration("drain", 2*time.Minute, "graceful drain budget on shutdown")
+		maxRecords = flag.Int("max-trace-records", 4<<20, "per-upload trace record cap")
+		maxTraces  = flag.Int("max-traces", 64, "stored upload cap")
+	)
+	flag.Parse()
+
+	mgr := engine.New(engine.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *timeout,
+		MaxTraceRecords: *maxRecords,
+		MaxTraces:       *maxTraces,
+	})
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     engine.NewServer(mgr),
+		ReadTimeout: 5 * time.Minute, // trace uploads can be large
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("womd: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("womd: serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, then let queued and
+	// in-flight jobs complete within the drain budget.
+	log.Printf("womd: signal received; draining (budget %s)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("womd: http shutdown: %v", err)
+	}
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "womd: drain budget exceeded; running jobs aborted")
+			os.Exit(1)
+		}
+		log.Fatalf("womd: drain: %v", err)
+	}
+	log.Printf("womd: drained cleanly")
+}

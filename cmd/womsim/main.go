@@ -2,20 +2,23 @@
 // "Write-Once-Memory-Code Phase Change Memory", DATE 2014): Fig. 5(a)/(b)
 // normalized write/read latencies of the four architectures, Fig. 6
 // WOM-cache hit rates, Fig. 7 WCPCM bank scaling, and the repository's
-// ablation experiments.
+// ablation experiments. Every experiment comes from the shared registry in
+// internal/sim — the same registry cmd/womd serves as a job API.
 //
 // Usage:
 //
-//	womsim -fig 5            # Fig. 5(a)+(b) across all 20 benchmarks
-//	womsim -fig 6 -requests 100000
+//	womsim -fig fig5         # Fig. 5(a)+(b) across all 20 benchmarks
+//	womsim -fig fig6 -requests 100000
 //	womsim -fig all -bench 464.h264ref,qsort
 //	womsim -fig rth          # refresh-threshold ablation
 //	womsim -fig sched,hybrid # comparator ablations ([7], [18])
+//	womsim -list             # list registry experiments
 //	womsim -detail ocean     # per-run service breakdown + energy pricing
 //	womsim -trace my.trace   # replay a recorded trace on every architecture
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,7 +27,6 @@ import (
 
 	"womcpcm/internal/core"
 	"womcpcm/internal/energy"
-	"womcpcm/internal/pcm"
 	"womcpcm/internal/sim"
 	"womcpcm/internal/stats"
 	"womcpcm/internal/workload"
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "5", "experiment: 5, 5a, 5b, 6, 7, rth, org, pausing, code, sched, hybrid, channels, all")
+		fig      = flag.String("fig", "fig5", "comma-separated registry experiments (see -list), or \"all\"")
 		requests = flag.Int("requests", 200000, "trace length per benchmark")
 		seed     = flag.Int64("seed", 1, "workload generator seed")
 		bench    = flag.String("bench", "", "comma-separated benchmark filter (default all 20)")
@@ -43,58 +45,71 @@ func main() {
 		traceIn  = flag.String("trace", "", "replay a trace file (text or binary) through every architecture")
 		workers  = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
+		list     = flag.Bool("list", false, "list the experiment registry and exit")
 	)
 	flag.Parse()
 
-	cfg := sim.ExpConfig{
+	if *list {
+		for _, e := range sim.Experiments() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	params := sim.Params{
 		Requests:    *requests,
 		Seed:        *seed,
+		Suite:       *suite,
+		Ranks:       *ranks,
+		Banks:       *banks,
 		Parallelism: *workers,
 	}
-	g := pcm.DefaultGeometry()
-	if *ranks > 0 {
-		g.Ranks = *ranks
+	if *bench != "" {
+		params.Bench = strings.Split(*bench, ",")
 	}
-	if *banks > 0 {
-		g.BanksPerRank = *banks
-	}
-	cfg.Geometry = g
-
-	profiles, err := selectProfiles(*bench, *suite)
-	if err != nil {
-		fatal(err)
-	}
-	cfg.Profiles = profiles
 
 	if *traceIn != "" {
-		if err := replayTrace(cfg, *traceIn, *requests); err != nil {
+		if err := replayTrace(params, *traceIn); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *detail != "" {
-		if err := printDetail(cfg, *detail); err != nil {
+		if err := printDetail(params, *detail); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	for _, f := range strings.Split(*fig, ",") {
-		if err := runFig(cfg, strings.TrimSpace(f), *jsonOut); err != nil {
+	names := strings.Split(*fig, ",")
+	if strings.TrimSpace(*fig) == "all" {
+		names = []string{"fig5", "fig6", "fig7", "rth", "org", "pausing", "code", "sched", "hybrid", "channels"}
+	}
+	for _, name := range names {
+		exp, err := sim.LookupExperiment(name)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := exp.Run(context.Background(), params)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emit(*jsonOut, res); err != nil {
 			fatal(err)
 		}
 	}
 }
 
-// emit renders a result as JSON or with its table renderer.
-func emit(jsonOut bool, name string, res interface{}, render func() string) error {
+// emit renders a result as its table or as JSON.
+func emit(jsonOut bool, res *sim.Result) error {
 	if !jsonOut {
-		fmt.Print(render())
+		fmt.Print(res.Text)
+		fmt.Println()
 		return nil
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(map[string]interface{}{"experiment": name, "result": res})
+	return enc.Encode(map[string]any{"experiment": res.Experiment, "result": res.Data})
 }
 
 func fatal(err error) {
@@ -102,114 +117,12 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func selectProfiles(bench, suite string) ([]workload.Profile, error) {
-	if bench == "" && suite == "" {
-		return workload.Profiles(), nil
-	}
-	if bench != "" {
-		var out []workload.Profile
-		for _, name := range strings.Split(bench, ",") {
-			p, err := workload.ProfileByName(strings.TrimSpace(name))
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, p)
-		}
-		return out, nil
-	}
-	var s workload.Suite
-	switch strings.ToLower(suite) {
-	case "spec":
-		s = workload.SPEC
-	case "mibench":
-		s = workload.MiB
-	case "splash-2", "splash2", "splash":
-		s = workload.SPLASH
-	default:
-		return nil, fmt.Errorf("unknown suite %q", suite)
-	}
-	return workload.SuiteProfiles(s), nil
-}
-
-func runFig(cfg sim.ExpConfig, fig string, jsonOut bool) error {
-	switch fig {
-	case "5", "5a", "5b":
-		res, err := sim.Fig5(cfg)
-		if err != nil {
-			return err
-		}
-		return emit(jsonOut, "fig5", res, func() string { return sim.RenderFig5(res) })
-	case "6":
-		res, err := sim.Fig6(cfg)
-		if err != nil {
-			return err
-		}
-		return emit(jsonOut, "fig6", res, func() string { return sim.RenderFig6(res) })
-	case "7":
-		res, err := sim.Fig7(cfg)
-		if err != nil {
-			return err
-		}
-		return emit(jsonOut, "fig7", res, func() string { return sim.RenderFig7(res) })
-	case "rth":
-		res, err := sim.RthSweep(cfg, []float64{0, 5, 10, 25, 50, 75})
-		if err != nil {
-			return err
-		}
-		return emit(jsonOut, "rth", res, func() string { return sim.RenderRthSweep(res) })
-	case "org":
-		res, err := sim.OrgAblation(cfg)
-		if err != nil {
-			return err
-		}
-		return emit(jsonOut, "org", res, func() string { return sim.RenderOrgAblation(res) })
-	case "pausing":
-		res, err := sim.PausingAblation(cfg)
-		if err != nil {
-			return err
-		}
-		return emit(jsonOut, "pausing", res, func() string { return sim.RenderPausingAblation(res) })
-	case "code":
-		res, err := sim.CodeAblation(cfg, []int{1, 2, 4, 8})
-		if err != nil {
-			return err
-		}
-		return emit(jsonOut, "code", res, func() string { return sim.RenderCodeAblation(res) })
-	case "sched":
-		res, err := sim.SchedulingAblation(cfg)
-		if err != nil {
-			return err
-		}
-		return emit(jsonOut, "sched", res, func() string { return sim.RenderSchedulingAblation(res) })
-	case "hybrid":
-		res, err := sim.HybridAblation(cfg)
-		if err != nil {
-			return err
-		}
-		return emit(jsonOut, "hybrid", res, func() string { return sim.RenderHybridAblation(res) })
-	case "channels":
-		res, err := sim.ChannelScaling(cfg, []int{1, 2, 4})
-		if err != nil {
-			return err
-		}
-		return emit(jsonOut, "channels", res, func() string { return sim.RenderChannelScaling(res) })
-	case "all":
-		for _, f := range []string{"5", "6", "7", "rth", "org", "pausing", "code", "sched", "hybrid", "channels"} {
-			if err := runFig(cfg, f, jsonOut); err != nil {
-				return err
-			}
-			if !jsonOut {
-				fmt.Println()
-			}
-		}
-	default:
-		return fmt.Errorf("unknown figure %q", fig)
-	}
-	return nil
-}
-
-func printDetail(cfg sim.ExpConfig, bench string) error {
+func printDetail(params sim.Params, bench string) error {
 	p, err := workload.ProfileByName(bench)
+	if err != nil {
+		return err
+	}
+	cfg, err := params.Config(context.Background())
 	if err != nil {
 		return err
 	}

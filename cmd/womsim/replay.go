@@ -1,70 +1,44 @@
 package main
 
 import (
-	"bufio"
+	"context"
 	"fmt"
-	"io"
 	"os"
 
-	"womcpcm/internal/core"
 	"womcpcm/internal/sim"
-	"womcpcm/internal/stats"
 	"womcpcm/internal/trace"
 )
 
-// openTrace opens a trace file, sniffing the binary magic and falling back
-// to the text format.
-func openTrace(path string) (trace.Source, func() error, error) {
+// replayTrace runs a trace file through all four architectures via the
+// registry's replay experiment and prints each run's summary plus the
+// normalized comparison.
+func replayTrace(params sim.Params, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	br := bufio.NewReader(f)
-	head, err := br.Peek(4)
-	if err != nil && err != io.EOF {
-		f.Close()
-		return nil, nil, err
+	recs, err := trace.CollectLimit(trace.NewAutoReader(f), 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	if len(head) == 4 && string(head) == "WOMT" {
-		return trace.NewBinReader(br), f.Close, nil
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
 	}
-	return trace.NewTextReader(br), f.Close, nil
-}
-
-// replayTrace runs a trace file through all four architectures and prints
-// each run's summary plus the normalized comparison.
-func replayTrace(cfg sim.ExpConfig, path string, limit int) error {
-	var base *stats.Run
-	for _, arch := range core.Arches() {
-		src, closer, err := openTrace(path)
-		if err != nil {
-			return err
-		}
-		opts := core.DefaultOptions()
-		opts.Geometry = cfg.Geometry
-		sys, err := core.NewSystem(arch, opts)
-		if err != nil {
-			closer()
-			return err
-		}
-		bounded := src
-		if limit > 0 {
-			bounded = trace.NewLimit(src, limit)
-		}
-		run, err := sys.Simulate(bounded)
-		if cerr := closer(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("replaying %s on %s: %w", path, arch, err)
-		}
-		run.Workload = path
-		if arch == core.Baseline {
-			base = run
-		}
-		w, r := run.Normalized(base)
+	params.Trace = recs
+	params.TraceLabel = path
+	exp, err := sim.LookupExperiment("replay")
+	if err != nil {
+		return err
+	}
+	res, err := exp.Run(context.Background(), params)
+	if err != nil {
+		return err
+	}
+	replay := res.Data.(*sim.ReplayResult)
+	for _, run := range replay.Runs {
 		fmt.Print(run.Summary())
-		fmt.Printf("  normalized: write %.3f, read %.3f\n\n", w, r)
+		fmt.Println()
 	}
+	fmt.Print(res.Text)
 	return nil
 }

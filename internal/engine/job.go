@@ -1,0 +1,170 @@
+// Package engine turns the one-shot experiment harness (internal/sim) into
+// a long-running simulation service: a job manager with a bounded queue and
+// admission control, a worker pool executing registry experiments with
+// per-job cancellation and timeouts, an in-memory store for uploaded
+// traces, service metrics with per-experiment wall-time histograms, and the
+// HTTP/JSON API cmd/womd serves.
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"womcpcm/internal/sim"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle: Queued → Running → one of the terminal states. A queued
+// job canceled before a worker picks it up goes straight to Canceled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// JobRequest is the POST /v1/jobs payload: which registry experiment to
+// run, its parameters, and optional trace reference and timeout.
+type JobRequest struct {
+	// Experiment is a registry name (see sim.ExperimentNames) or alias.
+	Experiment string `json:"experiment"`
+	// Params parameterizes the run; the zero value is the paper setup.
+	Params sim.Params `json:"params"`
+	// TraceID references an uploaded trace (required by "replay").
+	TraceID string `json:"trace_id,omitempty"`
+	// TimeoutMs bounds the run; 0 selects the manager's default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Job is one submitted experiment moving through the manager.
+type Job struct {
+	id      string
+	exp     sim.Experiment
+	req     JobRequest
+	params  sim.Params
+	timeout time.Duration
+
+	mu        sync.Mutex
+	state     State
+	err       error
+	result    *sim.Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // set while running
+	cancelReq bool               // cancel requested before running
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the experiment result once the job succeeded.
+func (j *Job) Result() (*sim.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// requestCancel asks the job to stop. Returns the state observed: a queued
+// job is marked for skipping, a running job has its context canceled, and a
+// terminal job is left untouched.
+func (j *Job) requestCancel() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.cancelReq = true
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.state
+}
+
+// markRunning transitions Queued → Running unless cancellation was
+// requested first, in which case the job finishes as Canceled.
+func (j *Job) markRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelReq {
+		j.state = StateCanceled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish records the terminal state.
+func (j *Job) finish(state State, res *sim.Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	j.cancel = nil
+}
+
+// JobView is the JSON shape of a job's status.
+type JobView struct {
+	ID          string `json:"id"`
+	Experiment  string `json:"experiment"`
+	State       State  `json:"state"`
+	Error       string `json:"error,omitempty"`
+	TraceID     string `json:"trace_id,omitempty"`
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	// DurationMs is the run's wall time (running jobs: elapsed so far).
+	DurationMs int64 `json:"duration_ms,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.id,
+		Experiment:  j.exp.Name,
+		State:       j.state,
+		TraceID:     j.req.TraceID,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+		switch {
+		case !j.finished.IsZero():
+			v.DurationMs = j.finished.Sub(j.started).Milliseconds()
+		default:
+			v.DurationMs = time.Since(j.started).Milliseconds()
+		}
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return v
+}

@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"womcpcm/internal/sim"
+)
+
+// Config sizes the manager. Zero values select production defaults.
+type Config struct {
+	// Workers is the pool size (default GOMAXPROCS). Each worker runs one
+	// job at a time; the job's own Parallelism then fans out simulations,
+	// so total CPU use is roughly Workers × per-job Parallelism — size
+	// per-job Parallelism down when raising Workers.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 64). A full
+	// queue rejects submissions (HTTP 429) instead of queueing unbounded.
+	QueueDepth int
+	// DefaultTimeout bounds jobs that do not request their own timeout;
+	// 0 means no default bound.
+	DefaultTimeout time.Duration
+	// MaxTraceRecords bounds one trace upload (default 4M records).
+	MaxTraceRecords int
+	// MaxTraces bounds concurrently stored uploads (default 64).
+	MaxTraces int
+	// MaxJobs bounds retained job records, completed ones included
+	// (default 4096). Submissions beyond it are rejected until jobs are
+	// deleted — crude but bounded; a later PR can add result eviction.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// Admission and lifecycle errors, mapped to HTTP statuses by the server.
+var (
+	// ErrQueueFull rejects a submission when the queue is at depth.
+	ErrQueueFull = errors.New("engine: job queue full")
+	// ErrDraining rejects submissions after shutdown began.
+	ErrDraining = errors.New("engine: manager draining")
+	// ErrTooManyJobs rejects submissions past the retained-job bound.
+	ErrTooManyJobs = errors.New("engine: too many retained jobs")
+	// ErrNotFound reports an unknown job or trace id.
+	ErrNotFound = errors.New("engine: not found")
+)
+
+// Manager owns the job queue, the worker pool, the trace store, and the
+// metrics. One Manager serves one process.
+type Manager struct {
+	cfg     Config
+	metrics *Metrics
+	traces  *TraceStore
+
+	baseCtx context.Context // canceled to abort all running jobs
+	abort   context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	seq      uint64
+	draining bool
+	queue    chan *Job
+
+	wg sync.WaitGroup
+}
+
+// New starts a manager and its worker pool.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		traces:  NewTraceStore(cfg.MaxTraceRecords, cfg.MaxTraces),
+		baseCtx: ctx,
+		abort:   cancel,
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueDepth),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Metrics exposes the service counters.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Traces exposes the upload store.
+func (m *Manager) Traces() *TraceStore { return m.traces }
+
+// Submit validates the request, resolves its trace reference, and enqueues
+// a job. A full queue or a draining manager rejects immediately —
+// admission control instead of unbounded buffering.
+func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	exp, err := sim.LookupExperiment(req.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	params := req.Params
+	if req.TraceID != "" {
+		st, ok := m.traces.Get(req.TraceID)
+		if !ok {
+			return nil, fmt.Errorf("%w: trace %q", ErrNotFound, req.TraceID)
+		}
+		params.Trace = st.Records()
+		params.TraceLabel = st.Label
+	}
+	if exp.NeedsTrace && len(params.Trace) == 0 {
+		return nil, fmt.Errorf("engine: experiment %q needs trace_id", exp.Name)
+	}
+	if exp.NeedsProfile && params.Profile == nil {
+		return nil, fmt.Errorf("engine: experiment %q needs params.profile", exp.Name)
+	}
+	// Reject malformed params at admission instead of at run time.
+	if _, err := params.Config(context.Background()); err != nil {
+		return nil, err
+	}
+	timeout := m.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.metrics.Rejected.Add(1)
+		return nil, ErrDraining
+	}
+	if len(m.jobs) >= m.cfg.MaxJobs {
+		m.metrics.Rejected.Add(1)
+		return nil, ErrTooManyJobs
+	}
+	m.seq++
+	job := &Job{
+		id:        fmt.Sprintf("j-%06d", m.seq),
+		exp:       exp,
+		req:       req,
+		params:    params,
+		timeout:   timeout,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case m.queue <- job:
+	default:
+		m.seq-- // id not spent
+		m.metrics.Rejected.Add(1)
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
+	}
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	m.metrics.Queued.Add(1)
+	m.metrics.QueueDepth.Add(1)
+	return job, nil
+}
+
+// Get returns a job by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs lists jobs in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel stops a job: queued jobs are skipped when dequeued, running jobs
+// have their context canceled. Canceling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	j.requestCancel()
+	return nil
+}
+
+// Delete forgets a terminal job, freeing its retained result.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: job %q", ErrNotFound, id)
+	}
+	if !j.State().Terminal() {
+		return fmt.Errorf("engine: job %q is %s; cancel it first", id, j.State())
+	}
+	delete(m.jobs, id)
+	i := sort.SearchStrings(m.order, id)
+	if i < len(m.order) && m.order[i] == id {
+		m.order = append(m.order[:i], m.order[i+1:]...)
+	}
+	return nil
+}
+
+// Shutdown drains gracefully: submissions are rejected from now on, queued
+// and in-flight jobs run to completion, and workers exit. If ctx expires
+// first, running jobs are aborted via their contexts and Shutdown returns
+// ctx.Err() after the pool stops.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue) // safe: submitters enqueue under m.mu and check draining
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.abort()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker executes queued jobs until the queue closes on drain.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.metrics.QueueDepth.Add(-1)
+		m.runJob(job)
+	}
+}
+
+// runJob drives one job through Running to a terminal state.
+func (m *Manager) runJob(job *Job) {
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if job.timeout > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, job.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(m.baseCtx)
+	}
+	defer cancel()
+	if !job.markRunning(cancel) {
+		m.metrics.Canceled.Add(1)
+		return
+	}
+	m.metrics.Running.Add(1)
+	start := time.Now()
+	res, err := job.exp.Run(ctx, job.params)
+	m.metrics.Running.Add(-1)
+	m.metrics.ObserveWall(job.exp.Name, time.Since(start))
+	switch {
+	case err == nil:
+		m.metrics.Completed.Add(1)
+		job.finish(StateSucceeded, res, nil)
+	case errors.Is(err, context.DeadlineExceeded):
+		m.metrics.Failed.Add(1)
+		job.finish(StateFailed, nil, fmt.Errorf("engine: job timed out after %s", job.timeout))
+	case errors.Is(err, context.Canceled):
+		m.metrics.Canceled.Add(1)
+		job.finish(StateCanceled, nil, err)
+	default:
+		m.metrics.Failed.Add(1)
+		job.finish(StateFailed, nil, err)
+	}
+}

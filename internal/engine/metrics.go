@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"womcpcm/internal/stats"
+)
+
+// Metrics aggregates the service counters the /metrics endpoint exports.
+// Counters are monotonic over the process lifetime; QueueDepth and Running
+// are gauges. Wall-time distributions reuse the simulator's log2 histogram
+// (internal/stats.Latency), one per experiment.
+type Metrics struct {
+	Queued    atomic.Uint64 // jobs accepted into the queue
+	Rejected  atomic.Uint64 // jobs refused by admission control
+	Completed atomic.Uint64 // jobs that succeeded
+	Failed    atomic.Uint64 // jobs that errored or timed out
+	Canceled  atomic.Uint64 // jobs canceled (queued or running)
+
+	QueueDepth atomic.Int64 // jobs waiting for a worker
+	Running    atomic.Int64 // jobs executing now
+
+	mu   sync.Mutex
+	wall map[string]*stats.Latency // experiment → wall-time histogram
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{wall: make(map[string]*stats.Latency)}
+}
+
+// ObserveWall records one job's wall time under its experiment name.
+func (m *Metrics) ObserveWall(experiment string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.wall[experiment]
+	if l == nil {
+		l = &stats.Latency{}
+		m.wall[experiment] = l
+	}
+	l.Observe(d.Nanoseconds())
+}
+
+// WallSnapshot exports the per-experiment wall-time histograms.
+func (m *Metrics) WallSnapshot() map[string]stats.LatencySnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]stats.LatencySnapshot, len(m.wall))
+	for exp, l := range m.wall {
+		out[exp] = l.Snapshot()
+	}
+	return out
+}
+
+// Snapshot is the JSON form of the metrics set.
+type Snapshot struct {
+	JobsQueued    uint64 `json:"jobs_queued_total"`
+	JobsRejected  uint64 `json:"jobs_rejected_total"`
+	JobsCompleted uint64 `json:"jobs_completed_total"`
+	JobsFailed    uint64 `json:"jobs_failed_total"`
+	JobsCanceled  uint64 `json:"jobs_canceled_total"`
+	QueueDepth    int64  `json:"queue_depth"`
+	JobsRunning   int64  `json:"jobs_running"`
+
+	WallNs map[string]stats.LatencySnapshot `json:"job_wall_ns"`
+}
+
+// Snapshot captures every counter and histogram at once.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		JobsQueued:    m.Queued.Load(),
+		JobsRejected:  m.Rejected.Load(),
+		JobsCompleted: m.Completed.Load(),
+		JobsFailed:    m.Failed.Load(),
+		JobsCanceled:  m.Canceled.Load(),
+		QueueDepth:    m.QueueDepth.Load(),
+		JobsRunning:   m.Running.Load(),
+		WallNs:        m.WallSnapshot(),
+	}
+}
+
+// WriteProm renders the metrics in the Prometheus text exposition format.
+func (m *Metrics) WriteProm(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("womd_jobs_queued_total", "Jobs accepted into the queue.", m.Queued.Load())
+	counter("womd_jobs_rejected_total", "Jobs refused by admission control.", m.Rejected.Load())
+	counter("womd_jobs_completed_total", "Jobs that succeeded.", m.Completed.Load())
+	counter("womd_jobs_failed_total", "Jobs that errored or timed out.", m.Failed.Load())
+	counter("womd_jobs_canceled_total", "Jobs canceled before or during execution.", m.Canceled.Load())
+	gauge("womd_queue_depth", "Jobs waiting for a worker.", m.QueueDepth.Load())
+	gauge("womd_jobs_running", "Jobs executing now.", m.Running.Load())
+
+	walls := m.WallSnapshot()
+	exps := make([]string, 0, len(walls))
+	for exp := range walls {
+		exps = append(exps, exp)
+	}
+	sort.Strings(exps)
+	const name = "womd_job_wall_seconds"
+	fmt.Fprintf(w, "# HELP %s Per-experiment job wall time.\n# TYPE %s histogram\n", name, name)
+	for _, exp := range exps {
+		s := walls[exp]
+		for _, b := range s.Buckets {
+			fmt.Fprintf(w, "%s_bucket{experiment=%q,le=\"%g\"} %d\n",
+				name, exp, float64(b.UpperNs)/1e9, b.Count)
+		}
+		fmt.Fprintf(w, "%s_bucket{experiment=%q,le=\"+Inf\"} %d\n", name, exp, s.Count)
+		fmt.Fprintf(w, "%s_sum{experiment=%q} %g\n", name, exp, float64(s.SumNs)/1e9)
+		fmt.Fprintf(w, "%s_count{experiment=%q} %d\n", name, exp, s.Count)
+	}
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"womcpcm/internal/sim"
+)
+
+// Server is the HTTP/JSON face of a Manager. Routes (see DESIGN.md for the
+// full catalog):
+//
+//	POST   /v1/jobs             submit an experiment job (202, 429 when full)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result result of a succeeded job (202 while pending)
+//	DELETE /v1/jobs/{id}        cancel a pending job / delete a finished one
+//	POST   /v1/traces           upload a trace (binary or text body)
+//	GET    /v1/traces           list uploads
+//	DELETE /v1/traces/{id}      drop an upload
+//	GET    /v1/experiments      list the experiment registry
+//	GET    /metrics             Prometheus text format
+//	GET    /metrics.json        JSON metrics snapshot
+//	GET    /healthz             liveness probe
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes over m.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.getResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.deleteJob)
+	s.mux.HandleFunc("POST /v1/traces", s.uploadTrace)
+	s.mux.HandleFunc("GET /v1/traces", s.listTraces)
+	s.mux.HandleFunc("DELETE /v1/traces/{id}", s.deleteTrace)
+	s.mux.HandleFunc("GET /v1/experiments", s.listExperiments)
+	s.mux.HandleFunc("GET /metrics", s.promMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.jsonMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone mid-response
+}
+
+// writeError maps engine errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrTooManyJobs), errors.Is(err, ErrStoreFull):
+		status = http.StatusInsufficientStorage
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+const maxJobBody = 1 << 20 // job submissions are small JSON documents
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("engine: decoding job request: %w", err))
+		return
+	}
+	job, err := s.m.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID())
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.m.Jobs()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.View()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, fmt.Errorf("%w: job %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) getResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, fmt.Errorf("%w: job %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	view := job.View()
+	switch view.State {
+	case StateSucceeded:
+		res, _ := job.Result()
+		writeJSON(w, http.StatusOK, map[string]any{"job": view, "result": res})
+	case StateQueued, StateRunning:
+		// Not ready yet: 202 tells pollers to come back.
+		writeJSON(w, http.StatusAccepted, view)
+	default:
+		writeJSON(w, http.StatusConflict, view)
+	}
+}
+
+// deleteJob cancels a pending job; a terminal job is removed instead.
+func (s *Server) deleteJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.m.Get(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: job %q", ErrNotFound, id))
+		return
+	}
+	if job.State().Terminal() {
+		if err := s.m.Delete(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+		return
+	}
+	if err := s.m.Cancel(id); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.View())
+}
+
+func (s *Server) uploadTrace(w http.ResponseWriter, r *http.Request) {
+	st, err := s.m.Traces().Put(r.URL.Query().Get("label"), r.Body)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/traces/"+st.ID)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) listTraces(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.m.Traces().List()})
+}
+
+func (s *Server) deleteTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.m.Traces().Delete(id) {
+		writeError(w, fmt.Errorf("%w: trace %q", ErrNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Server) listExperiments(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": sim.Experiments()})
+}
+
+func (s *Server) promMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.Metrics().WriteProm(w)
+}
+
+func (s *Server) jsonMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Metrics().Snapshot())
+}

@@ -29,7 +29,7 @@ func RthSweep(cfg ExpConfig, thresholds []float64) (*RthSweepResult, error) {
 		Aborts:     make([]uint64, len(thresholds)),
 	}
 	baseMeans := make([]float64, len(cfg.Profiles))
-	if err := parMap(len(cfg.Profiles), cfg.Parallelism, func(p int) error {
+	if err := cfg.parMap(len(cfg.Profiles), func(p int) error {
 		run, err := cfg.runArch(core.Baseline, cfg.Profiles[p], cfg.Geometry)
 		if err != nil {
 			return err
@@ -54,7 +54,7 @@ func RthSweep(cfg ExpConfig, thresholds []float64) (*RthSweepResult, error) {
 	for p := range cells {
 		cells[p] = make([]cell, len(thresholds))
 	}
-	if err := parMap(len(jobs), cfg.Parallelism, func(i int) error {
+	if err := cfg.parMap(len(jobs), func(i int) error {
 		j := jobs[i]
 		mc := memctrl.Config{
 			Geometry: cfg.Geometry,
@@ -106,7 +106,7 @@ func OrgAblation(cfg ExpConfig) (*OrgAblationResult, error) {
 			WOM:      &memctrl.WOMConfig{Rewrites: 2, Org: org},
 		}
 	}
-	if err := parMap(len(cfg.Profiles), cfg.Parallelism, func(p int) error {
+	if err := cfg.parMap(len(cfg.Profiles), func(p int) error {
 		base, err := cfg.runArch(core.Baseline, cfg.Profiles[p], cfg.Geometry)
 		if err != nil {
 			return err
@@ -160,7 +160,7 @@ func PausingAblation(cfg ExpConfig) (*PausingAblationResult, error) {
 	}
 	type triple struct{ base, with, without *stats.Run }
 	rows := make([]triple, len(cfg.Profiles))
-	if err := parMap(len(cfg.Profiles), cfg.Parallelism, func(p int) error {
+	if err := cfg.parMap(len(cfg.Profiles), func(p int) error {
 		base, err := cfg.runArch(core.Baseline, cfg.Profiles[p], cfg.Geometry)
 		if err != nil {
 			return err
@@ -214,7 +214,7 @@ func CodeAblation(cfg ExpConfig, rewrites []int) (*CodeAblationResult, error) {
 		res.Bound[i] = (float64(k) - 1 + model.s) / (float64(k) * model.s)
 	}
 	baseMeans := make([]float64, len(cfg.Profiles))
-	if err := parMap(len(cfg.Profiles), cfg.Parallelism, func(p int) error {
+	if err := cfg.parMap(len(cfg.Profiles), func(p int) error {
 		run, err := cfg.runArch(core.Baseline, cfg.Profiles[p], cfg.Geometry)
 		if err != nil {
 			return err
@@ -235,7 +235,7 @@ func CodeAblation(cfg ExpConfig, rewrites []int) (*CodeAblationResult, error) {
 	for p := range norms {
 		norms[p] = make([]float64, len(rewrites))
 	}
-	if err := parMap(len(jobs), cfg.Parallelism, func(i int) error {
+	if err := cfg.parMap(len(jobs), func(i int) error {
 		j := jobs[i]
 		mc := memctrl.Config{
 			Geometry: cfg.Geometry,

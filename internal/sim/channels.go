@@ -48,7 +48,7 @@ func ChannelScaling(cfg ExpConfig, channels []int) (*ChannelScalingResult, error
 	for p := range runs {
 		runs[p] = make([]*stats.Run, len(channels))
 	}
-	if err := parMap(len(jobs), cfg.Parallelism, func(i int) error {
+	if err := cfg.parMap(len(jobs), func(i int) error {
 		j := jobs[i]
 		mc, err := memctrl.NewMultiChannel(mcCfg, channels[j.ch])
 		if err != nil {

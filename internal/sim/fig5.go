@@ -54,7 +54,7 @@ func Fig5(cfg ExpConfig) (*Fig5Result, error) {
 	for i := range runs {
 		runs[i] = make([]*stats.Run, len(core.Arches()))
 	}
-	err := parMap(len(jobs), cfg.Parallelism, func(i int) error {
+	err := cfg.parMap(len(jobs), func(i int) error {
 		j := jobs[i]
 		run, err := cfg.runArch(core.Arches()[j.arch], cfg.Profiles[j.prof], cfg.Geometry)
 		if err != nil {

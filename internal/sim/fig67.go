@@ -54,7 +54,7 @@ func bankSweep(cfg ExpConfig, collect func(prof, bankIdx int, hitRate, writeMean
 	}
 	var mu lockedCollect
 	mu.f = collect
-	return parMap(len(jobs), cfg.Parallelism, func(i int) error {
+	return cfg.parMap(len(jobs), func(i int) error {
 		j := jobs[i]
 		g := cfg.Geometry
 		g.BanksPerRank = Fig6BankCounts[j.bank]

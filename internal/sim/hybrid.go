@@ -35,7 +35,7 @@ func HybridAblation(cfg ExpConfig) (*HybridAblationResult, error) {
 	}
 	type triple struct{ base, wcpcm, hybrid *stats.Run }
 	rows := make([]triple, len(cfg.Profiles))
-	if err := parMap(len(cfg.Profiles), cfg.Parallelism, func(p int) error {
+	if err := cfg.parMap(len(cfg.Profiles), func(p int) error {
 		base, err := cfg.runArch(core.Baseline, cfg.Profiles[p], cfg.Geometry)
 		if err != nil {
 			return err

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"womcpcm/internal/trace"
+)
+
+func TestRegistryLookupAndAliases(t *testing.T) {
+	names := ExperimentNames()
+	if len(names) != len(Experiments()) {
+		t.Fatalf("names %d != experiments %d", len(names), len(Experiments()))
+	}
+	for _, name := range names {
+		exp, err := LookupExperiment(name)
+		if err != nil {
+			t.Fatalf("lookup %q: %v", name, err)
+		}
+		if exp.Name != name || exp.Description == "" {
+			t.Errorf("experiment %q malformed: %+v", name, exp)
+		}
+	}
+	// The historical womsim -fig spellings resolve.
+	for alias, canon := range map[string]string{"5": "fig5", "5a": "fig5", "5b": "fig5", "6": "fig6", "7": "fig7"} {
+		exp, err := LookupExperiment(alias)
+		if err != nil || exp.Name != canon {
+			t.Errorf("alias %q → %q (%v), want %q", alias, exp.Name, err, canon)
+		}
+	}
+	if _, err := LookupExperiment("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestParamsConfig(t *testing.T) {
+	cfg, err := Params{Requests: 123, Seed: 9, Ranks: 4, Banks: 8, Bench: []string{"qsort"}}.Config(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Requests != 123 || cfg.Seed != 9 || cfg.Geometry.Ranks != 4 || cfg.Geometry.BanksPerRank != 8 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if len(cfg.Profiles) != 1 || cfg.Profiles[0].Name != "qsort" {
+		t.Errorf("profiles = %+v", cfg.Profiles)
+	}
+	if _, err := (Params{Suite: "SPEC", Bench: []string{"qsort"}}).Config(context.Background()); err == nil {
+		t.Error("bench+suite accepted")
+	}
+	if _, err := (Params{Suite: "unknown"}).Config(context.Background()); err == nil {
+		t.Error("unknown suite accepted")
+	}
+	suite, err := Params{Suite: "mibench"}.Config(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range suite.Profiles {
+		if p.Suite != "MiBench" {
+			t.Errorf("suite filter leaked %s", p.Name)
+		}
+	}
+}
+
+func TestRegistryRequiredInputs(t *testing.T) {
+	sweep, err := LookupExperiment("sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweep.Run(context.Background(), Params{}); err == nil ||
+		!strings.Contains(err.Error(), "profile") {
+		t.Errorf("profile-less sweep: %v", err)
+	}
+	replay, err := LookupExperiment("replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay.Run(context.Background(), Params{}); err == nil ||
+		!strings.Contains(err.Error(), "trace") {
+		t.Errorf("trace-less replay: %v", err)
+	}
+}
+
+func TestReplayExperiment(t *testing.T) {
+	recs := make([]trace.Record, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		op := trace.Write
+		if i%4 == 0 {
+			op = trace.Read
+		}
+		recs = append(recs, trace.Record{Op: op, Addr: uint64(i%128) * 16384, Time: int64(i) * 75})
+	}
+	cfg := fastConfig(t)
+	res, err := Replay(cfg, "synthetic", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 4000 || len(res.Runs) != 4 {
+		t.Fatalf("replay shape: %+v", res)
+	}
+	if res.NormWrite[0] != 1 || res.NormRead[0] != 1 {
+		t.Errorf("baseline not normalized: %v %v", res.NormWrite, res.NormRead)
+	}
+	for i, run := range res.Runs {
+		if run.Workload != "synthetic" {
+			t.Errorf("run %d label = %q", i, run.Workload)
+		}
+	}
+	if out := RenderReplay(res); !strings.Contains(out, "synthetic") || !strings.Contains(out, "4000") {
+		t.Errorf("render broken:\n%s", out)
+	}
+	// Out-of-order records are rejected.
+	bad := []trace.Record{{Time: 100}, {Time: 50}}
+	if _, err := Replay(cfg, "bad", bad); err == nil {
+		t.Error("unordered trace accepted")
+	}
+}
+
+// TestExperimentCancellation: a canceled context stops a run between
+// simulations and surfaces context.Canceled.
+func TestExperimentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exp, err := LookupExperiment("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = exp.Run(ctx, Params{Requests: 20000, Bench: []string{"qsort"}, Ranks: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled run = %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"womcpcm/internal/core"
+	"womcpcm/internal/stats"
+	"womcpcm/internal/trace"
+)
+
+// ReplayResult runs one recorded trace through all four architectures — the
+// service-mode counterpart of the synthetic benchmarks: clients upload a
+// trace once and compare architectures on their real access stream.
+type ReplayResult struct {
+	// Label names the trace (file path or upload id).
+	Label string
+	// Records is the number of records replayed per architecture.
+	Records int
+	// Runs holds one run per architecture, indexed like core.Arches().
+	Runs []*stats.Run
+	// NormWrite and NormRead are latencies normalized to the baseline run.
+	NormWrite []float64
+	NormRead  []float64
+}
+
+// Replay simulates recs on every architecture. The record slice is replayed
+// verbatim for each architecture so all four see identical input; cfg's
+// Requests field bounds the replay length when positive. Architectures run
+// in parallel under cfg.Parallelism and honor cfg.Ctx.
+func Replay(cfg ExpConfig, label string, recs []trace.Record) (*ReplayResult, error) {
+	cfg = cfg.normalize()
+	if err := trace.Validate(recs); err != nil {
+		return nil, err
+	}
+	if cfg.Requests > 0 && cfg.Requests < len(recs) {
+		recs = recs[:cfg.Requests]
+	}
+	arches := core.Arches()
+	res := &ReplayResult{
+		Label:     label,
+		Records:   len(recs),
+		Runs:      make([]*stats.Run, len(arches)),
+		NormWrite: make([]float64, len(arches)),
+		NormRead:  make([]float64, len(arches)),
+	}
+	if err := cfg.parMap(len(arches), func(i int) error {
+		opts := core.DefaultOptions()
+		opts.Geometry = cfg.Geometry
+		opts.Timing = cfg.Timing
+		sys, err := core.NewSystem(arches[i], opts)
+		if err != nil {
+			return err
+		}
+		run, err := sys.Simulate(trace.NewSliceSource(recs))
+		if err != nil {
+			return fmt.Errorf("sim: replaying %s on %s: %w", label, arches[i], err)
+		}
+		run.Workload = label
+		res.Runs[i] = run
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	base := res.Runs[int(core.Baseline)]
+	for i, run := range res.Runs {
+		res.NormWrite[i], res.NormRead[i] = run.Normalized(base)
+	}
+	return res, nil
+}
+
+// RenderReplay formats the per-architecture comparison.
+func RenderReplay(res *ReplayResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Replay: %s (%d records)\n", res.Label, res.Records)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "architecture\tmean write\tmean read\tnorm. write\tnorm. read")
+	for i, run := range res.Runs {
+		fmt.Fprintf(tw, "%s\t%.1fns\t%.1fns\t%.3f\t%.3f\n", run.Arch,
+			run.WriteLatency.Mean(), run.ReadLatency.Mean(), res.NormWrite[i], res.NormRead[i])
+	}
+	tw.Flush()
+	return b.String()
+}

@@ -57,7 +57,7 @@ func SchedulingAblation(cfg ExpConfig) (*SchedulingAblationResult, error) {
 	}
 
 	baseRuns := make([]*stats.Run, len(cfg.Profiles))
-	if err := parMap(len(cfg.Profiles), cfg.Parallelism, func(p int) error {
+	if err := cfg.parMap(len(cfg.Profiles), func(p int) error {
 		run, err := cfg.runArch(core.Baseline, cfg.Profiles[p], cfg.Geometry)
 		if err != nil {
 			return err
@@ -83,7 +83,7 @@ func SchedulingAblation(cfg ExpConfig) (*SchedulingAblationResult, error) {
 	for p := range cells {
 		cells[p] = make([]cell, len(variants))
 	}
-	if err := parMap(len(jobs), cfg.Parallelism, func(i int) error {
+	if err := cfg.parMap(len(jobs), func(i int) error {
 		j := jobs[i]
 		run, err := cfg.runConfig(variants[j.variant].mc, cfg.Profiles[j.prof])
 		if err != nil {

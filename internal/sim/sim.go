@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,6 +37,10 @@ type ExpConfig struct {
 	Profiles []workload.Profile
 	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
 	Parallelism int
+	// Ctx, when set, cancels the experiment between individual
+	// simulations. Long-running services (cmd/womd) use it for job
+	// timeouts and shutdown; nil means context.Background().
+	Ctx context.Context
 }
 
 func (c ExpConfig) normalize() ExpConfig {
@@ -56,6 +61,9 @@ func (c ExpConfig) normalize() ExpConfig {
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
 	}
 	return c
 }
@@ -111,9 +119,25 @@ func (c ExpConfig) runConfig(cfg memctrl.Config, p workload.Profile) (*stats.Run
 	return run, nil
 }
 
+// parMap runs f(0..n-1) on at most c.Parallelism goroutines, stopping
+// between simulations if c.Ctx is canceled. c must be normalized.
+func (c ExpConfig) parMap(n int, f func(i int) error) error {
+	return parMapCtx(c.Ctx, n, c.Parallelism, f)
+}
+
 // parMap runs f(0..n-1) on at most workers goroutines and returns the first
 // error.
 func parMap(n, workers int, f func(i int) error) error {
+	return parMapCtx(context.Background(), n, workers, f)
+}
+
+// parMapCtx is parMap with cancellation: once ctx is canceled no further
+// indices are dispatched (in-flight calls finish) and ctx.Err() is
+// returned unless a worker failed first.
+func parMapCtx(ctx context.Context, n, workers int, f func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers > n {
 		workers = n
 	}
@@ -141,11 +165,19 @@ func parMap(n, workers int, f func(i int) error) error {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	if first == nil {
+		first = ctx.Err()
+	}
 	return first
 }
 

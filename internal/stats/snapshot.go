@@ -1,0 +1,55 @@
+package stats
+
+// Bucket is one cumulative histogram bucket: Count samples observed at or
+// below UpperNs. The log2-spaced layout mirrors Latency's internal buckets
+// and maps directly onto Prometheus-style `le` histogram series.
+type Bucket struct {
+	UpperNs int64  `json:"upper_ns"`
+	Count   uint64 `json:"count"` // cumulative
+}
+
+// LatencySnapshot is an exportable copy of a Latency distribution, safe to
+// serialize and render after the source keeps accumulating.
+type LatencySnapshot struct {
+	Count  uint64   `json:"count"`
+	SumNs  int64    `json:"sum_ns"`
+	MinNs  int64    `json:"min_ns"`
+	MaxNs  int64    `json:"max_ns"`
+	MeanNs float64  `json:"mean_ns"`
+	P50Ns  int64    `json:"p50_ns"`
+	P95Ns  int64    `json:"p95_ns"`
+	P99Ns  int64    `json:"p99_ns"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the distribution: summary statistics plus the cumulative
+// buckets up to the last non-empty one. The caller must not mutate l
+// concurrently (wrap shared instances in a mutex).
+func (l *Latency) Snapshot() LatencySnapshot {
+	s := LatencySnapshot{
+		Count:  l.Count,
+		SumNs:  l.Sum,
+		MinNs:  l.Min,
+		MaxNs:  l.Max,
+		MeanNs: l.Mean(),
+	}
+	if l.Count == 0 {
+		return s
+	}
+	s.P50Ns = l.Quantile(0.50)
+	s.P95Ns = l.Quantile(0.95)
+	s.P99Ns = l.Quantile(0.99)
+	last := -1
+	for i, c := range l.buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	s.Buckets = make([]Bucket, 0, last+1)
+	for i := 0; i <= last; i++ {
+		cum += l.buckets[i]
+		s.Buckets = append(s.Buckets, Bucket{UpperNs: int64(1) << uint(i+1), Count: cum})
+	}
+	return s
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// NewAutoReader returns a Source over r, sniffing the binary magic and
+// falling back to the text format. It never fails on construction; format
+// errors surface through the Source's Err after exhaustion.
+func NewAutoReader(r io.Reader) Source {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binMagic))
+	if err == nil && [4]byte(head) == binMagic {
+		return NewBinReader(br)
+	}
+	// Short or unreadable streams fall through to the text reader, which
+	// reports the underlying error (or yields an empty trace for EOF).
+	return NewTextReader(br)
+}
+
+// ErrTooLong reports a stream that exceeds a CollectLimit bound.
+var ErrTooLong = fmt.Errorf("trace: stream exceeds record limit")
+
+// CollectLimit drains a source into a slice, failing with ErrTooLong once
+// more than max records arrive (max <= 0 means unlimited). Services use it
+// to bound untrusted uploads without buffering unbounded input.
+func CollectLimit(src Source, max int) ([]Record, error) {
+	var out []Record
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if max > 0 && len(out) >= max {
+			return nil, fmt.Errorf("%w (max %d)", ErrTooLong, max)
+		}
+		out = append(out, r)
+	}
+	return out, src.Err()
+}

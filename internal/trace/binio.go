@@ -135,10 +135,15 @@ func (b *BinReader) Next() (Record, bool) {
 		b.err = fmt.Errorf("trace: invalid op byte %d", buf[0])
 		return Record{}, false
 	}
+	t := int64(binary.LittleEndian.Uint64(buf[9:17]))
+	if t < 0 {
+		b.err = fmt.Errorf("trace: negative record time %d", t)
+		return Record{}, false
+	}
 	return Record{
 		Op:   Op(buf[0]),
 		Addr: binary.LittleEndian.Uint64(buf[1:9]),
-		Time: int64(binary.LittleEndian.Uint64(buf[9:17])),
+		Time: t,
 	}, true
 }
 

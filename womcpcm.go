@@ -108,6 +108,13 @@ type (
 	Run = stats.Run
 	// ExpConfig parameterizes a paper experiment.
 	ExpConfig = sim.ExpConfig
+	// ExpParams is the serializable experiment parameterization shared by
+	// cmd/womsim flags and cmd/womd job submissions.
+	ExpParams = sim.Params
+	// Experiment is one named entry in the experiment registry.
+	Experiment = sim.Experiment
+	// ExpResult is a completed registry experiment (data + rendered table).
+	ExpResult = sim.Result
 )
 
 // Architecture construction.
@@ -158,7 +165,7 @@ var (
 	NewGenerator = workload.NewGenerator
 )
 
-// Experiments (one per paper figure; see also cmd/womsim).
+// Experiments (one per paper figure; see also cmd/womsim and cmd/womd).
 var (
 	// Fig5 regenerates Fig. 5(a)/(b): normalized write/read latency.
 	Fig5 = sim.Fig5
@@ -166,6 +173,12 @@ var (
 	Fig6 = sim.Fig6
 	// Fig7 regenerates Fig. 7: WCPCM write latency per banks/rank.
 	Fig7 = sim.Fig7
+	// Replay runs one recorded trace through all four architectures.
+	Replay = sim.Replay
+	// Experiments lists the registry backing womsim and the womd service.
+	Experiments = sim.Experiments
+	// LookupExperiment resolves a registry name or womsim alias.
+	LookupExperiment = sim.LookupExperiment
 )
 
 // MustProfile returns a benchmark profile or panics; convenient for
