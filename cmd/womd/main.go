@@ -3,9 +3,15 @@
 // bounded worker pool with admission control, per-job timeouts, service
 // metrics, and graceful drain on SIGTERM/SIGINT.
 //
+// With -cache DIR the daemon memoizes results in a persistent
+// content-addressed store (internal/resultstore): resubmitting an identical
+// job is a disk read instead of a simulation, concurrent identical jobs
+// share one execution, and /v1/results, /v1/baselines, and /v1/compare
+// expose the cache, pinned baselines, and regression reports.
+//
 // Usage:
 //
-//	womd -addr :8080 -workers 4 -queue 64 -timeout 10m
+//	womd -addr :8080 -workers 4 -queue 64 -timeout 10m -cache /var/lib/womd
 //
 // Quickstart:
 //
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"womcpcm/internal/engine"
+	"womcpcm/internal/resultstore"
 )
 
 func main() {
@@ -41,8 +48,22 @@ func main() {
 		drain      = flag.Duration("drain", 2*time.Minute, "graceful drain budget on shutdown")
 		maxRecords = flag.Int("max-trace-records", 4<<20, "per-upload trace record cap")
 		maxTraces  = flag.Int("max-traces", 64, "stored upload cap")
+		cacheDir   = flag.String("cache", "", "result-store directory; identical jobs are served from it (empty = caching off)")
+		cacheSync  = flag.Bool("cache-sync", false, "fsync the result store after every append")
 	)
 	flag.Parse()
+
+	var store *resultstore.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = resultstore.Open(*cacheDir, resultstore.Options{Sync: *cacheSync})
+		if err != nil {
+			log.Fatalf("womd: opening result store: %v", err)
+		}
+		defer store.Close()
+		log.Printf("womd: result store %s: %d results, %d baselines",
+			*cacheDir, store.Len(), len(store.Baselines()))
+	}
 
 	mgr := engine.New(engine.Config{
 		Workers:         *workers,
@@ -50,6 +71,7 @@ func main() {
 		DefaultTimeout:  *timeout,
 		MaxTraceRecords: *maxRecords,
 		MaxTraces:       *maxTraces,
+		Store:           store,
 	})
 	srv := &http.Server{
 		Addr:        *addr,

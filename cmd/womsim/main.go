@@ -15,6 +15,8 @@
 //	womsim -list             # list registry experiments
 //	womsim -detail ocean     # per-run service breakdown + energy pricing
 //	womsim -trace my.trace   # replay a recorded trace on every architecture
+//	womsim -cache out/cache -fig fig5   # memoize: rerunning is a disk read
+//	womsim -cache out/cache -fig fig5 -force  # re-simulate and overwrite
 package main
 
 import (
@@ -24,9 +26,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"womcpcm/internal/core"
 	"womcpcm/internal/energy"
+	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sim"
 	"womcpcm/internal/stats"
 	"womcpcm/internal/workload"
@@ -46,6 +50,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
 		list     = flag.Bool("list", false, "list the experiment registry and exit")
+		cacheDir = flag.String("cache", "", "result-store directory; rerunning an identical figure reads it instead of simulating")
+		force    = flag.Bool("force", false, "with -cache: re-simulate and overwrite stored results")
 	)
 	flag.Parse()
 
@@ -81,6 +87,16 @@ func main() {
 		return
 	}
 
+	var store *resultstore.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = resultstore.Open(*cacheDir, resultstore.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+	}
+
 	names := strings.Split(*fig, ",")
 	if strings.TrimSpace(*fig) == "all" {
 		names = []string{"fig5", "fig6", "fig7", "rth", "org", "pausing", "code", "sched", "hybrid", "channels"}
@@ -90,7 +106,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := exp.Run(context.Background(), params)
+		res, err := runCached(store, exp, params, *force)
 		if err != nil {
 			fatal(err)
 		}
@@ -98,6 +114,49 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runCached consults the result store before simulating: a hit is a disk
+// read, a miss (or -force) runs the experiment and persists the result.
+func runCached(store *resultstore.Store, exp sim.Experiment, params sim.Params, force bool) (*sim.Result, error) {
+	if store == nil || !resultstore.Cacheable(exp, params) {
+		return exp.Run(context.Background(), params)
+	}
+	key, err := resultstore.KeyForParams(exp.Name, params, store.SchemaVersion())
+	if err != nil {
+		return nil, err
+	}
+	if !force {
+		if entry, ok := store.Get(key); ok {
+			fmt.Fprintf(os.Stderr, "womsim: %s served from cache %s (key %.12s…)\n",
+				exp.Name, store.Dir(), key)
+			return entry.Result, nil
+		}
+	}
+	start := time.Now()
+	res, err := exp.Run(context.Background(), params)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := json.Marshal(params)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := resultstore.CanonicalJSON(doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.Put(resultstore.Entry{
+		Key:        key,
+		Experiment: exp.Name,
+		Params:     canon,
+		Result:     res,
+		WallNs:     time.Since(start).Nanoseconds(),
+	}); err != nil {
+		// A broken cache must not cost the freshly computed result.
+		fmt.Fprintf(os.Stderr, "womsim: warning: caching %s failed: %v\n", exp.Name, err)
+	}
+	return res, nil
 }
 
 // emit renders a result as its table or as JSON.

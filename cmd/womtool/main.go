@@ -1,7 +1,8 @@
 // Command womtool inspects the WOM-codes of the reproduction: it prints the
 // paper's Table 1 (in both orientations), verifies the WOM property of the
-// shipped codes, encodes/decodes example write sequences, and reports the
-// §3.2 analytic bound for a given rewrite budget.
+// shipped codes, encodes/decodes example write sequences, reports the
+// §3.2 analytic bound for a given rewrite budget, and runs regression
+// checks over a result-store cache (womsim -cache / womd -cache).
 //
 // Usage:
 //
@@ -10,6 +11,9 @@
 //	womtool encode 01 11     # walk a write sequence through inv<2^2>^2/3
 //	womtool bound 2 8        # (k-1+S)/(kS) for k = 2 and 8
 //	womtool search 2 5       # construct and certify a 2-bit code over 5 wits
+//	womtool regress -dir out/cache pin v1          # pin current results
+//	womtool regress -dir out/cache -tol 0.02 report v1  # per-metric deltas
+//	womtool regress -dir out/cache list            # pinned baselines
 package main
 
 import (
@@ -36,13 +40,15 @@ func main() {
 		printBounds(os.Args[2:])
 	case "search":
 		searchCode(os.Args[2:])
+	case "regress":
+		regress(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits>")
+	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name]")
 	os.Exit(2)
 }
 

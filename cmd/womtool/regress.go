@@ -1,0 +1,135 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"womcpcm/internal/resultstore"
+)
+
+// regress drives the regression workflow over a result-store cache:
+//
+//	womtool regress -dir out/cache pin v1           pin a baseline snapshot
+//	womtool regress -dir out/cache -tol 0.02 report v1   compare and report
+//	womtool regress -dir out/cache list             list pinned baselines
+//
+// report exits 1 when any metric moved beyond the tolerance, so it slots
+// straight into CI.
+func regress(args []string) {
+	fs := flag.NewFlagSet("regress", flag.ExitOnError)
+	dir := fs.String("dir", "womcpcm-cache", "result-store directory")
+	tol := fs.Float64("tol", 0, "relative tolerance per metric (0 = exact)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: womtool regress [-dir DIR] [-tol F] pin <name> | report <name> | list")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	store, err := resultstore.Open(*dir, resultstore.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+
+	switch rest[0] {
+	case "pin":
+		if len(rest) != 2 {
+			fatal(fmt.Errorf("regress pin needs a baseline name"))
+		}
+		b, err := store.PinBaseline(rest[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pinned baseline %q: %d results, schema %s\n", b.Name, len(b.Metrics), b.Schema)
+	case "report":
+		if len(rest) != 2 {
+			fatal(fmt.Errorf("regress report needs a baseline name"))
+		}
+		reportRegressions(store, rest[1], *tol)
+	case "list":
+		baselines := store.Baselines()
+		if len(baselines) == 0 {
+			fmt.Println("no baselines pinned")
+			return
+		}
+		for _, b := range baselines {
+			fmt.Printf("%-20s %4d results  schema %-8s pinned %s\n",
+				b.Name, len(b.Metrics), b.Schema, b.CreatedAt.Format("2006-01-02 15:04:05"))
+		}
+	default:
+		fs.Usage()
+		os.Exit(2)
+	}
+}
+
+// reportRegressions prints per-metric deltas beyond tolerance and exits
+// non-zero when any are found.
+func reportRegressions(store *resultstore.Store, name string, tol float64) {
+	b, err := store.Baseline(name)
+	if err != nil {
+		fatal(err)
+	}
+	cmp, err := resultstore.Compare(b, store.Entries(), tol)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline %q (schema %s) vs store %s — %d result(s) checked, tolerance %g\n",
+		cmp.Baseline, cmp.Schema, store.Dir(), cmp.Checked, cmp.Tolerance)
+	if len(cmp.MissingKeys) > 0 {
+		fmt.Printf("  %d baseline result(s) not yet reproduced in the store (not failures):\n", len(cmp.MissingKeys))
+		for _, key := range cmp.MissingKeys {
+			fmt.Printf("    %-10s %.12s…\n", b.Experiments[key], key)
+		}
+	}
+	if len(cmp.NewKeys) > 0 {
+		fmt.Printf("  %d store result(s) unknown to the baseline\n", len(cmp.NewKeys))
+	}
+	if len(cmp.Regressions) == 0 {
+		fmt.Println("ok: no metric moved beyond tolerance")
+		return
+	}
+
+	// Group the report by result key so one experiment's drift reads as a
+	// block of metric lines.
+	byKey := make(map[string][]resultstore.Delta)
+	var keys []string
+	for _, d := range cmp.Regressions {
+		if _, ok := byKey[d.Key]; !ok {
+			keys = append(keys, d.Key)
+		}
+		byKey[d.Key] = append(byKey[d.Key], d)
+	}
+	sort.Strings(keys)
+	fmt.Printf("REGRESSIONS: %d metric(s) beyond tolerance\n", len(cmp.Regressions))
+	for _, key := range keys {
+		ds := byKey[key]
+		fmt.Printf("  %s (%.12s…):\n", ds[0].Experiment, key)
+		for _, d := range ds {
+			switch {
+			case d.Base == nil:
+				fmt.Printf("    %-40s new metric, now %.6g\n", d.Metric, *d.Current)
+			case d.Current == nil:
+				fmt.Printf("    %-40s vanished, was %.6g\n", d.Metric, *d.Base)
+			default:
+				fmt.Printf("    %-40s %.6g → %.6g (%+.2f%%)\n",
+					d.Metric, *d.Base, *d.Current, 100*(*d.Current-*d.Base)/nonzero(*d.Base))
+			}
+		}
+	}
+	os.Exit(1)
+}
+
+// nonzero guards the percentage display against a zero baseline.
+func nonzero(v float64) float64 {
+	if v == 0 {
+		return 1e-12
+	}
+	return v
+}

@@ -48,10 +48,14 @@ type JobRequest struct {
 // Job is one submitted experiment moving through the manager.
 type Job struct {
 	id      string
+	seq     uint64 // submission sequence, for stable listing order
 	exp     sim.Experiment
 	req     JobRequest
 	params  sim.Params
 	timeout time.Duration
+	key     string // resultstore content key; "" when not cacheable
+	cached  bool   // served from the result store without executing
+	dedupOf string // leader job id this submission was folded into
 
 	mu        sync.Mutex
 	state     State
@@ -115,6 +119,27 @@ func (j *Job) markRunning(cancel context.CancelFunc) bool {
 	return true
 }
 
+// settleFollower resolves a deduped submission with its leader's outcome,
+// unless the follower was independently canceled first. It returns the state
+// the follower ended in.
+func (j *Job) settleFollower(state State, res *sim.Result, err error) State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return j.state
+	}
+	if j.cancelReq {
+		j.state = StateCanceled
+		j.err = context.Canceled
+	} else {
+		j.state = state
+		j.result = res
+		j.err = err
+	}
+	j.finished = time.Now()
+	return j.state
+}
+
 // finish records the terminal state.
 func (j *Job) finish(state State, res *sim.Result, err error) {
 	j.mu.Lock()
@@ -133,6 +158,10 @@ type JobView struct {
 	State       State  `json:"state"`
 	Error       string `json:"error,omitempty"`
 	TraceID     string `json:"trace_id,omitempty"`
+	// Cached marks a submission served straight from the result store.
+	Cached bool `json:"cached,omitempty"`
+	// DedupOf names the identical in-flight job this one was folded into.
+	DedupOf     string `json:"dedup_of,omitempty"`
 	SubmittedAt string `json:"submitted_at"`
 	StartedAt   string `json:"started_at,omitempty"`
 	FinishedAt  string `json:"finished_at,omitempty"`
@@ -149,6 +178,8 @@ func (j *Job) View() JobView {
 		Experiment:  j.exp.Name,
 		State:       j.state,
 		TraceID:     j.req.TraceID,
+		Cached:      j.cached,
+		DedupOf:     j.dedupOf,
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 	}
 	if j.err != nil {

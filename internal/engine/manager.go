@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sim"
 )
 
@@ -33,6 +35,12 @@ type Config struct {
 	// (default 4096). Submissions beyond it are rejected until jobs are
 	// deleted — crude but bounded; a later PR can add result eviction.
 	MaxJobs int
+	// Store, when set, memoizes successful cacheable runs: submissions
+	// whose content key is already stored are served without executing,
+	// and concurrent identical submissions are folded into one execution
+	// (singleflight). Trace replays bypass the store — their input lives
+	// outside the hashed params. The manager does not close the store.
+	Store *resultstore.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -66,18 +74,28 @@ type Manager struct {
 	cfg     Config
 	metrics *Metrics
 	traces  *TraceStore
+	store   *resultstore.Store // nil when caching is off
 
 	baseCtx context.Context // canceled to abort all running jobs
 	abort   context.CancelFunc
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	order    []string // submission order, for listing
 	seq      uint64
 	draining bool
 	queue    chan *Job
+	// inflight tracks one leader job per content key so identical
+	// concurrent submissions share a single execution.
+	inflight map[string]*flight
 
 	wg sync.WaitGroup
+}
+
+// flight is one in-progress execution of a content key: the job doing the
+// work plus every identical submission waiting on its outcome.
+type flight struct {
+	leader  *Job
+	waiters []*Job
 }
 
 // New starts a manager and its worker pool.
@@ -85,13 +103,15 @@ func New(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:     cfg,
-		metrics: NewMetrics(),
-		traces:  NewTraceStore(cfg.MaxTraceRecords, cfg.MaxTraces),
-		baseCtx: ctx,
-		abort:   cancel,
-		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, cfg.QueueDepth),
+		cfg:      cfg,
+		metrics:  NewMetrics(),
+		traces:   NewTraceStore(cfg.MaxTraceRecords, cfg.MaxTraces),
+		store:    cfg.Store,
+		baseCtx:  ctx,
+		abort:    cancel,
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		inflight: make(map[string]*flight),
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
@@ -105,6 +125,9 @@ func (m *Manager) Metrics() *Metrics { return m.metrics }
 
 // Traces exposes the upload store.
 func (m *Manager) Traces() *TraceStore { return m.traces }
+
+// Store exposes the result store; nil when caching is off.
+func (m *Manager) Store() *resultstore.Store { return m.store }
 
 // Submit validates the request, resolves its trace reference, and enqueues
 // a job. A full queue or a draining manager rejects immediately —
@@ -138,6 +161,14 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
 	}
 
+	// Content-address the request when the store can serve or dedup it.
+	var key string
+	if m.store != nil && resultstore.Cacheable(exp, params) {
+		if k, err := resultstore.KeyForParams(exp.Name, params, m.store.SchemaVersion()); err == nil {
+			key = k
+		}
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -148,13 +179,49 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		m.metrics.Rejected.Add(1)
 		return nil, ErrTooManyJobs
 	}
+	if key != "" {
+		// Cache hit: the job is born succeeded, never touching the queue —
+		// a disk read instead of minutes of simulation.
+		if entry, ok := m.store.Get(key); ok {
+			m.metrics.CacheHits.Add(1)
+			now := time.Now()
+			m.seq++
+			job := &Job{
+				id: fmt.Sprintf("j-%06d", m.seq), seq: m.seq,
+				exp: exp, req: req, params: params, timeout: timeout,
+				key: key, cached: true,
+				state: StateSucceeded, result: entry.Result,
+				submitted: now, started: now, finished: now,
+			}
+			m.jobs[job.id] = job
+			return job, nil
+		}
+		m.metrics.CacheMisses.Add(1)
+		// Singleflight: an identical job is already queued or running, so
+		// this submission waits on that execution instead of repeating it.
+		if fl, ok := m.inflight[key]; ok {
+			m.metrics.Deduped.Add(1)
+			m.seq++
+			job := &Job{
+				id: fmt.Sprintf("j-%06d", m.seq), seq: m.seq,
+				exp: exp, req: req, params: params, timeout: timeout,
+				key: key, dedupOf: fl.leader.id,
+				state: StateQueued, submitted: time.Now(),
+			}
+			fl.waiters = append(fl.waiters, job)
+			m.jobs[job.id] = job
+			return job, nil
+		}
+	}
 	m.seq++
 	job := &Job{
 		id:        fmt.Sprintf("j-%06d", m.seq),
+		seq:       m.seq,
 		exp:       exp,
 		req:       req,
 		params:    params,
 		timeout:   timeout,
+		key:       key,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -166,7 +233,9 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
 	}
 	m.jobs[job.id] = job
-	m.order = append(m.order, job.id)
+	if key != "" {
+		m.inflight[key] = &flight{leader: job}
+	}
 	m.metrics.Queued.Add(1)
 	m.metrics.QueueDepth.Add(1)
 	return job, nil
@@ -180,16 +249,16 @@ func (m *Manager) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs lists jobs in submission order.
+// Jobs lists jobs sorted by submission sequence, so listings are
+// deterministic regardless of map iteration or deletion history.
 func (m *Manager) Jobs() []*Job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]*Job, 0, len(m.order))
-	for _, id := range m.order {
-		if j, ok := m.jobs[id]; ok {
-			out = append(out, j)
-		}
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
 }
 
@@ -216,10 +285,6 @@ func (m *Manager) Delete(id string) error {
 		return fmt.Errorf("engine: job %q is %s; cancel it first", id, j.State())
 	}
 	delete(m.jobs, id)
-	i := sort.SearchStrings(m.order, id)
-	if i < len(m.order) && m.order[i] == id {
-		m.order = append(m.order[:i], m.order[i+1:]...)
-	}
 	return nil
 }
 
@@ -273,25 +338,93 @@ func (m *Manager) runJob(job *Job) {
 	defer cancel()
 	if !job.markRunning(cancel) {
 		m.metrics.Canceled.Add(1)
+		m.settleFlight(job, StateCanceled, nil, context.Canceled)
 		return
 	}
 	m.metrics.Running.Add(1)
 	start := time.Now()
 	res, err := job.exp.Run(ctx, job.params)
 	m.metrics.Running.Add(-1)
-	m.metrics.ObserveWall(job.exp.Name, time.Since(start))
+	wall := time.Since(start)
+	m.metrics.ObserveWall(job.exp.Name, wall)
 	switch {
 	case err == nil:
 		m.metrics.Completed.Add(1)
 		job.finish(StateSucceeded, res, nil)
+		m.storeResult(job, res, wall)
+		m.settleFlight(job, StateSucceeded, res, nil)
 	case errors.Is(err, context.DeadlineExceeded):
+		err = fmt.Errorf("engine: job timed out after %s", job.timeout)
 		m.metrics.Failed.Add(1)
-		job.finish(StateFailed, nil, fmt.Errorf("engine: job timed out after %s", job.timeout))
+		job.finish(StateFailed, nil, err)
+		m.settleFlight(job, StateFailed, nil, err)
 	case errors.Is(err, context.Canceled):
 		m.metrics.Canceled.Add(1)
 		job.finish(StateCanceled, nil, err)
+		m.settleFlight(job, StateCanceled, nil, err)
 	default:
 		m.metrics.Failed.Add(1)
 		job.finish(StateFailed, nil, err)
+		m.settleFlight(job, StateFailed, nil, err)
+	}
+}
+
+// storeResult persists one successful cacheable run. Store failures do not
+// fail the job — the result was computed and is served from memory; the
+// miss just repeats next time.
+func (m *Manager) storeResult(job *Job, res *sim.Result, wall time.Duration) {
+	if m.store == nil || job.key == "" {
+		return
+	}
+	doc, err := json.Marshal(job.params)
+	if err != nil {
+		m.metrics.StoreErrors.Add(1)
+		return
+	}
+	canon, err := resultstore.CanonicalJSON(doc)
+	if err != nil {
+		m.metrics.StoreErrors.Add(1)
+		return
+	}
+	if err := m.store.Put(resultstore.Entry{
+		Key:        job.key,
+		Experiment: job.exp.Name,
+		Schema:     m.store.SchemaVersion(),
+		Params:     canon,
+		Result:     res,
+		WallNs:     wall.Nanoseconds(),
+	}); err != nil {
+		m.metrics.StoreErrors.Add(1)
+	}
+}
+
+// settleFlight resolves every submission deduped onto job with its outcome
+// and retires the content key from the in-flight set. Followers of a failed
+// or canceled leader inherit that outcome: re-submitting afterwards starts
+// a fresh execution.
+func (m *Manager) settleFlight(job *Job, state State, res *sim.Result, err error) {
+	if job.key == "" {
+		return
+	}
+	m.mu.Lock()
+	fl := m.inflight[job.key]
+	if fl != nil && fl.leader == job {
+		delete(m.inflight, job.key)
+	} else {
+		fl = nil
+	}
+	m.mu.Unlock()
+	if fl == nil {
+		return
+	}
+	for _, w := range fl.waiters {
+		switch w.settleFollower(state, res, err) {
+		case StateSucceeded:
+			m.metrics.Completed.Add(1)
+		case StateFailed:
+			m.metrics.Failed.Add(1)
+		case StateCanceled:
+			m.metrics.Canceled.Add(1)
+		}
 	}
 }

@@ -22,6 +22,11 @@ type Metrics struct {
 	Failed    atomic.Uint64 // jobs that errored or timed out
 	Canceled  atomic.Uint64 // jobs canceled (queued or running)
 
+	CacheHits   atomic.Uint64 // submissions served from the result store
+	CacheMisses atomic.Uint64 // cacheable submissions not found in the store
+	Deduped     atomic.Uint64 // submissions folded into an identical in-flight job
+	StoreErrors atomic.Uint64 // failed result-store appends (job still succeeds)
+
 	QueueDepth atomic.Int64 // jobs waiting for a worker
 	Running    atomic.Int64 // jobs executing now
 
@@ -64,6 +69,10 @@ type Snapshot struct {
 	JobsCompleted uint64 `json:"jobs_completed_total"`
 	JobsFailed    uint64 `json:"jobs_failed_total"`
 	JobsCanceled  uint64 `json:"jobs_canceled_total"`
+	CacheHits     uint64 `json:"cache_hits_total"`
+	CacheMisses   uint64 `json:"cache_misses_total"`
+	JobsDeduped   uint64 `json:"jobs_deduped_total"`
+	StoreErrors   uint64 `json:"store_errors_total"`
 	QueueDepth    int64  `json:"queue_depth"`
 	JobsRunning   int64  `json:"jobs_running"`
 
@@ -78,6 +87,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		JobsCompleted: m.Completed.Load(),
 		JobsFailed:    m.Failed.Load(),
 		JobsCanceled:  m.Canceled.Load(),
+		CacheHits:     m.CacheHits.Load(),
+		CacheMisses:   m.CacheMisses.Load(),
+		JobsDeduped:   m.Deduped.Load(),
+		StoreErrors:   m.StoreErrors.Load(),
 		QueueDepth:    m.QueueDepth.Load(),
 		JobsRunning:   m.Running.Load(),
 		WallNs:        m.WallSnapshot(),
@@ -97,6 +110,10 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	counter("womd_jobs_completed_total", "Jobs that succeeded.", m.Completed.Load())
 	counter("womd_jobs_failed_total", "Jobs that errored or timed out.", m.Failed.Load())
 	counter("womd_jobs_canceled_total", "Jobs canceled before or during execution.", m.Canceled.Load())
+	counter("womd_cache_hits_total", "Submissions served from the result store.", m.CacheHits.Load())
+	counter("womd_cache_misses_total", "Cacheable submissions not found in the store.", m.CacheMisses.Load())
+	counter("womd_jobs_deduped_total", "Submissions folded into an identical in-flight job.", m.Deduped.Load())
+	counter("womd_store_errors_total", "Failed result-store appends.", m.StoreErrors.Load())
 	gauge("womd_queue_depth", "Jobs waiting for a worker.", m.QueueDepth.Load())
 	gauge("womd_jobs_running", "Jobs executing now.", m.Running.Load())
 

@@ -1,11 +1,16 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 
+	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sim"
 )
 
@@ -21,6 +26,12 @@ import (
 //	GET    /v1/traces           list uploads
 //	DELETE /v1/traces/{id}      drop an upload
 //	GET    /v1/experiments      list the experiment registry
+//	GET    /v1/results          list cached results (when a store is wired)
+//	GET    /v1/results/{key}    one cached result, full body
+//	POST   /v1/baselines        pin a named baseline snapshot {"name": "..."}
+//	GET    /v1/baselines        list pinned baselines
+//	GET    /v1/baselines/{name} one baseline, full metrics
+//	GET    /v1/compare          ?baseline=name&tolerance=0.02 regression report
 //	GET    /metrics             Prometheus text format
 //	GET    /metrics.json        JSON metrics snapshot
 //	GET    /healthz             liveness probe
@@ -41,6 +52,12 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/traces", s.listTraces)
 	s.mux.HandleFunc("DELETE /v1/traces/{id}", s.deleteTrace)
 	s.mux.HandleFunc("GET /v1/experiments", s.listExperiments)
+	s.mux.HandleFunc("GET /v1/results", s.listResults)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.getStoredResult)
+	s.mux.HandleFunc("POST /v1/baselines", s.pinBaseline)
+	s.mux.HandleFunc("GET /v1/baselines", s.listBaselines)
+	s.mux.HandleFunc("GET /v1/baselines/{name}", s.getBaseline)
+	s.mux.HandleFunc("GET /v1/compare", s.compareBaseline)
 	s.mux.HandleFunc("GET /metrics", s.promMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.jsonMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -50,8 +67,63 @@ func NewServer(m *Manager) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Responses pass through an interceptor
+// that rewrites any plain-text error — notably the mux's own 404/405 pages —
+// into the service's structured JSON error shape, so every error path on
+// this API returns {"error": "..."} with a JSON Content-Type.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	iw := &jsonErrorWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(iw, r)
+	iw.finish()
+}
+
+// jsonErrorWriter wraps a ResponseWriter and converts non-JSON error
+// responses (status ≥ 400 without a JSON Content-Type, e.g. from
+// http.Error) into JSON bodies. Success responses pass through untouched.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	capturing   bool
+	status      int
+	buf         bytes.Buffer
+}
+
+func (w *jsonErrorWriter) WriteHeader(status int) {
+	if w.wroteHeader || w.capturing {
+		return
+	}
+	ct := w.Header().Get("Content-Type")
+	if status >= 400 && !strings.Contains(ct, "json") {
+		// Hold the header back: the body is rewritten in finish.
+		w.capturing = true
+		w.status = status
+		return
+	}
+	w.wroteHeader = true
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *jsonErrorWriter) Write(b []byte) (int, error) {
+	if w.capturing {
+		return w.buf.Write(b)
+	}
+	if !w.wroteHeader {
+		w.wroteHeader = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// finish emits a captured error as the structured JSON shape.
+func (w *jsonErrorWriter) finish() {
+	if !w.capturing {
+		return
+	}
+	msg := strings.TrimSpace(w.buf.String())
+	if msg == "" {
+		msg = http.StatusText(w.status)
+	}
+	writeJSON(w.ResponseWriter, w.status, map[string]string{"error": msg})
+}
 
 // writeJSON emits v with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -72,11 +144,16 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrTooManyJobs), errors.Is(err, ErrStoreFull):
 		status = http.StatusInsufficientStorage
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, resultstore.ErrNoBaseline):
 		status = http.StatusNotFound
+	case errors.Is(err, ErrNoStore):
+		status = http.StatusNotImplemented
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
+
+// ErrNoStore rejects result-store routes when womd runs without -cache.
+var ErrNoStore = errors.New("engine: result store not configured (start womd with -cache)")
 
 const maxJobBody = 1 << 20 // job submissions are small JSON documents
 
@@ -184,9 +261,142 @@ func (s *Server) listExperiments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"experiments": sim.Experiments()})
 }
 
+// requireStore resolves the result store or reports ErrNoStore.
+func (s *Server) requireStore(w http.ResponseWriter) *resultstore.Store {
+	store := s.m.Store()
+	if store == nil {
+		writeError(w, ErrNoStore)
+		return nil
+	}
+	return store
+}
+
+func (s *Server) listResults(w http.ResponseWriter, _ *http.Request) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	entries := store.Entries()
+	summaries := make([]resultstore.Summary, len(entries))
+	for i, e := range entries {
+		summaries[i] = e.Summary()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"schema": store.SchemaVersion(), "results": summaries})
+}
+
+func (s *Server) getStoredResult(w http.ResponseWriter, r *http.Request) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	key := r.PathValue("key")
+	entry, ok := store.Get(key)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: result %q", ErrNotFound, key))
+		return
+	}
+	writeJSON(w, http.StatusOK, entry)
+}
+
+func (s *Server) pinBaseline(w http.ResponseWriter, r *http.Request) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("engine: decoding baseline request: %w", err))
+		return
+	}
+	b, err := store.PinBaseline(req.Name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/baselines/"+b.Name)
+	writeJSON(w, http.StatusCreated, b)
+}
+
+func (s *Server) listBaselines(w http.ResponseWriter, _ *http.Request) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	type summary struct {
+		Name      string `json:"name"`
+		Schema    string `json:"schema"`
+		CreatedAt string `json:"created_at"`
+		Results   int    `json:"results"`
+	}
+	baselines := store.Baselines()
+	out := make([]summary, len(baselines))
+	for i, b := range baselines {
+		out[i] = summary{Name: b.Name, Schema: b.Schema,
+			CreatedAt: b.CreatedAt.UTC().Format(time.RFC3339Nano),
+			Results:   len(b.Metrics)}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"baselines": out})
+}
+
+func (s *Server) getBaseline(w http.ResponseWriter, r *http.Request) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	b, err := store.Baseline(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, b)
+}
+
+// compareBaseline reports the current store against a pinned baseline:
+// GET /v1/compare?baseline=NAME&tolerance=0.02 (tolerance defaults to 0,
+// i.e. exact agreement).
+func (s *Server) compareBaseline(w http.ResponseWriter, r *http.Request) {
+	store := s.requireStore(w)
+	if store == nil {
+		return
+	}
+	name := r.URL.Query().Get("baseline")
+	if name == "" {
+		writeError(w, fmt.Errorf("engine: compare needs ?baseline=name"))
+		return
+	}
+	tol := 0.0
+	if q := r.URL.Query().Get("tolerance"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || v < 0 {
+			writeError(w, fmt.Errorf("engine: bad tolerance %q", q))
+			return
+		}
+		tol = v
+	}
+	b, err := store.Baseline(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	cmp, err := resultstore.Compare(b, store.Entries(), tol)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cmp)
+}
+
 func (s *Server) promMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.m.Metrics().WriteProm(w)
+	if store := s.m.Store(); store != nil {
+		fmt.Fprintf(w, "# HELP womd_store_results Distinct results held by the result store.\n"+
+			"# TYPE womd_store_results gauge\nwomd_store_results %d\n", store.Len())
+	}
 }
 
 func (s *Server) jsonMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,182 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"womcpcm/internal/sim"
+)
+
+// Flatten reduces an arbitrary JSON-shaped value to its numeric leaves,
+// keyed by dotted path ("Rows.3.Write.1", "MeanRead.2"). Strings and
+// booleans are skipped — regression detection compares numbers. The walk is
+// schema-free on purpose: every experiment's result (latencies, α-write
+// fractions, hit rates, energy figures) flattens the same way, so regress
+// needs no per-experiment code.
+func Flatten(v any) map[string]float64 {
+	out := make(map[string]float64)
+	flattenInto(out, "", v)
+	return out
+}
+
+func flattenInto(out map[string]float64, prefix string, v any) {
+	join := func(p, k string) string {
+		if p == "" {
+			return k
+		}
+		return p + "." + k
+	}
+	switch x := v.(type) {
+	case map[string]any:
+		for k, e := range x {
+			flattenInto(out, join(prefix, k), e)
+		}
+	case []any:
+		for i, e := range x {
+			flattenInto(out, join(prefix, fmt.Sprintf("%d", i)), e)
+		}
+	case float64:
+		out[prefix] = x
+	case json.Number:
+		if f, err := x.Float64(); err == nil {
+			out[prefix] = f
+		}
+	}
+}
+
+// EntryMetrics flattens an entry's result data. The data is normalized
+// through JSON first so fresh in-memory structs and reloaded generic maps
+// flatten identically.
+func EntryMetrics(e *Entry) (map[string]float64, error) {
+	if e.Result == nil {
+		return map[string]float64{}, nil
+	}
+	return ResultMetrics(e.Result)
+}
+
+// ResultMetrics flattens a result's data through a JSON round-trip.
+func ResultMetrics(res *sim.Result) (map[string]float64, error) {
+	raw, err := json.Marshal(res.Data)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: flattening result: %w", err)
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("resultstore: flattening result: %w", err)
+	}
+	return Flatten(v), nil
+}
+
+// Delta is one metric that moved beyond tolerance between a baseline and
+// the current store. A nil Base or Current marks shape drift — the metric
+// exists on only one side — which always counts as a regression.
+type Delta struct {
+	Key        string   `json:"key"`
+	Experiment string   `json:"experiment"`
+	Metric     string   `json:"metric"`
+	Base       *float64 `json:"base,omitempty"`
+	Current    *float64 `json:"current,omitempty"`
+	// Rel is |current−base| / max(|base|, 1e-12), the relative movement the
+	// tolerance is checked against; 0 for shape drift.
+	Rel float64 `json:"rel,omitempty"`
+}
+
+// ShapeDrift reports whether the delta is a metric appearing or vanishing
+// rather than a numeric movement.
+func (d Delta) ShapeDrift() bool { return d.Base == nil || d.Current == nil }
+
+// Comparison reports the current store state against a pinned baseline.
+type Comparison struct {
+	Baseline  string  `json:"baseline"`
+	Schema    string  `json:"schema"`
+	Tolerance float64 `json:"tolerance"`
+	// Checked counts baseline keys present in the current store.
+	Checked int `json:"checked"`
+	// Regressions lists metrics that moved beyond tolerance, worst first.
+	Regressions []Delta `json:"regressions"`
+	// MissingKeys are baseline keys absent from the current store (not
+	// regressions — the runs simply have not been reproduced yet).
+	MissingKeys []string `json:"missing_keys,omitempty"`
+	// NewKeys are current-store keys the baseline never saw.
+	NewKeys []string `json:"new_keys,omitempty"`
+}
+
+// Compare checks every baseline key that is present in the current store:
+// each shared metric must agree within the relative tolerance; a metric
+// that vanished or appeared also counts as a regression (shape drift is
+// drift). tol ≤ 0 means exact comparison.
+func Compare(b *Baseline, entries []*Entry, tol float64) (*Comparison, error) {
+	cmp := &Comparison{Baseline: b.Name, Schema: b.Schema, Tolerance: tol}
+	current := make(map[string]*Entry, len(entries))
+	for _, e := range entries {
+		current[e.Key] = e
+	}
+	baseKeys := make([]string, 0, len(b.Metrics))
+	for key := range b.Metrics {
+		baseKeys = append(baseKeys, key)
+	}
+	sort.Strings(baseKeys)
+	for _, key := range baseKeys {
+		e, ok := current[key]
+		if !ok {
+			cmp.MissingKeys = append(cmp.MissingKeys, key)
+			continue
+		}
+		cmp.Checked++
+		cur, err := EntryMetrics(e)
+		if err != nil {
+			return nil, err
+		}
+		base := b.Metrics[key]
+		paths := make([]string, 0, len(base)+len(cur))
+		for p := range base {
+			paths = append(paths, p)
+		}
+		for p := range cur {
+			if _, ok := base[p]; !ok {
+				paths = append(paths, p)
+			}
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			bv, inBase := base[p]
+			cv, inCur := cur[p]
+			switch {
+			case !inBase:
+				cv := cv
+				cmp.Regressions = append(cmp.Regressions, Delta{
+					Key: key, Experiment: e.Experiment, Metric: p, Current: &cv})
+			case !inCur:
+				bv := bv
+				cmp.Regressions = append(cmp.Regressions, Delta{
+					Key: key, Experiment: e.Experiment, Metric: p, Base: &bv})
+			default:
+				rel := math.Abs(cv-bv) / math.Max(math.Abs(bv), 1e-12)
+				if rel > tol {
+					bv, cv := bv, cv
+					cmp.Regressions = append(cmp.Regressions, Delta{
+						Key: key, Experiment: e.Experiment, Metric: p,
+						Base: &bv, Current: &cv, Rel: rel})
+				}
+			}
+		}
+	}
+	for key := range current {
+		if _, ok := b.Metrics[key]; !ok {
+			cmp.NewKeys = append(cmp.NewKeys, key)
+		}
+	}
+	sort.Strings(cmp.NewKeys)
+	// Shape drift first, then worst movement; ties keep the deterministic
+	// key/metric order.
+	sort.SliceStable(cmp.Regressions, func(i, j int) bool {
+		di, dj := cmp.Regressions[i], cmp.Regressions[j]
+		if di.ShapeDrift() != dj.ShapeDrift() {
+			return di.ShapeDrift()
+		}
+		return di.Rel > dj.Rel
+	})
+	return cmp, nil
+}

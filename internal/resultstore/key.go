@@ -1,0 +1,120 @@
+package resultstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"womcpcm/internal/sim"
+)
+
+// CanonicalJSON re-encodes one JSON document in canonical form: object keys
+// sorted, insignificant whitespace removed, and number literals preserved
+// exactly as written (no float64 round-trip, so 64-bit seeds survive).
+// Two documents that differ only in member order or whitespace canonicalize
+// to identical bytes — the property the content hash below depends on.
+func CanonicalJSON(doc []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(doc))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("resultstore: canonicalizing: %w", err)
+	}
+	// Reject trailing garbage so "{}x" and "{}" cannot collide.
+	if dec.More() {
+		return nil, fmt.Errorf("resultstore: canonicalizing: trailing data after JSON value")
+	}
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeCanonical emits v with sorted object keys and no whitespace.
+func writeCanonical(buf *bytes.Buffer, v any) error {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			buf.Write(kb)
+			buf.WriteByte(':')
+			if err := writeCanonical(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeCanonical(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case json.Number:
+		buf.WriteString(x.String())
+	default: // string, bool, nil
+		b, err := json.Marshal(x)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	}
+	return nil
+}
+
+// Key derives the content address of one (experiment, params, schema)
+// triple: sha256 over the three components with NUL separators, the params
+// document canonicalized first. Identical requests hash identically no
+// matter how the JSON was spelled; any schema bump invalidates every old
+// key at once.
+func Key(experiment string, paramsJSON []byte, schema string) (string, error) {
+	canon, err := CanonicalJSON(paramsJSON)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(experiment))
+	h.Write([]byte{0})
+	h.Write([]byte(schema))
+	h.Write([]byte{0})
+	h.Write(canon)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// KeyForParams is Key over the JSON encoding of p. Fields excluded from the
+// JSON schema (the in-memory trace slice) do not contribute — callers must
+// not cache trace-bearing runs (see Cacheable).
+func KeyForParams(experiment string, p sim.Params, schema string) (string, error) {
+	doc, err := json.Marshal(p)
+	if err != nil {
+		return "", fmt.Errorf("resultstore: encoding params: %w", err)
+	}
+	return Key(experiment, doc, schema)
+}
+
+// Cacheable reports whether a run of exp with p is content-addressable:
+// trace replays are not, because the trace records live outside the params
+// JSON the key hashes.
+func Cacheable(exp sim.Experiment, p sim.Params) bool {
+	return !exp.NeedsTrace && len(p.Trace) == 0
+}

@@ -1,0 +1,180 @@
+package resultstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"womcpcm/internal/sim"
+)
+
+func TestCanonicalJSON(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`{"b":2,"a":1}`, `{"a":1,"b":2}`},
+		{`{ "a" : [ 1 , 2 ] }`, `{"a":[1,2]}`},
+		{`{"x":{"z":true,"y":null}}`, `{"x":{"y":null,"z":true}}`},
+		{`[{"b":"x","a":"y"}]`, `[{"a":"y","b":"x"}]`},
+		{`9007199254740993`, `9007199254740993`}, // > 2^53: no float64 loss
+		{`"s"`, `"s"`},
+	}
+	for _, c := range cases {
+		got, err := CanonicalJSON([]byte(c.in))
+		if err != nil {
+			t.Errorf("CanonicalJSON(%s): %v", c.in, err)
+			continue
+		}
+		if string(got) != c.want {
+			t.Errorf("CanonicalJSON(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{``, `{`, `{"a":1}trailing`, `nope`} {
+		if _, err := CanonicalJSON([]byte(bad)); err == nil {
+			t.Errorf("CanonicalJSON(%q) accepted", bad)
+		}
+	}
+}
+
+func TestKeyInvariance(t *testing.T) {
+	a, err := Key("fig5", []byte(`{"requests":1000,"seed":7}`), "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Key("fig5", []byte(` {"seed": 7, "requests": 1000} `), "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("field order changed the key: %s vs %s", a, b)
+	}
+	// Each component must be significant.
+	for _, other := range [][3]string{
+		{"fig6", `{"requests":1000,"seed":7}`, "s1"}, // experiment
+		{"fig5", `{"requests":1001,"seed":7}`, "s1"}, // params
+		{"fig5", `{"requests":1000,"seed":7}`, "s2"}, // schema
+	} {
+		k, err := Key(other[0], []byte(other[1]), other[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == a {
+			t.Errorf("key collision with %v", other)
+		}
+	}
+}
+
+func TestKeyForParams(t *testing.T) {
+	p := sim.Params{Requests: 1000, Seed: 7, Bench: []string{"qsort"}}
+	a, err := KeyForParams("fig5", p, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KeyForParams("fig5", p, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("non-deterministic param key")
+	}
+	// The in-memory trace is outside the JSON schema, and such runs must
+	// not be cacheable.
+	exp, err := sim.LookupExperiment("replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Cacheable(exp, p) {
+		t.Error("replay experiment reported cacheable")
+	}
+	fig5, err := sim.LookupExperiment("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Cacheable(fig5, p) {
+		t.Error("fig5 reported uncacheable")
+	}
+}
+
+// writeShuffled re-emits v like writeCanonical but with object keys in
+// REVERSED sort order — a syntactically different spelling of the same
+// document, used to probe order invariance.
+func writeShuffled(buf *bytes.Buffer, v any) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Sort(sort.Reverse(sort.StringSlice(keys)))
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, _ := json.Marshal(k)
+			buf.Write(kb)
+			buf.WriteString(": ")
+			writeShuffled(buf, x[k])
+		}
+		buf.WriteByte('}')
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				buf.WriteString(" , ")
+			}
+			writeShuffled(buf, e)
+		}
+		buf.WriteByte(']')
+	case json.Number:
+		buf.WriteString(x.String())
+	default:
+		b, _ := json.Marshal(x)
+		buf.Write(b)
+	}
+}
+
+// FuzzCanonicalKey feeds arbitrary JSON documents through the hasher and
+// checks the normalization contract: reordering object members (at any
+// nesting depth) never changes the key, and canonicalization is idempotent.
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add([]byte(`{"requests":200000,"seed":1}`))
+	f.Add([]byte(`{"bench":["qsort","ocean"],"thresholds":[0,5,10.5]}`))
+	f.Add([]byte(`{"profile":{"name":"x","mix":{"r":0.5,"w":0.5}},"banks":8}`))
+	f.Add([]byte(`[1,2,{"z":null,"a":true}]`))
+	f.Add([]byte(`{"":{"":0}}`))
+	f.Add([]byte(`{"a":1e308,"b":-0.0,"c":9007199254740993}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		canon, err := CanonicalJSON(data)
+		if err != nil {
+			t.Skip() // not a JSON document
+		}
+		// Idempotence: canonical form is a fixed point.
+		again, err := CanonicalJSON(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %s: %v", canon, err)
+		}
+		if !bytes.Equal(canon, again) {
+			t.Fatalf("not idempotent: %s vs %s", canon, again)
+		}
+		// Order invariance: a reversed-key spelling hashes identically.
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.UseNumber()
+		var v any
+		if err := dec.Decode(&v); err != nil {
+			t.Fatalf("decode after canonicalize succeeded: %v", err)
+		}
+		var shuffled bytes.Buffer
+		writeShuffled(&shuffled, v)
+		k1, err := Key("exp", data, "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := Key("exp", shuffled.Bytes(), "s")
+		if err != nil {
+			t.Fatalf("shuffled spelling rejected: %s: %v", shuffled.Bytes(), err)
+		}
+		if k1 != k2 {
+			t.Fatalf("member order changed key:\n  %s\n  %s", data, shuffled.Bytes())
+		}
+	})
+}

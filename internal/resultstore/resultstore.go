@@ -1,0 +1,475 @@
+// Package resultstore is the durable memoization layer of the simulation
+// service: a crash-safe, content-addressed store for experiment results.
+// Results are keyed by a canonical hash of (experiment name, normalized
+// sim.Params JSON, schema version) and persisted in an append-only segment
+// log with per-record CRC32 framing. The full index lives in memory and is
+// rebuilt by replaying the log on open; a torn tail left by a crash is
+// truncated away, keeping every fully-written record. Named baselines —
+// flattened numeric snapshots of the store — ride in the same log and feed
+// regression detection (womtool regress, womd /v1/compare).
+package resultstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"womcpcm/internal/sim"
+)
+
+// Log format constants. Each segment is
+//
+//	[8-byte header "WOMRSv1\n"] followed by frames of
+//	[4-byte LE payload length][4-byte LE CRC32-IEEE of payload][payload]
+//
+// where the payload is one JSON-encoded record. Frames are appended only;
+// an update to a key simply appends a newer record, and replay keeps the
+// last one (last-writer-wins).
+const (
+	segHeader     = "WOMRSv1\n"
+	segPrefix     = "seg-"
+	segSuffix     = ".log"
+	frameOverhead = 8 // length + crc
+)
+
+// maxPayload rejects absurd frame lengths during replay so a corrupt length
+// field cannot trigger a multi-gigabyte allocation.
+const maxPayload = 64 << 20
+
+// Errors the store returns.
+var (
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("resultstore: store closed")
+	// ErrNoBaseline reports an unknown baseline name.
+	ErrNoBaseline = errors.New("resultstore: baseline not found")
+	// ErrCorrupt reports corruption in a non-final segment, which a crash
+	// cannot produce — the store refuses to guess and asks for operator
+	// attention instead of silently dropping interior history.
+	ErrCorrupt = errors.New("resultstore: corrupt interior segment")
+)
+
+// Entry is one stored result: the content key, the request that produced
+// it, and the result itself. Result.Data round-trips through JSON, so after
+// a reopen it holds generic maps rather than the original result structs.
+type Entry struct {
+	Key        string          `json:"key"`
+	Experiment string          `json:"experiment"`
+	Schema     string          `json:"schema"`
+	Params     json.RawMessage `json:"params"` // canonical JSON
+	Result     *sim.Result     `json:"result"`
+	WallNs     int64           `json:"wall_ns,omitempty"`
+	CreatedAt  time.Time       `json:"created_at"`
+}
+
+// Summary is the listing shape of an entry (no result body).
+type Summary struct {
+	Key        string    `json:"key"`
+	Experiment string    `json:"experiment"`
+	Schema     string    `json:"schema"`
+	WallNs     int64     `json:"wall_ns,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+}
+
+// Summary projects the entry for listings.
+func (e *Entry) Summary() Summary {
+	return Summary{Key: e.Key, Experiment: e.Experiment, Schema: e.Schema,
+		WallNs: e.WallNs, CreatedAt: e.CreatedAt}
+}
+
+// Baseline pins one named snapshot of the store: every entry's numeric
+// metrics, flattened to dotted paths, frozen at pin time. Regression
+// checks compare a later store state against these numbers.
+type Baseline struct {
+	Name      string    `json:"name"`
+	Schema    string    `json:"schema"`
+	CreatedAt time.Time `json:"created_at"`
+	// Metrics maps entry key → metric path → value (see Flatten).
+	Metrics map[string]map[string]float64 `json:"metrics"`
+	// Experiments maps entry key → experiment name, for readable reports.
+	Experiments map[string]string `json:"experiments"`
+}
+
+// record is the on-disk payload: exactly one of the two bodies is set.
+type record struct {
+	Kind     string    `json:"kind"` // "result" or "baseline"
+	Entry    *Entry    `json:"entry,omitempty"`
+	Baseline *Baseline `json:"baseline,omitempty"`
+}
+
+// Options tunes a store. Zero values select production defaults.
+type Options struct {
+	// SchemaVersion invalidates old keys wholesale when the sim schema
+	// changes (default sim.SchemaVersion).
+	SchemaVersion string
+	// MaxSegmentBytes rotates to a fresh segment past this size
+	// (default 64 MiB).
+	MaxSegmentBytes int64
+	// Sync fsyncs after every append. Off by default: the log tolerates a
+	// torn tail, so the worst a crash costs is the records the OS had not
+	// flushed — acceptable for a cache, and an order of magnitude faster.
+	Sync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SchemaVersion == "" {
+		o.SchemaVersion = sim.SchemaVersion
+	}
+	if o.MaxSegmentBytes <= 0 {
+		o.MaxSegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// Store is the persistent result cache. All methods are safe for concurrent
+// use; writes serialize on one append head.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	closed    bool
+	entries   map[string]*Entry
+	baselines map[string]*Baseline
+	seg       *os.File // active (last) segment, opened for append
+	segIndex  int
+	segSize   int64
+}
+
+// Open creates dir if needed, replays every segment oldest-first to rebuild
+// the index, truncates a torn tail off the final segment, and leaves the
+// final segment open for append.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		entries:   make(map[string]*Entry),
+		baselines: make(map[string]*Baseline),
+	}
+	segs, err := s.segmentList()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := s.openSegment(1); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	for i, idx := range segs {
+		final := i == len(segs)-1
+		if err := s.replaySegment(idx, final); err != nil {
+			return nil, err
+		}
+	}
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(s.segPath(last), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	s.seg, s.segIndex, s.segSize = f, last, st.Size()
+	return s, nil
+}
+
+// segPath names segment idx.
+func (s *Store) segPath(idx int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%08d%s", segPrefix, idx, segSuffix))
+}
+
+// segmentList returns the segment indices present, sorted ascending.
+func (s *Store) segmentList() ([]int, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, segPrefix+"*"+segSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	var out []int
+	for _, name := range names {
+		base := filepath.Base(name)
+		var idx int
+		if _, err := fmt.Sscanf(base, segPrefix+"%08d"+segSuffix, &idx); err == nil {
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// openSegment creates a fresh segment and makes it the append head.
+func (s *Store) openSegment(idx int) error {
+	f, err := os.OpenFile(s.segPath(idx), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := f.Write([]byte(segHeader)); err != nil {
+		f.Close()
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if s.seg != nil {
+		s.seg.Close()
+	}
+	s.seg, s.segIndex, s.segSize = f, idx, int64(len(segHeader))
+	return nil
+}
+
+// replaySegment loads one segment into the index. In the final segment any
+// malformed frame — short header, short payload, CRC mismatch, bad JSON,
+// absurd length — is treated as a torn tail: the file is truncated at the
+// last good frame and replay stops. The same damage in an earlier segment
+// is impossible under crash semantics (only the append head can tear), so
+// there it surfaces as ErrCorrupt.
+func (s *Store) replaySegment(idx int, final bool) error {
+	path := s.segPath(idx)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	defer f.Close()
+
+	truncate := func(off int64, cause string) error {
+		if !final {
+			return fmt.Errorf("%w: %s at offset %d of %s", ErrCorrupt, cause, off, path)
+		}
+		return os.Truncate(path, off)
+	}
+
+	hdr := make([]byte, len(segHeader))
+	if _, err := io.ReadFull(f, hdr); err != nil || string(hdr) != segHeader {
+		// A segment torn inside its 8-byte header holds no records at all.
+		if err := truncate(0, "bad segment header"); err != nil {
+			return err
+		}
+		if final {
+			// Restore the header so the segment is appendable again.
+			return os.WriteFile(path, []byte(segHeader), 0o644)
+		}
+		return nil
+	}
+
+	off := int64(len(segHeader))
+	frame := make([]byte, frameOverhead)
+	for {
+		if _, err := io.ReadFull(f, frame); err != nil {
+			if err == io.EOF {
+				return nil // clean end
+			}
+			return truncate(off, "torn frame header")
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length == 0 || length > maxPayload {
+			return truncate(off, "implausible frame length")
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return truncate(off, "torn payload")
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return truncate(off, "crc mismatch")
+		}
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return truncate(off, "undecodable record")
+		}
+		s.apply(rec)
+		off += frameOverhead + int64(length)
+	}
+}
+
+// apply indexes one replayed record; later records win.
+func (s *Store) apply(rec record) {
+	switch {
+	case rec.Kind == "result" && rec.Entry != nil:
+		s.entries[rec.Entry.Key] = rec.Entry
+	case rec.Kind == "baseline" && rec.Baseline != nil:
+		s.baselines[rec.Baseline.Name] = rec.Baseline
+	}
+	// Unknown kinds are skipped, not fatal: a newer writer may add record
+	// types an older reader can safely ignore.
+}
+
+// append frames and writes one record, rotating segments past the size cap.
+func (s *Store) append(rec record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("resultstore: encoding record: %w", err)
+	}
+	if len(payload) > maxPayload {
+		return fmt.Errorf("resultstore: record of %d bytes exceeds %d-byte frame cap", len(payload), maxPayload)
+	}
+	need := int64(frameOverhead + len(payload))
+	if s.segSize+need > s.opts.MaxSegmentBytes && s.segSize > int64(len(segHeader)) {
+		if err := s.openSegment(s.segIndex + 1); err != nil {
+			return err
+		}
+	}
+	frame := make([]byte, frameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameOverhead:], payload)
+	if _, err := s.seg.Write(frame); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.segSize += need
+	if s.opts.Sync {
+		if err := s.seg.Sync(); err != nil {
+			return fmt.Errorf("resultstore: %w", err)
+		}
+	}
+	return nil
+}
+
+// SchemaVersion returns the schema tag keys are derived under.
+func (s *Store) SchemaVersion() string { return s.opts.SchemaVersion }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the entry under key, if present.
+func (s *Store) Get(key string) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	return e, ok
+}
+
+// Put persists an entry and indexes it, replacing any previous entry under
+// the same key (the log keeps both; replay keeps the newer).
+func (s *Store) Put(e Entry) error {
+	if e.Key == "" {
+		return fmt.Errorf("resultstore: entry has no key")
+	}
+	if e.CreatedAt.IsZero() {
+		e.CreatedAt = time.Now().UTC()
+	}
+	if e.Schema == "" {
+		e.Schema = s.opts.SchemaVersion
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.append(record{Kind: "result", Entry: &e}); err != nil {
+		return err
+	}
+	s.entries[e.Key] = &e
+	return nil
+}
+
+// Entries lists every stored entry sorted by experiment then key, so
+// listings are stable across processes and reopens.
+func (s *Store) Entries() []*Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Experiment != out[j].Experiment {
+			return out[i].Experiment < out[j].Experiment
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Len reports the number of distinct result keys held.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// PinBaseline snapshots the current store under name: every entry's
+// flattened numeric metrics, frozen. Pinning over an existing name
+// replaces it.
+func (s *Store) PinBaseline(name string) (*Baseline, error) {
+	if name == "" {
+		return nil, fmt.Errorf("resultstore: baseline needs a name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	b := &Baseline{
+		Name:        name,
+		Schema:      s.opts.SchemaVersion,
+		CreatedAt:   time.Now().UTC(),
+		Metrics:     make(map[string]map[string]float64, len(s.entries)),
+		Experiments: make(map[string]string, len(s.entries)),
+	}
+	for key, e := range s.entries {
+		m, err := EntryMetrics(e)
+		if err != nil {
+			return nil, err
+		}
+		b.Metrics[key] = m
+		b.Experiments[key] = e.Experiment
+	}
+	if err := s.append(record{Kind: "baseline", Baseline: b}); err != nil {
+		return nil, err
+	}
+	s.baselines[name] = b
+	return b, nil
+}
+
+// Baseline returns a pinned baseline by name.
+func (s *Store) Baseline(name string) (*Baseline, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.baselines[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoBaseline, name)
+	}
+	return b, nil
+}
+
+// Baselines lists pinned baselines sorted by name.
+func (s *Store) Baselines() []*Baseline {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Baseline, 0, len(s.baselines))
+	for _, b := range s.baselines {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Close flushes and closes the append head. A closed store still serves
+// reads from its in-memory index.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.seg == nil {
+		return nil
+	}
+	err := s.seg.Sync()
+	if cerr := s.seg.Close(); err == nil {
+		err = cerr
+	}
+	s.seg = nil
+	return err
+}

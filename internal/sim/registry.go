@@ -11,6 +11,13 @@ import (
 	"womcpcm/internal/workload"
 )
 
+// SchemaVersion tags the (Params, Result) wire schema. It is part of every
+// resultstore content key, so bumping it — required whenever Params fields,
+// result shapes, or simulator behavior change in a way that alters outputs —
+// invalidates all previously cached results at once instead of serving
+// stale data under a matching hash.
+const SchemaVersion = "sim-v1"
+
 // Params parameterizes a registry experiment through plain serializable
 // fields, so one schema covers the CLI (cmd/womsim flags), the service API
 // (cmd/womd JSON jobs), and tests. Zero values select the paper defaults.

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"errors"
+	"sort"
 	"strings"
 	"testing"
 
@@ -32,6 +33,14 @@ func TestRegistryLookupAndAliases(t *testing.T) {
 	}
 	if _, err := LookupExperiment("fig99"); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+	// Listings are sorted, so CLI/API output is stable across runs.
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("ExperimentNames not sorted: %v", names)
+	}
+	exps := Experiments()
+	if !sort.SliceIsSorted(exps, func(i, j int) bool { return exps[i].Name < exps[j].Name }) {
+		t.Errorf("Experiments not sorted")
 	}
 }
 
