@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet race fuzz bench verify clean
+.PHONY: all build test vet fmt-check race fuzz bench bench-probe verify clean
 
 all: verify
 
@@ -28,7 +28,17 @@ fuzz:
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
 
-verify: build test vet
+# Probe overhead benchmarks: RunNilProbe is the zero-overhead baseline the
+# instrumentation contract promises (compare against Counter/Ring).
+bench-probe:
+	$(GO) test -run=NONE -bench=Probe -benchmem ./internal/memctrl/
+
+# Fails listing the files gofmt would rewrite; CI runs this on every push.
+fmt-check:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; fi
+
+verify: build test vet fmt-check
 
 clean:
 	$(GO) clean ./...

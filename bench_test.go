@@ -249,7 +249,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			req := engine.JobRequest{Experiment: "fig5", Params: engineJobParams()}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := mgr.Submit(req); err != nil {
+				if _, err := mgr.Submit(context.Background(), req); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -279,7 +279,7 @@ func BenchmarkEngineQueueSaturation(b *testing.B) {
 	var accepted, rejected int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		switch _, err := mgr.Submit(req); {
+		switch _, err := mgr.Submit(context.Background(), req); {
 		case err == nil:
 			accepted++
 		case errors.Is(err, engine.ErrQueueFull):

@@ -9,6 +9,11 @@
 // share one execution, and /v1/results, /v1/baselines, and /v1/compare
 // expose the cache, pinned baselines, and regression reports.
 //
+// Logs are structured (log/slog): every HTTP request gets an id — honoring
+// a client-supplied X-Request-ID — that follows its job through queued,
+// started, and finished lines, so one grep reconstructs a request's whole
+// lifecycle. -debug additionally mounts net/http/pprof under /debug/pprof/.
+//
 // Usage:
 //
 //	womd -addr :8080 -workers 4 -queue 64 -timeout 10m -cache /var/lib/womd
@@ -18,6 +23,7 @@
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"experiment":"fig5","params":{"requests":20000,"bench":["qsort"]}}'
 //	curl -s localhost:8080/v1/jobs/j-000001/result
+//	curl -s localhost:8080/v1/jobs/j-000001/progress
 //	curl -s localhost:8080/metrics
 //
 // See DESIGN.md for the API surface and job lifecycle.
@@ -27,8 +33,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -50,19 +55,29 @@ func main() {
 		maxTraces  = flag.Int("max-traces", 64, "stored upload cap")
 		cacheDir   = flag.String("cache", "", "result-store directory; identical jobs are served from it (empty = caching off)")
 		cacheSync  = flag.Bool("cache-sync", false, "fsync the result store after every append")
+		debug      = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of logfmt-style text")
 	)
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
 
 	var store *resultstore.Store
 	if *cacheDir != "" {
 		var err error
 		store, err = resultstore.Open(*cacheDir, resultstore.Options{Sync: *cacheSync})
 		if err != nil {
-			log.Fatalf("womd: opening result store: %v", err)
+			logger.Error("opening result store", "dir", *cacheDir, "error", err)
+			os.Exit(1)
 		}
 		defer store.Close()
-		log.Printf("womd: result store %s: %d results, %d baselines",
-			*cacheDir, store.Len(), len(store.Baselines()))
+		logger.Info("result store open", "dir", *cacheDir,
+			"results", store.Len(), "baselines", len(store.Baselines()))
 	}
 
 	mgr := engine.New(engine.Config{
@@ -72,10 +87,16 @@ func main() {
 		MaxTraceRecords: *maxRecords,
 		MaxTraces:       *maxTraces,
 		Store:           store,
+		Logger:          logger,
 	})
+	opts := []engine.ServerOption{engine.WithLogger(logger)}
+	if *debug {
+		opts = append(opts, engine.WithDebug())
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     engine.NewServer(mgr),
+		Handler:     engine.NewServer(mgr, opts...),
 		ReadTimeout: 5 * time.Minute, // trace uploads can be large
 	}
 
@@ -84,30 +105,42 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("womd: listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		log.Fatalf("womd: serve: %v", err)
+		logger.Error("serve", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
 	// Graceful drain: stop accepting connections, then let queued and
-	// in-flight jobs complete within the drain budget.
-	log.Printf("womd: signal received; draining (budget %s)", *drain)
+	// in-flight jobs complete within the drain budget. The before/after
+	// metrics delta reports how many jobs the drain actually finished.
+	before := mgr.Metrics().Snapshot()
+	logger.Info("signal received; draining", "budget", drain.String(),
+		"jobs_running", before.JobsRunning, "queue_depth", before.QueueDepth)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		log.Printf("womd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
-	if err := mgr.Shutdown(drainCtx); err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
-			fmt.Fprintln(os.Stderr, "womd: drain budget exceeded; running jobs aborted")
+	drainErr := mgr.Shutdown(drainCtx)
+	after := mgr.Metrics().Snapshot()
+	logger.Info("drain finished",
+		"jobs_completed", after.JobsCompleted-before.JobsCompleted,
+		"jobs_failed", after.JobsFailed-before.JobsFailed,
+		"jobs_canceled", after.JobsCanceled-before.JobsCanceled,
+		"uptime_s", int64(after.UptimeSeconds))
+	if drainErr != nil {
+		if errors.Is(drainErr, context.DeadlineExceeded) {
+			logger.Error("drain budget exceeded; running jobs aborted")
 			os.Exit(1)
 		}
-		log.Fatalf("womd: drain: %v", err)
+		logger.Error("drain", "error", drainErr)
+		os.Exit(1)
 	}
-	log.Printf("womd: drained cleanly")
+	logger.Info("drained cleanly")
 }

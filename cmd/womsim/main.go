@@ -15,6 +15,7 @@
 //	womsim -list             # list registry experiments
 //	womsim -detail ocean     # per-run service breakdown + energy pricing
 //	womsim -trace my.trace   # replay a recorded trace on every architecture
+//	womsim -timeline t.json -bench qsort    # Perfetto/chrome://tracing timeline
 //	womsim -cache out/cache -fig fig5   # memoize: rerunning is a disk read
 //	womsim -cache out/cache -fig fig5 -force  # re-simulate and overwrite
 package main
@@ -46,6 +47,8 @@ func main() {
 		ranks    = flag.Int("ranks", 0, "override rank count")
 		banks    = flag.Int("banks", 0, "override banks per rank")
 		detail   = flag.String("detail", "", "print the full run summary for one benchmark on every architecture")
+		timeline = flag.String("timeline", "", "write a Chrome trace-event timeline (Perfetto/chrome://tracing) of one benchmark on every architecture to this file")
+		timeLim  = flag.Int("timeline-limit", 250000, "with -timeline: cap events kept per architecture (0 = unlimited)")
 		traceIn  = flag.String("trace", "", "replay a trace file (text or binary) through every architecture")
 		workers  = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
@@ -76,6 +79,12 @@ func main() {
 
 	if *traceIn != "" {
 		if err := replayTrace(params, *traceIn); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *timeline != "" {
+		if err := runTimeline(params, *timeline, *timeLim); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+
+	"womcpcm/internal/core"
+	"womcpcm/internal/probe"
+	"womcpcm/internal/sim"
+	"womcpcm/internal/workload"
+)
+
+// runTimeline replays one benchmark workload on all four architectures with
+// the simulator probe attached and writes a merged Chrome trace-event
+// timeline: one trace process per architecture, one track per bank (plus a
+// rank-wide track for the WOM-cache array and refresh scheduling), refresh
+// and busy intervals as slices. The file opens directly in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
+func runTimeline(params sim.Params, path string, limit int) error {
+	cfg, err := params.Config(context.Background())
+	if err != nil {
+		return err
+	}
+	p := cfg.Profiles[0]
+	if len(cfg.Profiles) > 1 {
+		fmt.Fprintf(os.Stderr, "womsim: -timeline instruments one benchmark; using %s (narrow with -bench)\n", p.Name)
+	}
+	requests := cfg.Requests
+	if requests <= 0 {
+		requests = 200000
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	arches := core.Arches()
+	sinks := make([]*probe.TimelineSink, len(arches))
+	for i, a := range arches {
+		sinks[i] = probe.NewTimelineSink(i+1, a.String(), limit)
+		counters := probe.NewCounterSink()
+		opts := core.DefaultOptions()
+		opts.Geometry = cfg.Geometry
+		opts.Probe = probe.New(counters, sinks[i])
+		sys, err := core.NewSystem(a, opts)
+		if err != nil {
+			return err
+		}
+		gen, err := workload.NewGenerator(p, cfg.Geometry, seed)
+		if err != nil {
+			return err
+		}
+		run, err := sys.Simulate(traceLimit(gen, requests))
+		if err != nil {
+			return fmt.Errorf("timeline: %s on %s: %w", p.Name, a, err)
+		}
+		fmt.Fprintf(os.Stderr, "womsim: %-16s %d events (%d dropped), %d requests, %.2f ms simulated\n",
+			a.String(), sinks[i].Len(), sinks[i].Dropped(), requests, float64(run.SimulatedNs)/1e6)
+		if counts := counters.Counts(); len(counts) > 0 {
+			kinds := make([]string, 0, len(counts))
+			for k := range counts {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			for _, k := range kinds {
+				fmt.Fprintf(os.Stderr, "womsim:   %-20s %d\n", k, counts[k])
+			}
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = probe.WriteChromeTrace(f, sinks...)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("timeline: writing %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "womsim: timeline written to %s (open in https://ui.perfetto.dev or chrome://tracing)\n", path)
+	return nil
+}

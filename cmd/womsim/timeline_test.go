@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"womcpcm/internal/probe"
+	"womcpcm/internal/sim"
+)
+
+// timelineParams is a seed workload small enough for a unit test but busy
+// enough that every write class and a refresh pause/resume episode occur
+// (qsort's tight zipf footprint drives rows to the rewrite limit quickly).
+func timelineParams() sim.Params {
+	return sim.Params{Requests: 30000, Seed: 1, Bench: []string{"qsort"}}
+}
+
+// TestRunTimelineEndToEnd runs womsim's -timeline path over a seed workload
+// and validates the acceptance contract: the file unmarshals into the Chrome
+// trace-event schema and contains all four write-class event types plus
+// refresh pause/resume spans.
+func TestRunTimelineEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timeline.json")
+	if err := runTimeline(timelineParams(), path, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr probe.ChromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("timeline is not valid trace-event JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", tr.DisplayTimeUnit)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("timeline has no events")
+	}
+
+	names := make(map[string]int)
+	procs := make(map[int]bool)
+	for _, ev := range tr.TraceEvents {
+		procs[ev.Pid] = true
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				t.Fatalf("unknown metadata event %q", ev.Name)
+			}
+			if _, ok := ev.Args["name"]; !ok {
+				t.Fatalf("metadata event missing args.name: %+v", ev)
+			}
+		case "X":
+			names[ev.Name]++
+			if ev.Dur < 0 {
+				t.Fatalf("negative span duration: %+v", ev)
+			}
+		case "i":
+			names[ev.Name]++
+			if ev.Scope != "t" {
+				t.Fatalf("instant event scope = %q, want t: %+v", ev.Scope, ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q in %+v", ev.Ph, ev)
+		}
+	}
+	if len(procs) != 4 {
+		t.Errorf("trace covers %d architectures, want 4", len(procs))
+	}
+	for _, want := range []string{
+		"write-first", "write-wom-rewrite", "write-alpha", "write-flip-n-write",
+		"refresh-paused", "refresh-resumed",
+	} {
+		if names[want] == 0 {
+			t.Errorf("timeline contains no %q events (have %v)", want, names)
+		}
+	}
+}
+
+// TestRunTimelineLimit checks -timeline-limit bounds the kept events per
+// architecture while the run itself still completes.
+func TestRunTimelineLimit(t *testing.T) {
+	const limit = 500
+	path := filepath.Join(t.TempDir(), "timeline.json")
+	if err := runTimeline(timelineParams(), path, limit); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr probe.ChromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	perPid := make(map[int]int)
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "M" {
+			perPid[ev.Pid]++
+		}
+	}
+	if len(perPid) != 4 {
+		t.Fatalf("trace covers %d architectures, want 4", len(perPid))
+	}
+	for pid, n := range perPid {
+		if n > limit {
+			t.Errorf("architecture %d kept %d events, want ≤ %d", pid, n, limit)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"womcpcm/internal/memctrl"
 	"womcpcm/internal/pcm"
+	"womcpcm/internal/probe"
 	"womcpcm/internal/stats"
 	"womcpcm/internal/trace"
 )
@@ -73,6 +74,12 @@ type Options struct {
 	// The default (false) models a long-running system where a row of
 	// unknown state must be assumed to be at the rewrite limit.
 	FreshArrays bool
+	// Probe, when set, streams fine-grained simulator events (write
+	// classification, refresh lifecycle, cache actions, bank occupancy)
+	// to its sinks; see internal/probe. nil disables instrumentation at
+	// zero cost. Probes are single-simulation: attach a fresh one per
+	// Simulate call when running concurrently.
+	Probe *probe.Probe
 }
 
 // DefaultOptions returns the paper's §5 configuration.
@@ -119,7 +126,7 @@ type System struct {
 // pass DefaultOptions() for the exact §5 setup.
 func NewSystem(arch Arch, opts Options) (*System, error) {
 	opts = opts.normalize()
-	cfg := memctrl.Config{Geometry: opts.Geometry, Timing: opts.Timing}
+	cfg := memctrl.Config{Geometry: opts.Geometry, Timing: opts.Timing, Probe: opts.Probe}
 	switch arch {
 	case Baseline:
 	case WOMCode:

@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// buildInfo reports the running binary's Go toolchain version and VCS
+// revision (with a "-dirty" suffix for modified trees). Test binaries and
+// builds outside a repository report "unknown". Read once: the answer cannot
+// change while the process lives.
+var buildInfo = sync.OnceValues(func() (goVersion, revision string) {
+	goVersion = runtime.Version()
+	revision = "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return goVersion, revision
+	}
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && revision != "unknown" {
+		revision += "-dirty"
+	}
+	return goVersion, revision
+})

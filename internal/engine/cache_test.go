@@ -138,7 +138,7 @@ func TestCacheHitSkipsExecution(t *testing.T) {
 	store2 := openStore(t, dir)
 	mgr2 := New(Config{Workers: 2, QueueDepth: 8, Store: store2})
 	defer mgr2.Shutdown(context.Background()) //nolint:errcheck
-	job, err := mgr2.Submit(req)
+	job, err := mgr2.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,15 +160,15 @@ func TestSingleflightDedup(t *testing.T) {
 	// Slow enough that followers arrive while the leader runs.
 	params := sim.Params{Requests: 400000, Bench: []string{"qsort"}, Ranks: 4, Parallelism: 1}
 	req := JobRequest{Experiment: "fig5", Params: params}
-	leader, err := mgr.Submit(req)
+	leader, err := mgr.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	follower, err := mgr.Submit(req)
+	follower, err := mgr.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	canceled, err := mgr.Submit(req)
+	canceled, err := mgr.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestSingleflightDedup(t *testing.T) {
 	}
 	// After the flight settles, a new identical submission is a cache hit,
 	// not a new flight.
-	hit, err := mgr.Submit(req)
+	hit, err := mgr.Submit(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,9 +330,9 @@ func TestJSONErrorBodies(t *testing.T) {
 			t.Errorf("%s %s body not structured: %s", method, path, raw)
 		}
 	}
-	check(http.MethodGet, "/nope", http.StatusNotFound)                   // unknown route
+	check(http.MethodGet, "/nope", http.StatusNotFound)                      // unknown route
 	check(http.MethodDelete, "/v1/experiments", http.StatusMethodNotAllowed) // wrong method
-	check(http.MethodGet, "/v1/jobs/j-404", http.StatusNotFound)          // handler error path
+	check(http.MethodGet, "/v1/jobs/j-404", http.StatusNotFound)             // handler error path
 	check(http.MethodPut, "/v1/jobs", http.StatusMethodNotAllowed)
 
 	// Success paths must pass through untouched.
@@ -340,10 +340,14 @@ func TestJSONErrorBodies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body, _ := io.ReadAll(resp.Body)
+	var health Health
+	err = json.NewDecoder(resp.Body).Decode(&health)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
-		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	if err != nil || resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz = %d %+v (%v)", resp.StatusCode, health, err)
+	}
+	if health.GoVersion == "" || health.Revision == "" || health.UptimeSeconds < 0 {
+		t.Errorf("healthz missing build/uptime info: %+v", health)
 	}
 }
 
@@ -356,7 +360,7 @@ func TestJobsDeterministicOrder(t *testing.T) {
 	params.Requests = 2000
 	var ids []string
 	for i := 0; i < 4; i++ {
-		job, err := mgr.Submit(JobRequest{Experiment: "fig5", Params: params})
+		job, err := mgr.Submit(context.Background(), JobRequest{Experiment: "fig5", Params: params})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -339,7 +340,7 @@ func TestGracefulDrain(t *testing.T) {
 	params.Requests = 5000
 	var ids []string
 	for i := 0; i < 3; i++ {
-		job, err := mgr.Submit(JobRequest{Experiment: "fig5", Params: params})
+		job, err := mgr.Submit(context.Background(), JobRequest{Experiment: "fig5", Params: params})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -362,7 +363,7 @@ func TestGracefulDrain(t *testing.T) {
 			t.Errorf("job %s result missing: %v", id, err)
 		}
 	}
-	if _, err := mgr.Submit(JobRequest{Experiment: "fig5", Params: params}); !errors.Is(err, ErrDraining) {
+	if _, err := mgr.Submit(context.Background(), JobRequest{Experiment: "fig5", Params: params}); !errors.Is(err, ErrDraining) {
 		t.Errorf("submit after drain = %v, want ErrDraining", err)
 	}
 	if got := mgr.Metrics().Snapshot(); got.JobsCompleted != 3 {
@@ -380,7 +381,7 @@ func TestJobTimeout(t *testing.T) {
 	defer mgr.Shutdown(context.Background()) //nolint:errcheck
 	params := fastParams()
 	params.Requests = 100000
-	job, err := mgr.Submit(JobRequest{Experiment: "fig5", Params: params, TimeoutMs: 1})
+	job, err := mgr.Submit(context.Background(), JobRequest{Experiment: "fig5", Params: params, TimeoutMs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +414,7 @@ func TestSubmitValidation(t *testing.T) {
 		{Experiment: "sweep"}, // missing profile
 	}
 	for _, req := range cases {
-		if _, err := mgr.Submit(req); err == nil {
+		if _, err := mgr.Submit(context.Background(), req); err == nil {
 			t.Errorf("Submit(%+v) accepted", req)
 		}
 	}
@@ -428,7 +429,7 @@ func TestDeleteLifecycle(t *testing.T) {
 	defer mgr.Shutdown(context.Background()) //nolint:errcheck
 	params := fastParams()
 	params.Requests = 2000
-	job, err := mgr.Submit(JobRequest{Experiment: "fig5", Params: params})
+	job, err := mgr.Submit(context.Background(), JobRequest{Experiment: "fig5", Params: params})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -520,8 +521,9 @@ func ExampleNewServer() {
 	ts := httptest.NewServer(NewServer(mgr))
 	defer ts.Close()
 	resp, _ := http.Get(ts.URL + "/healthz")
-	body, _ := io.ReadAll(resp.Body)
+	var h Health
+	json.NewDecoder(resp.Body).Decode(&h) //nolint:errcheck
 	resp.Body.Close()
-	fmt.Print(string(body))
-	// Output: ok
+	fmt.Println(h.Status, h.GoVersion == runtime.Version())
+	// Output: ok true
 }

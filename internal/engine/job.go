@@ -9,6 +9,7 @@ package engine
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"womcpcm/internal/sim"
@@ -56,6 +57,13 @@ type Job struct {
 	key     string // resultstore content key; "" when not cacheable
 	cached  bool   // served from the result store without executing
 	dedupOf string // leader job id this submission was folded into
+	reqID   string // submitting request's id, carried into lifecycle logs
+
+	// progress counts records processed against the job's known total,
+	// fed lock-free by the running experiment (sim.WithProgress). Done
+	// only grows — see setProgress — so pollers observe a monotone gauge.
+	progressDone  atomic.Int64
+	progressTotal atomic.Int64
 
 	mu        sync.Mutex
 	state     State
@@ -151,13 +159,54 @@ func (j *Job) finish(state State, res *sim.Result, err error) {
 	j.cancel = nil
 }
 
+// setProgress is the job's sim.ProgressFunc. Experiment callbacks may race
+// (parallel per-architecture simulations share one cumulative counter), so
+// Done advances by compare-and-swap maximum: a stale report can never move
+// the gauge backwards.
+func (j *Job) setProgress(done, total int64) {
+	if total > 0 {
+		j.progressTotal.Store(total)
+	}
+	for {
+		cur := j.progressDone.Load()
+		if done <= cur || j.progressDone.CompareAndSwap(cur, done) {
+			return
+		}
+	}
+}
+
+// ProgressView is the JSON shape of GET /v1/jobs/{id}/progress. Total is 0
+// for experiments that do not report progress (everything but "replay").
+type ProgressView struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Done  int64  `json:"done"`
+	Total int64  `json:"total"`
+	// Fraction is Done/Total, 0 when the total is unknown.
+	Fraction float64 `json:"fraction"`
+}
+
+// Progress snapshots the job's completion gauge.
+func (j *Job) Progress() ProgressView {
+	v := ProgressView{
+		ID:    j.id,
+		State: j.State(),
+		Done:  j.progressDone.Load(),
+		Total: j.progressTotal.Load(),
+	}
+	if v.Total > 0 {
+		v.Fraction = float64(v.Done) / float64(v.Total)
+	}
+	return v
+}
+
 // JobView is the JSON shape of a job's status.
 type JobView struct {
-	ID          string `json:"id"`
-	Experiment  string `json:"experiment"`
-	State       State  `json:"state"`
-	Error       string `json:"error,omitempty"`
-	TraceID     string `json:"trace_id,omitempty"`
+	ID         string `json:"id"`
+	Experiment string `json:"experiment"`
+	State      State  `json:"state"`
+	Error      string `json:"error,omitempty"`
+	TraceID    string `json:"trace_id,omitempty"`
 	// Cached marks a submission served straight from the result store.
 	Cached bool `json:"cached,omitempty"`
 	// DedupOf names the identical in-flight job this one was folded into.

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer makes a bytes.Buffer safe for concurrent slog writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRequestIDPropagation submits a job with a client-chosen X-Request-ID
+// and checks the id is echoed on the response and stitched through the job's
+// queued → started → finished lifecycle logs.
+func TestRequestIDPropagation(t *testing.T) {
+	var logs syncBuffer
+	logger := slog.New(slog.NewTextHandler(&logs, nil))
+	mgr := New(Config{Workers: 1, QueueDepth: 4, Logger: logger})
+	defer mgr.Shutdown(context.Background()) //nolint:errcheck
+	ts := httptest.NewServer(NewServer(mgr, WithLogger(logger)))
+	defer ts.Close()
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs",
+		strings.NewReader(`{"experiment":"fig5","params":{"requests":2000,"bench":["qsort"],"ranks":2,"parallelism":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "r-client-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job JobView
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "r-client-7" {
+		t.Errorf("response X-Request-ID = %q, want the client's id echoed", got)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, ok := mgr.Get(job.ID)
+		if !ok {
+			t.Fatalf("job %s vanished", job.ID)
+		}
+		if j.State().Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", job.ID, j.State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	out := logs.String()
+	for _, want := range []string{
+		`msg="job queued" job=` + job.ID,
+		`msg="job started" job=` + job.ID,
+		`msg="job finished" job=` + job.ID,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("logs missing %q:\n%s", want, out)
+		}
+	}
+	// Every lifecycle line carries the request id the client chose.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "job="+job.ID) && !strings.Contains(line, "request_id=r-client-7") {
+			t.Errorf("lifecycle line missing request id: %s", line)
+		}
+	}
+	// The access log ties the same id to the HTTP request itself.
+	if !strings.Contains(out, `msg=request request_id=r-client-7 method=POST path=/v1/jobs status=202`) {
+		t.Errorf("access log missing request line:\n%s", out)
+	}
+
+	// Requests without a client id get a generated one.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); !strings.HasPrefix(got, "r-") {
+		t.Errorf("generated request id = %q", got)
+	}
+}
+
+// TestDebugGatesPprof checks /debug/pprof/ is mounted only with WithDebug.
+func TestDebugGatesPprof(t *testing.T) {
+	mgr := New(Config{Workers: 1})
+	defer mgr.Shutdown(context.Background()) //nolint:errcheck
+
+	status := func(srv *Server) int {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+		return rec.Code
+	}
+	if got := status(NewServer(mgr)); got != http.StatusNotFound {
+		t.Errorf("pprof without -debug = %d, want 404", got)
+	}
+	if got := status(NewServer(mgr, WithDebug())); got != http.StatusOK {
+		t.Errorf("pprof with -debug = %d, want 200", got)
+	}
+}

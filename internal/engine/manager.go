@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -41,6 +42,9 @@ type Config struct {
 	// (singleflight). Trace replays bypass the store — their input lives
 	// outside the hashed params. The manager does not close the store.
 	Store *resultstore.Store
+	// Logger receives structured job lifecycle logs (queued, started,
+	// finished) with request ids; nil discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +56,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -75,6 +82,7 @@ type Manager struct {
 	metrics *Metrics
 	traces  *TraceStore
 	store   *resultstore.Store // nil when caching is off
+	log     *slog.Logger
 
 	baseCtx context.Context // canceled to abort all running jobs
 	abort   context.CancelFunc
@@ -107,6 +115,7 @@ func New(cfg Config) *Manager {
 		metrics:  NewMetrics(),
 		traces:   NewTraceStore(cfg.MaxTraceRecords, cfg.MaxTraces),
 		store:    cfg.Store,
+		log:      cfg.Logger,
 		baseCtx:  ctx,
 		abort:    cancel,
 		jobs:     make(map[string]*Job),
@@ -131,8 +140,10 @@ func (m *Manager) Store() *resultstore.Store { return m.store }
 
 // Submit validates the request, resolves its trace reference, and enqueues
 // a job. A full queue or a draining manager rejects immediately —
-// admission control instead of unbounded buffering.
-func (m *Manager) Submit(req JobRequest) (*Job, error) {
+// admission control instead of unbounded buffering. ctx only supplies the
+// request id for the job's lifecycle logs (WithRequestID); it does not bound
+// the job's execution — that is the job timeout's role.
+func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 	exp, err := sim.LookupExperiment(req.Experiment)
 	if err != nil {
 		return nil, err
@@ -160,6 +171,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	if req.TimeoutMs > 0 {
 		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
 	}
+	reqID := RequestIDFrom(ctx)
 
 	// Content-address the request when the store can serve or dedup it.
 	var key string
@@ -189,11 +201,13 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 			job := &Job{
 				id: fmt.Sprintf("j-%06d", m.seq), seq: m.seq,
 				exp: exp, req: req, params: params, timeout: timeout,
-				key: key, cached: true,
+				key: key, cached: true, reqID: reqID,
 				state: StateSucceeded, result: entry.Result,
 				submitted: now, started: now, finished: now,
 			}
 			m.jobs[job.id] = job
+			m.log.Info("job served from cache", "job", job.id,
+				"experiment", exp.Name, "request_id", reqID, "key", key)
 			return job, nil
 		}
 		m.metrics.CacheMisses.Add(1)
@@ -205,11 +219,13 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 			job := &Job{
 				id: fmt.Sprintf("j-%06d", m.seq), seq: m.seq,
 				exp: exp, req: req, params: params, timeout: timeout,
-				key: key, dedupOf: fl.leader.id,
+				key: key, dedupOf: fl.leader.id, reqID: reqID,
 				state: StateQueued, submitted: time.Now(),
 			}
 			fl.waiters = append(fl.waiters, job)
 			m.jobs[job.id] = job
+			m.log.Info("job deduped", "job", job.id, "experiment", exp.Name,
+				"request_id", reqID, "leader", fl.leader.id)
 			return job, nil
 		}
 	}
@@ -222,6 +238,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		params:    params,
 		timeout:   timeout,
 		key:       key,
+		reqID:     reqID,
 		state:     StateQueued,
 		submitted: time.Now(),
 	}
@@ -238,6 +255,8 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	}
 	m.metrics.Queued.Add(1)
 	m.metrics.QueueDepth.Add(1)
+	m.log.Info("job queued", "job", job.id, "experiment", exp.Name,
+		"request_id", reqID, "queue_depth", m.metrics.QueueDepth.Load())
 	return job, nil
 }
 
@@ -339,11 +358,15 @@ func (m *Manager) runJob(job *Job) {
 	if !job.markRunning(cancel) {
 		m.metrics.Canceled.Add(1)
 		m.settleFlight(job, StateCanceled, nil, context.Canceled)
+		m.log.Info("job canceled before start", "job", job.id,
+			"experiment", job.exp.Name, "request_id", job.reqID)
 		return
 	}
 	m.metrics.Running.Add(1)
+	m.log.Info("job started", "job", job.id, "experiment", job.exp.Name,
+		"request_id", job.reqID)
 	start := time.Now()
-	res, err := job.exp.Run(ctx, job.params)
+	res, err := job.exp.Run(sim.WithProgress(ctx, job.setProgress), job.params)
 	m.metrics.Running.Add(-1)
 	wall := time.Since(start)
 	m.metrics.ObserveWall(job.exp.Name, wall)
@@ -366,6 +389,15 @@ func (m *Manager) runJob(job *Job) {
 		m.metrics.Failed.Add(1)
 		job.finish(StateFailed, nil, err)
 		m.settleFlight(job, StateFailed, nil, err)
+	}
+	attrs := []any{"job", job.id, "experiment", job.exp.Name,
+		"request_id", job.reqID, "state", string(job.State()),
+		"duration_ms", wall.Milliseconds()}
+	if err != nil {
+		attrs = append(attrs, "error", err.Error())
+		m.log.Warn("job finished", attrs...)
+	} else {
+		m.log.Info("job finished", attrs...)
 	}
 }
 

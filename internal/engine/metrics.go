@@ -30,14 +30,20 @@ type Metrics struct {
 	QueueDepth atomic.Int64 // jobs waiting for a worker
 	Running    atomic.Int64 // jobs executing now
 
+	start time.Time // process start, for the uptime gauge
+
 	mu   sync.Mutex
 	wall map[string]*stats.Latency // experiment → wall-time histogram
 }
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{wall: make(map[string]*stats.Latency)}
+	return &Metrics{start: time.Now(), wall: make(map[string]*stats.Latency)}
 }
+
+// Uptime reports the time since the metrics set was created — in practice,
+// since the manager (and so the service) started.
+func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
 
 // ObserveWall records one job's wall time under its experiment name.
 func (m *Metrics) ObserveWall(experiment string, d time.Duration) {
@@ -76,6 +82,8 @@ type Snapshot struct {
 	QueueDepth    int64  `json:"queue_depth"`
 	JobsRunning   int64  `json:"jobs_running"`
 
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
 	WallNs map[string]stats.LatencySnapshot `json:"job_wall_ns"`
 }
 
@@ -93,6 +101,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		StoreErrors:   m.StoreErrors.Load(),
 		QueueDepth:    m.QueueDepth.Load(),
 		JobsRunning:   m.Running.Load(),
+		UptimeSeconds: m.Uptime().Seconds(),
 		WallNs:        m.WallSnapshot(),
 	}
 }
@@ -116,6 +125,12 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	counter("womd_store_errors_total", "Failed result-store appends.", m.StoreErrors.Load())
 	gauge("womd_queue_depth", "Jobs waiting for a worker.", m.QueueDepth.Load())
 	gauge("womd_jobs_running", "Jobs executing now.", m.Running.Load())
+	fmt.Fprintf(w, "# HELP womd_uptime_seconds Seconds since the service started.\n"+
+		"# TYPE womd_uptime_seconds gauge\nwomd_uptime_seconds %g\n", m.Uptime().Seconds())
+	goVersion, revision := buildInfo()
+	fmt.Fprintf(w, "# HELP womd_build_info Build metadata; the value is always 1.\n"+
+		"# TYPE womd_build_info gauge\nwomd_build_info{go_version=%q,revision=%q} 1\n",
+		goVersion, revision)
 
 	walls := m.WallSnapshot()
 	exps := make([]string, 0, len(walls))

@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
+	promLabelRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\.|[^"\\])*)"`)
+)
+
+// parseProm parses the text exposition format strictly enough to catch the
+// drift this test guards against: unparseable label quoting, TYPE lines
+// without samples, and malformed values all fail loudly.
+func parseProm(t *testing.T, body string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = make(map[string]string)
+	for ln, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			if _, dup := types[fields[2]]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, fields[2])
+			}
+			types[fields[2]] = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment form: %q", ln+1, line)
+		}
+
+		name := promNameRe.FindString(line)
+		if name == "" {
+			t.Fatalf("line %d: no metric name: %q", ln+1, line)
+		}
+		rest := line[len(name):]
+		labels := make(map[string]string)
+		if strings.HasPrefix(rest, "{") {
+			rest = rest[1:]
+			for !strings.HasPrefix(rest, "}") {
+				m := promLabelRe.FindStringSubmatch(rest)
+				if m == nil {
+					t.Fatalf("line %d: bad label quoting after %q{: %q", ln+1, name, rest)
+				}
+				labels[m[1]] = m[2]
+				rest = rest[len(m[0]):]
+				rest = strings.TrimPrefix(rest, ",")
+			}
+			rest = rest[1:]
+		}
+		valStr := strings.TrimSpace(rest)
+		value, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q for %s: %v", ln+1, valStr, name, err)
+		}
+		samples = append(samples, promSample{name: name, labels: labels, value: value})
+	}
+	return types, samples
+}
+
+// baseName strips the histogram series suffixes.
+func baseName(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			return strings.TrimSuffix(name, suffix)
+		}
+	}
+	return name
+}
+
+// TestPromExposition scrapes a live /metrics and checks the exposition
+// contract end to end: every # TYPE line is backed by at least one sample,
+// histogram buckets are cumulative (monotone non-decreasing) and end at
+// +Inf agreeing with _count, and every label value is properly quoted.
+func TestPromExposition(t *testing.T) {
+	mgr := New(Config{Workers: 1, QueueDepth: 4})
+	defer mgr.Shutdown(context.Background()) //nolint:errcheck
+	srv := NewServer(mgr)
+
+	// Run one real job so the wall-time histogram has series.
+	job, err := mgr.Submit(context.Background(), JobRequest{Experiment: "fig5", Params: fastParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !job.State().Terminal() {
+		time.Sleep(time.Millisecond)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	types, samples := parseProm(t, rec.Body.String())
+	if len(types) == 0 || len(samples) == 0 {
+		t.Fatalf("empty exposition: %d types, %d samples", len(types), len(samples))
+	}
+
+	// Every sample belongs to a declared family of a known type, and every
+	// declared family has at least one sample.
+	seen := make(map[string]bool)
+	for _, s := range samples {
+		base := baseName(s.name)
+		typ, ok := types[base]
+		if !ok {
+			// _bucket/_sum/_count suffixes are only histogram series; a plain
+			// gauge named *_count would have its own TYPE line.
+			typ, ok = types[s.name]
+			base = s.name
+		}
+		if !ok {
+			t.Errorf("sample %s has no TYPE line", s.name)
+			continue
+		}
+		if typ == "histogram" && base != s.name && !strings.HasSuffix(s.name, "_bucket") &&
+			!strings.HasSuffix(s.name, "_sum") && !strings.HasSuffix(s.name, "_count") {
+			t.Errorf("histogram %s has non-histogram series %s", base, s.name)
+		}
+		seen[base] = true
+	}
+	for name, typ := range types {
+		if !seen[name] {
+			t.Errorf("# TYPE %s %s has no samples", name, typ)
+		}
+	}
+
+	// Histogram buckets: grouped by their non-le labels, cumulative counts
+	// must be monotone non-decreasing, end at le="+Inf", and match _count.
+	type series struct {
+		les    []string
+		counts []float64
+	}
+	groups := make(map[string]*series)
+	counts := make(map[string]float64)
+	for _, s := range samples {
+		base := baseName(s.name)
+		if types[base] != "histogram" {
+			continue
+		}
+		key := base
+		var rest []string
+		for k, v := range s.labels {
+			if k != "le" {
+				rest = append(rest, fmt.Sprintf("%s=%s", k, v))
+			}
+		}
+		sort.Strings(rest)
+		key += "{" + strings.Join(rest, ",") + "}"
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			g := groups[key]
+			if g == nil {
+				g = &series{}
+				groups[key] = g
+			}
+			g.les = append(g.les, s.labels["le"])
+			g.counts = append(g.counts, s.value)
+		case strings.HasSuffix(s.name, "_count"):
+			counts[key] = s.value
+		}
+	}
+	if len(groups) == 0 {
+		t.Fatal("no histogram series scraped")
+	}
+	for key, g := range groups {
+		if n := len(g.les); n == 0 || g.les[n-1] != "+Inf" {
+			t.Errorf("%s: bucket series does not end at +Inf: %v", key, g.les)
+			continue
+		}
+		for i := 1; i < len(g.counts); i++ {
+			if g.counts[i] < g.counts[i-1] {
+				t.Errorf("%s: buckets not cumulative at le=%s: %v", key, g.les[i], g.counts)
+				break
+			}
+		}
+		if total, ok := counts[key]; !ok || g.counts[len(g.counts)-1] != total {
+			t.Errorf("%s: +Inf bucket %g != _count %g", key, g.counts[len(g.counts)-1], total)
+		}
+	}
+
+	// The build-info gauge carries its metadata in quoted labels.
+	var foundBuild bool
+	for _, s := range samples {
+		if s.name == "womd_build_info" {
+			foundBuild = true
+			if s.labels["go_version"] == "" || s.labels["revision"] == "" || s.value != 1 {
+				t.Errorf("womd_build_info = %+v", s)
+			}
+		}
+	}
+	if !foundBuild {
+		t.Error("womd_build_info not exposed")
+	}
+	if _, ok := types["womd_uptime_seconds"]; !ok {
+		t.Error("womd_uptime_seconds not exposed")
+	}
+}

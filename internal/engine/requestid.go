@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request IDs tie one HTTP request to every log line it causes: the server
+// middleware stamps each request (honoring a client-provided X-Request-ID),
+// Submit picks the id up from the context, and the job carries it through
+// its queued → started → finished lifecycle logs.
+
+type requestIDKey struct{}
+
+var requestSeq atomic.Uint64
+
+// newRequestID mints a process-unique request id.
+func newRequestID() string {
+	return fmt.Sprintf("r-%06d", requestSeq.Add(1))
+}
+
+// WithRequestID returns a context carrying id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request id from ctx; "" when absent.
+func RequestIDFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -21,6 +23,7 @@ import (
 //	GET    /v1/jobs             list jobs
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result result of a succeeded job (202 while pending)
+//	GET    /v1/jobs/{id}/progress records processed / total (replay jobs)
 //	DELETE /v1/jobs/{id}        cancel a pending job / delete a finished one
 //	POST   /v1/traces           upload a trace (binary or text body)
 //	GET    /v1/traces           list uploads
@@ -36,17 +39,43 @@ import (
 //	GET    /metrics.json        JSON metrics snapshot
 //	GET    /healthz             liveness probe
 type Server struct {
-	m   *Manager
-	mux *http.ServeMux
+	m     *Manager
+	mux   *http.ServeMux
+	log   *slog.Logger
+	debug bool
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithLogger routes structured access logs (one line per request, carrying
+// the request id) to l. The default discards them.
+func WithLogger(l *slog.Logger) ServerOption {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
+// WithDebug mounts net/http/pprof under /debug/pprof/. Off by default: the
+// profiling endpoints expose internals and cost CPU, so womd gates them
+// behind its -debug flag.
+func WithDebug() ServerOption {
+	return func(s *Server) { s.debug = true }
 }
 
 // NewServer wires the routes over m.
-func NewServer(m *Manager) *Server {
-	s := &Server{m: m, mux: http.NewServeMux()}
+func NewServer(m *Manager, opts ...ServerOption) *Server {
+	s := &Server{m: m, mux: http.NewServeMux(), log: slog.New(slog.DiscardHandler)}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.getResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.getProgress)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.deleteJob)
 	s.mux.HandleFunc("POST /v1/traces", s.uploadTrace)
 	s.mux.HandleFunc("GET /v1/traces", s.listTraces)
@@ -60,21 +89,38 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/compare", s.compareBaseline)
 	s.mux.HandleFunc("GET /metrics", s.promMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.jsonMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	if s.debug {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler. Responses pass through an interceptor
-// that rewrites any plain-text error — notably the mux's own 404/405 pages —
+// ServeHTTP implements http.Handler. Each request is stamped with a request
+// id (honoring a client-supplied X-Request-ID) that handlers propagate into
+// job lifecycle logs, and responses pass through an interceptor that
+// rewrites any plain-text error — notably the mux's own 404/405 pages —
 // into the service's structured JSON error shape, so every error path on
 // this API returns {"error": "..."} with a JSON Content-Type.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = newRequestID()
+	}
+	w.Header().Set("X-Request-ID", id)
+	r = r.WithContext(WithRequestID(r.Context(), id))
+
+	start := time.Now()
 	iw := &jsonErrorWriter{ResponseWriter: w}
 	s.mux.ServeHTTP(iw, r)
 	iw.finish()
+	s.log.Info("request", "request_id", id, "method", r.Method,
+		"path", r.URL.Path, "status", iw.statusCode(),
+		"duration_ms", time.Since(start).Milliseconds())
 }
 
 // jsonErrorWriter wraps a ResponseWriter and converts non-JSON error
@@ -100,7 +146,17 @@ func (w *jsonErrorWriter) WriteHeader(status int) {
 		return
 	}
 	w.wroteHeader = true
+	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// statusCode reports the response status for access logging; implicit
+// 200-on-first-Write responses read as 200.
+func (w *jsonErrorWriter) statusCode() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
 }
 
 func (w *jsonErrorWriter) Write(b []byte) (int, error) {
@@ -165,7 +221,7 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("engine: decoding job request: %w", err))
 		return
 	}
-	job, err := s.m.Submit(req)
+	job, err := s.m.Submit(r.Context(), req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -209,6 +265,17 @@ func (s *Server) getResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusConflict, view)
 	}
+}
+
+// getProgress reports a job's completion gauge. The fraction is monotone
+// non-decreasing across polls of a running job (see Job.setProgress).
+func (s *Server) getProgress(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, fmt.Errorf("%w: job %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Progress())
 }
 
 // deleteJob cancels a pending job; a terminal job is removed instead.
@@ -397,8 +464,50 @@ func (s *Server) promMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "# HELP womd_store_results Distinct results held by the result store.\n"+
 			"# TYPE womd_store_results gauge\nwomd_store_results %d\n", store.Len())
 	}
+	// One gauge sample per running progress-reporting job. The header is
+	// emitted only alongside samples: a TYPE line with no series would trip
+	// exposition-format checkers (and this repo's prom test).
+	var progress []ProgressView
+	var exps []string
+	for _, j := range s.m.Jobs() {
+		if p := j.Progress(); p.State == StateRunning && p.Total > 0 {
+			progress = append(progress, p)
+			exps = append(exps, j.exp.Name)
+		}
+	}
+	if len(progress) > 0 {
+		fmt.Fprintf(w, "# HELP womd_job_progress Fraction of a running job's records processed.\n"+
+			"# TYPE womd_job_progress gauge\n")
+		for i, p := range progress {
+			fmt.Fprintf(w, "womd_job_progress{job=%q,experiment=%q} %g\n", p.ID, exps[i], p.Fraction)
+		}
+	}
 }
 
 func (s *Server) jsonMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.m.Metrics().Snapshot())
+}
+
+// Health is the GET /healthz body: liveness plus enough build and uptime
+// context to tell which binary is answering.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision"`
+	JobsRunning   int64   `json:"jobs_running"`
+	QueueDepth    int64   `json:"queue_depth"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	goVersion, revision := buildInfo()
+	met := s.m.Metrics()
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		UptimeSeconds: met.Uptime().Seconds(),
+		GoVersion:     goVersion,
+		Revision:      revision,
+		JobsRunning:   met.Running.Load(),
+		QueueDepth:    met.QueueDepth.Load(),
+	})
 }

@@ -1,6 +1,7 @@
 package memctrl
 
 import (
+	"womcpcm/internal/probe"
 	"womcpcm/internal/stats"
 	"womcpcm/internal/trace"
 )
@@ -25,7 +26,7 @@ type cacheEntry struct {
 
 func newCacheArray(rank int, cfg Config) *cacheArray {
 	ca := &cacheArray{
-		server:  server{rank: rank, idx: -1, openRow: -1},
+		server:  server{rank: rank, idx: -1, openRow: -1, abortedRow: -1},
 		entries: make(map[int]cacheEntry),
 	}
 	if cfg.Cache.Technology == WOMCache {
@@ -48,9 +49,13 @@ func (c *Controller) dispatchCache(ca *cacheArray, now Clock) {
 	if ca.busyUntil > start {
 		start = ca.busyUntil
 	}
-	dur := c.cacheService(ca, req)
+	dur := c.cacheService(ca, req, start)
 	ca.inService = req
 	ca.busyUntil = start + dur
+	if c.probe != nil {
+		c.probe.Emit(probe.Event{Time: start, Dur: dur, Kind: probe.BankBusy,
+			Rank: ca.rank, Bank: ca.idx, Row: req.Loc.Row})
+	}
 	c.schedule(event{time: start + dur, kind: evCacheComplete, rank: ca.rank})
 }
 
@@ -60,7 +65,7 @@ func (c *Controller) dispatchCache(ca *cacheArray, now Clock) {
 // every write programs the cells after activating its row if needed — the
 // activation also reads out the victim on a tag miss (§4: "the controller
 // first outputs the current data and the bank address to a register").
-func (c *Controller) cacheService(ca *cacheArray, req *Request) Clock {
+func (c *Controller) cacheService(ca *cacheArray, req *Request, start Clock) Clock {
 	t := c.cfg.Timing
 	row := req.Loc.Row
 	var dur Clock
@@ -77,6 +82,10 @@ func (c *Controller) cacheService(ca *cacheArray, req *Request) Clock {
 
 	e, present := ca.entries[row]
 	hit := !present || !e.valid || e.bank == req.Loc.Bank
+	action := probe.CacheHit
+	if !present || !e.valid {
+		action = probe.CacheFill
+	}
 	if hit {
 		// §4: valid bit invalid, or tag matches — program in place.
 		c.run.CacheHits++
@@ -89,8 +98,16 @@ func (c *Controller) cacheService(ca *cacheArray, req *Request) Clock {
 		req.class = stats.WriteCacheMiss
 		req.spawnVictim = true
 		req.victimBank = e.bank
+		action = probe.CacheEvict
+	}
+	if c.probe != nil {
+		c.probe.Emit(probe.Event{Time: start, Kind: action, Rank: ca.rank, Bank: ca.idx, Row: row})
 	}
 	if ca.wom != nil {
+		if c.probe != nil {
+			c.probe.Emit(probe.Event{Time: start, Kind: womWriteKind(ca.wom, row),
+				Rank: ca.rank, Bank: ca.idx, Row: row})
+		}
 		var arrayClass stats.ServiceClass
 		dur += c.arrayWrite(ca.wom, row, &arrayClass)
 		c.run.Class(arrayClass)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"womcpcm/internal/pcm"
+	"womcpcm/internal/probe"
 )
 
 // Clock is a simulation timestamp or duration in nanoseconds.
@@ -173,6 +174,13 @@ type Config struct {
 	// when it preempts an ongoing PCM-refresh (write pausing, §3.2).
 	// Defaults to one burst.
 	PausePenalty Clock
+	// Probe, when set, receives fine-grained simulator events: write
+	// classification, refresh lifecycle, WOM-cache actions, and bank busy
+	// intervals (see internal/probe). nil — the default — reduces every
+	// instrumentation site to one pointer check, so uninstrumented runs
+	// pay nothing (benchmark-verified; see BenchmarkRunNilProbe). The
+	// probe and its sinks are used from the controller's goroutine only.
+	Probe *probe.Probe
 }
 
 // DefaultConfig returns the baseline system with the paper's geometry and

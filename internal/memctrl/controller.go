@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"womcpcm/internal/pcm"
+	"womcpcm/internal/probe"
 	"womcpcm/internal/stats"
 	"womcpcm/internal/trace"
 )
@@ -53,7 +54,11 @@ type server struct {
 
 	refreshPending bool
 	refreshRow     int
+	refreshStart   Clock
 	refreshEnd     Clock
+	// abortedRow remembers the last refresh row write pausing preempted,
+	// so the probe can tell a resumed refresh from a fresh one.
+	abortedRow int
 }
 
 func (s *server) queued() int { return len(s.q) - s.qHead }
@@ -132,6 +137,9 @@ type Controller struct {
 	arrivalsDone bool
 	rrNext       int
 	lastTime     Clock
+	// probe receives instrumentation events; nil (the default) disables
+	// them at the cost of one pointer check per emission site.
+	probe *probe.Probe
 }
 
 // New builds a controller; the config must validate.
@@ -150,12 +158,13 @@ func New(cfg Config) (*Controller, error) {
 		cfg:    cfg,
 		mapper: mapper,
 		run:    &stats.Run{Arch: cfg.ArchName()},
+		probe:  cfg.Probe,
 	}
 	c.banks = make([][]*server, cfg.Geometry.Ranks)
 	for r := range c.banks {
 		c.banks[r] = make([]*server, cfg.Geometry.BanksPerRank)
 		for b := range c.banks[r] {
-			s := &server{rank: r, idx: b, openRow: -1}
+			s := &server{rank: r, idx: b, openRow: -1, abortedRow: -1}
 			if cfg.WOM != nil {
 				tableSize := 1
 				if cfg.Refresh != nil {
@@ -277,6 +286,10 @@ func (c *Controller) route(req *Request, now Clock) {
 		if e, ok := ca.entries[req.Loc.Row]; ok && e.valid && e.bank == req.Loc.Bank {
 			c.run.CacheHits++
 			req.class = stats.ReadCacheHit
+			if c.probe != nil {
+				c.probe.Emit(probe.Event{Time: now, Kind: probe.CacheHit,
+					Rank: req.Loc.Rank, Bank: -1, Row: req.Loc.Row})
+			}
 			ca.enqueue(req)
 			c.dispatchCache(ca, now)
 			return
@@ -299,6 +312,11 @@ func (c *Controller) preemptRefresh(s *server, now Clock) {
 	if s.refreshRow >= 0 {
 		s.wom.abortRefresh(s.refreshRow)
 		c.run.RefreshAborts++
+		s.abortedRow = s.refreshRow
+		if c.probe != nil {
+			c.probe.Emit(probe.Event{Time: s.refreshStart, Dur: now - s.refreshStart,
+				Kind: probe.RefreshPaused, Rank: s.rank, Bank: s.idx, Row: s.refreshRow})
+		}
 	}
 	s.busyUntil = now + c.cfg.PausePenalty
 }
@@ -325,6 +343,10 @@ func (c *Controller) dispatchBank(s *server, now Clock) {
 	dur := c.bankService(s, req)
 	s.inService = req
 	s.busyUntil = start + dur
+	if c.probe != nil {
+		c.probe.Emit(probe.Event{Time: start, Dur: dur, Kind: probe.BankBusy,
+			Rank: s.rank, Bank: s.idx, Row: req.Loc.Row})
+	}
 	c.schedule(event{time: start + dur, kind: evComplete, rank: s.rank, bank: s.idx, token: s.token})
 }
 
@@ -380,6 +402,21 @@ func (c *Controller) classifyWrite(wom *womState, req *Request) Clock {
 	}
 }
 
+// womWriteKind maps a row's pre-commit WOM generation to the probe's write
+// classification: generation 0 is the fast first-write pattern, an
+// in-budget generation is a RESET-only rewrite, and an exhausted budget
+// forces the slow α-write.
+func womWriteKind(w *womState, row int) probe.Kind {
+	switch gen := w.gen(row); {
+	case gen == 0:
+		return probe.WriteFirst
+	case gen < w.k:
+		return probe.WriteWOMRewrite
+	default:
+		return probe.WriteAlpha
+	}
+}
+
 // arrayWrite charges one PCM array row write, consuming the row's WOM
 // budget when the array is WOM-coded, and stores the class in *class.
 func (c *Controller) arrayWrite(wom *womState, row int, class *stats.ServiceClass) Clock {
@@ -410,8 +447,16 @@ func (c *Controller) handle(ev event) {
 		if req.Op == trace.Write && s.wom != nil {
 			// Commit the WOM budget the write consumed (classification
 			// happened at dispatch; commit waits for true completion so
-			// cancelled writes leave the row untouched).
+			// cancelled writes leave the row untouched). The probe event
+			// rides the commit: cancelled writes never surface.
+			if c.probe != nil {
+				c.probe.Emit(probe.Event{Time: ev.time, Kind: womWriteKind(s.wom, req.Loc.Row),
+					Rank: s.rank, Bank: s.idx, Row: req.Loc.Row})
+			}
 			s.wom.write(req.Loc.Row)
+		} else if req.Op == trace.Write && c.probe != nil {
+			c.probe.Emit(probe.Event{Time: ev.time, Kind: probe.WriteFlipNWrite,
+				Rank: s.rank, Bank: s.idx, Row: req.Loc.Row})
 		}
 		c.complete(req, ev.time)
 		s.inService = nil
@@ -466,6 +511,10 @@ func (c *Controller) spawnVictim(req *Request, now Clock) {
 	c.reqID++
 	c.inFlight++
 	c.run.VictimWrites++
+	if c.probe != nil {
+		c.probe.Emit(probe.Event{Time: now, Kind: probe.CacheWriteback,
+			Rank: victim.Loc.Rank, Bank: victim.Loc.Bank, Row: victim.Loc.Row})
+	}
 	s := c.banks[victim.Loc.Rank][victim.Loc.Bank]
 	s.enqueue(victim)
 	c.dispatchBank(s, now)

@@ -11,6 +11,22 @@ package memctrl
 // paper's cache is "wide-column design with PCM-refresh" — and the main
 // memory, being conventional PCM, needs none.
 
+import "womcpcm/internal/probe"
+
+// emitRefreshStart publishes a bank (or cache array) beginning to refresh
+// row at now — as a resume when write pausing previously preempted the same
+// row, as a fresh start otherwise.
+func (c *Controller) emitRefreshStart(s *server, row int, now Clock) {
+	kind := probe.RefreshStarted
+	if row == s.abortedRow {
+		kind = probe.RefreshResumed
+		s.abortedRow = -1
+	}
+	if c.probe != nil {
+		c.probe.Emit(probe.Event{Time: now, Kind: kind, Rank: s.rank, Bank: s.idx, Row: row})
+	}
+}
+
 // refreshTick runs one scheduling point and re-arms the next while the
 // simulation still has work.
 func (c *Controller) refreshTick(now Clock) {
@@ -76,6 +92,9 @@ func thresholdCount(pct float64, banksPerRank int) int {
 // Write pausing can preempt any of them individually.
 func (c *Controller) startRankRefresh(rank int, now Clock) {
 	end := now + c.cfg.Timing.RefreshLatency(c.cfg.Geometry.BanksPerRank)
+	if c.probe != nil {
+		c.probe.Emit(probe.Event{Time: now, Kind: probe.RefreshScheduled, Rank: rank, Bank: -1, Row: -1})
+	}
 	for _, s := range c.banks[rank] {
 		row, ok := s.wom.popCandidate()
 		if !ok {
@@ -83,8 +102,12 @@ func (c *Controller) startRankRefresh(rank int, now Clock) {
 		}
 		s.refreshPending = true
 		s.refreshRow = row
+		s.refreshStart = now
 		s.refreshEnd = end
 		s.busyUntil = end
+		if row >= 0 {
+			c.emitRefreshStart(s, row, now)
+		}
 	}
 	c.schedule(event{time: end, kind: evRefreshDone, rank: rank})
 }
@@ -97,6 +120,10 @@ func (c *Controller) refreshDone(rank int, now Clock) {
 			if s.refreshRow >= 0 {
 				s.wom.commitRefresh(s.refreshRow)
 				c.run.Refreshes++
+				if c.probe != nil {
+					c.probe.Emit(probe.Event{Time: s.refreshStart, Dur: now - s.refreshStart,
+						Kind: probe.RefreshCompleted, Rank: s.rank, Bank: s.idx, Row: s.refreshRow})
+				}
 			}
 			c.dispatchBank(s, now)
 		}
@@ -115,8 +142,13 @@ func (c *Controller) cacheRefreshTick(now Clock) {
 			row, _ := ca.wom.popCandidate()
 			ca.refreshPending = true
 			ca.refreshRow = row
+			ca.refreshStart = now
 			ca.refreshEnd = now + c.cfg.Timing.RowWrite + c.cfg.Timing.Burst
 			ca.busyUntil = ca.refreshEnd
+			if c.probe != nil {
+				c.probe.Emit(probe.Event{Time: now, Kind: probe.RefreshScheduled, Rank: r, Bank: -1, Row: -1})
+			}
+			c.emitRefreshStart(&ca.server, row, now)
 			c.schedule(event{time: ca.refreshEnd, kind: evCacheRefreshDone, rank: r})
 		}
 	}
@@ -129,6 +161,10 @@ func (c *Controller) cacheRefreshDone(rank int, now Clock) {
 		ca.refreshPending = false
 		ca.wom.commitRefresh(ca.refreshRow)
 		c.run.Refreshes++
+		if c.probe != nil {
+			c.probe.Emit(probe.Event{Time: ca.refreshStart, Dur: now - ca.refreshStart,
+				Kind: probe.RefreshCompleted, Rank: ca.rank, Bank: ca.idx, Row: ca.refreshRow})
+		}
 		c.dispatchCache(ca, now)
 	}
 }

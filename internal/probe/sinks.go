@@ -1,0 +1,123 @@
+package probe
+
+// CounterSink aggregates events into per-kind counts — the cheap always-on
+// sink: no allocation per event, one array increment.
+type CounterSink struct {
+	counts [numKinds]uint64
+}
+
+// NewCounterSink returns an empty counter sink.
+func NewCounterSink() *CounterSink { return &CounterSink{} }
+
+// Record implements Sink.
+func (c *CounterSink) Record(ev Event) {
+	if int(ev.Kind) < len(c.counts) {
+		c.counts[ev.Kind]++
+	}
+}
+
+// Count returns the number of events of one kind.
+func (c *CounterSink) Count(k Kind) uint64 {
+	if int(k) >= len(c.counts) {
+		return 0
+	}
+	return c.counts[k]
+}
+
+// Total returns the number of events recorded.
+func (c *CounterSink) Total() uint64 {
+	var n uint64
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// Counts exports the non-zero counters keyed by kind name.
+func (c *CounterSink) Counts() map[string]uint64 {
+	out := make(map[string]uint64)
+	for k, v := range c.counts {
+		if v > 0 {
+			out[Kind(k).String()] = v
+		}
+	}
+	return out
+}
+
+// RingSink keeps the last N events for post-mortem inspection: when a run
+// misbehaves, the tail of the event stream shows what the controller was
+// doing without paying for full retention.
+type RingSink struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewRingSink returns a ring holding the most recent n events (n ≥ 1).
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]Event, 0, n)}
+}
+
+// Record implements Sink.
+func (r *RingSink) Record(ev Event) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total returns the number of events ever recorded.
+func (r *RingSink) Total() uint64 { return r.total }
+
+// Events returns the retained events oldest-first.
+func (r *RingSink) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// TimelineSink retains the full event stream of one simulation for Chrome
+// trace-event export, up to a configurable bound. Each sink becomes one
+// trace "process" (Pid/Label), so several simulations — e.g. the four
+// architectures replaying the same workload — merge into one timeline.
+type TimelineSink struct {
+	// Pid is the trace process id; Label its displayed name.
+	Pid   int
+	Label string
+
+	limit   int
+	events  []Event
+	dropped uint64
+}
+
+// NewTimelineSink builds a sink exporting as trace process pid named label.
+// limit bounds retained events (0 = unbounded); events past the bound are
+// counted in Dropped instead of retained.
+func NewTimelineSink(pid int, label string, limit int) *TimelineSink {
+	return &TimelineSink{Pid: pid, Label: label, limit: limit}
+}
+
+// Record implements Sink.
+func (t *TimelineSink) Record(ev Event) {
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Len returns the number of retained events.
+func (t *TimelineSink) Len() int { return len(t.events) }
+
+// Dropped returns the number of events discarded past the limit.
+func (t *TimelineSink) Dropped() uint64 { return t.dropped }
+
+// Events returns the retained events in emission order.
+func (t *TimelineSink) Events() []Event { return t.events }

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"context"
+	"sync/atomic"
+
+	"womcpcm/internal/trace"
+)
+
+// ProgressFunc receives running (done, total) record counts from an
+// experiment that reports progress. Callbacks may arrive concurrently from
+// the parallel per-architecture simulations, and done is a shared cumulative
+// count — consumers wanting a monotone reading should keep a max (see
+// internal/engine's job progress).
+type ProgressFunc func(done, total int64)
+
+type progressCtxKey struct{}
+
+// WithProgress returns a context carrying f. Experiments that support
+// progress reporting (currently "replay", whose record count is known up
+// front) call f as they consume their input; other experiments ignore it.
+func WithProgress(ctx context.Context, f ProgressFunc) context.Context {
+	if f == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressCtxKey{}, f)
+}
+
+// progressOf extracts the ProgressFunc from ctx; nil when absent.
+func progressOf(ctx context.Context) ProgressFunc {
+	if ctx == nil {
+		return nil
+	}
+	f, _ := ctx.Value(progressCtxKey{}).(ProgressFunc)
+	return f
+}
+
+// progressStride bounds callback frequency: one report per this many records
+// per source (plus one as the source drains), so the per-record cost is a
+// local counter increment.
+const progressStride = 4096
+
+// progressSource decorates a trace.Source with record counting against a
+// completion total shared across the sources of one experiment.
+type progressSource struct {
+	src    trace.Source
+	done   *atomic.Int64
+	total  int64
+	report ProgressFunc
+	local  int64
+}
+
+// newProgressSource wraps src; a nil report returns src unchanged.
+func newProgressSource(src trace.Source, done *atomic.Int64, total int64, report ProgressFunc) trace.Source {
+	if report == nil {
+		return src
+	}
+	return &progressSource{src: src, done: done, total: total, report: report}
+}
+
+// Next implements trace.Source.
+func (p *progressSource) Next() (trace.Record, bool) {
+	r, ok := p.src.Next()
+	if !ok {
+		p.flush()
+		return r, false
+	}
+	p.local++
+	if p.local >= progressStride {
+		p.flush()
+	}
+	return r, true
+}
+
+func (p *progressSource) flush() {
+	if p.local == 0 {
+		return
+	}
+	p.report(p.done.Add(p.local), p.total)
+	p.local = 0
+}
+
+// Err implements trace.Source.
+func (p *progressSource) Err() error { return p.src.Err() }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"text/tabwriter"
 
 	"womcpcm/internal/core"
@@ -28,7 +29,9 @@ type ReplayResult struct {
 // Replay simulates recs on every architecture. The record slice is replayed
 // verbatim for each architecture so all four see identical input; cfg's
 // Requests field bounds the replay length when positive. Architectures run
-// in parallel under cfg.Parallelism and honor cfg.Ctx.
+// in parallel under cfg.Parallelism and honor cfg.Ctx. When cfg.Ctx carries
+// a ProgressFunc (WithProgress), the replay reports records processed out of
+// len(recs) × 4 as the architectures consume their sources.
 func Replay(cfg ExpConfig, label string, recs []trace.Record) (*ReplayResult, error) {
 	cfg = cfg.normalize()
 	if err := trace.Validate(recs); err != nil {
@@ -38,6 +41,9 @@ func Replay(cfg ExpConfig, label string, recs []trace.Record) (*ReplayResult, er
 		recs = recs[:cfg.Requests]
 	}
 	arches := core.Arches()
+	report := progressOf(cfg.Ctx)
+	var done atomic.Int64
+	total := int64(len(recs)) * int64(len(arches))
 	res := &ReplayResult{
 		Label:     label,
 		Records:   len(recs),
@@ -53,7 +59,8 @@ func Replay(cfg ExpConfig, label string, recs []trace.Record) (*ReplayResult, er
 		if err != nil {
 			return err
 		}
-		run, err := sys.Simulate(trace.NewSliceSource(recs))
+		src := newProgressSource(trace.NewSliceSource(recs), &done, total, report)
+		run, err := sys.Simulate(src)
 		if err != nil {
 			return fmt.Errorf("sim: replaying %s on %s: %w", label, arches[i], err)
 		}

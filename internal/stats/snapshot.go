@@ -11,14 +11,14 @@ type Bucket struct {
 // LatencySnapshot is an exportable copy of a Latency distribution, safe to
 // serialize and render after the source keeps accumulating.
 type LatencySnapshot struct {
-	Count  uint64   `json:"count"`
-	SumNs  int64    `json:"sum_ns"`
-	MinNs  int64    `json:"min_ns"`
-	MaxNs  int64    `json:"max_ns"`
-	MeanNs float64  `json:"mean_ns"`
-	P50Ns  int64    `json:"p50_ns"`
-	P95Ns  int64    `json:"p95_ns"`
-	P99Ns  int64    `json:"p99_ns"`
+	Count   uint64   `json:"count"`
+	SumNs   int64    `json:"sum_ns"`
+	MinNs   int64    `json:"min_ns"`
+	MaxNs   int64    `json:"max_ns"`
+	MeanNs  float64  `json:"mean_ns"`
+	P50Ns   int64    `json:"p50_ns"`
+	P95Ns   int64    `json:"p95_ns"`
+	P99Ns   int64    `json:"p99_ns"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 

@@ -19,13 +19,13 @@ func FuzzTrace(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
-	f.Add([]byte{})                                   // empty stream
-	f.Add(buf.Bytes()[:8])                            // header only
-	f.Add(buf.Bytes()[:12])                           // truncated record
-	f.Add([]byte("WOMT\x02\x00\x00\x00"))             // unsupported version
-	f.Add([]byte("WXYZ\x01\x00\x00\x00"))             // bad magic
+	f.Add([]byte{})                                            // empty stream
+	f.Add(buf.Bytes()[:8])                                     // header only
+	f.Add(buf.Bytes()[:12])                                    // truncated record
+	f.Add([]byte("WOMT\x02\x00\x00\x00"))                      // unsupported version
+	f.Add([]byte("WXYZ\x01\x00\x00\x00"))                      // bad magic
 	f.Add([]byte("# comment\nR 0x1f40 2700\nW 0x1f80 2754\n")) // text form
-	f.Add([]byte("R 0x1f40 notatime\n"))              // malformed text
+	f.Add([]byte("R 0x1f40 notatime\n"))                       // malformed text
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		recs, err := CollectLimit(NewAutoReader(bytes.NewReader(data)), 1<<16)
