@@ -16,6 +16,8 @@
 //	womsim -detail ocean     # per-run service breakdown + energy pricing
 //	womsim -trace my.trace   # replay a recorded trace on every architecture
 //	womsim -timeline t.json -bench qsort    # Perfetto/chrome://tracing timeline
+//	womsim -series s.json -bench qsort      # epoch-windowed telemetry series
+//	womsim -series s.json -series-window 50us  # 50 µs simulated windows
 //	womsim -cache out/cache -fig fig5   # memoize: rerunning is a disk read
 //	womsim -cache out/cache -fig fig5 -force  # re-simulate and overwrite
 package main
@@ -34,6 +36,7 @@ import (
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sim"
 	"womcpcm/internal/stats"
+	"womcpcm/internal/telemetry"
 	"womcpcm/internal/workload"
 )
 
@@ -49,6 +52,8 @@ func main() {
 		detail   = flag.String("detail", "", "print the full run summary for one benchmark on every architecture")
 		timeline = flag.String("timeline", "", "write a Chrome trace-event timeline (Perfetto/chrome://tracing) of one benchmark on every architecture to this file")
 		timeLim  = flag.Int("timeline-limit", 250000, "with -timeline: cap events kept per architecture (0 = unlimited)")
+		series   = flag.String("series", "", "write an epoch-windowed telemetry series (womtool report input) of one benchmark on every architecture to this file")
+		seriesW  = flag.Duration("series-window", time.Duration(telemetry.DefaultWindowNs), "with -series: simulated-time window width")
 		traceIn  = flag.String("trace", "", "replay a trace file (text or binary) through every architecture")
 		workers  = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
@@ -85,6 +90,12 @@ func main() {
 	}
 	if *timeline != "" {
 		if err := runTimeline(params, *timeline, *timeLim); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *series != "" {
+		if err := runSeries(params, *series, *seriesW); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"womcpcm/internal/sim"
+	"womcpcm/internal/telemetry"
+)
+
+// TestRunSeriesEndToEnd runs womsim's -series path over a seed workload and
+// validates the acceptance contract: one JSON document carrying the windowed
+// series of all four architectures under the published schema.
+func TestRunSeriesEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series.json")
+	params := sim.Params{Requests: 30000, Seed: 1, Bench: []string{"qsort"}}
+	const window = 50 * time.Microsecond
+	if err := runSeries(params, path, window); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc telemetry.Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("series is not valid document JSON: %v", err)
+	}
+	if doc.Schema != telemetry.SchemaVersion {
+		t.Errorf("schema = %q, want %q", doc.Schema, telemetry.SchemaVersion)
+	}
+	if doc.Workload != "qsort" {
+		t.Errorf("workload = %q, want qsort", doc.Workload)
+	}
+	if doc.WindowNs != window.Nanoseconds() {
+		t.Errorf("window = %d ns, want %d", doc.WindowNs, window.Nanoseconds())
+	}
+
+	arches := make(map[string]bool)
+	for _, s := range doc.Series {
+		arches[s.Arch] = true
+		if s.WindowNs != window.Nanoseconds() {
+			t.Errorf("%s: series window = %d, want %d", s.Arch, s.WindowNs, window.Nanoseconds())
+		}
+		if len(s.Windows) == 0 {
+			t.Errorf("%s: no windows", s.Arch)
+		}
+		if s.Totals().Total() == 0 {
+			t.Errorf("%s: no writes recorded", s.Arch)
+		}
+		for i, w := range s.Windows {
+			if w.Index != int64(i) {
+				t.Fatalf("%s: window %d has index %d (series must be dense)", s.Arch, i, w.Index)
+			}
+		}
+	}
+	for _, want := range []string{"PCM w/o WOM-code", "WOM-code PCM", "PCM-refresh", "WCPCM"} {
+		if !arches[want] {
+			t.Errorf("document is missing architecture %q (have %v)", want, arches)
+		}
+	}
+	if len(doc.Series) != 4 {
+		t.Errorf("document carries %d series, want 4", len(doc.Series))
+	}
+
+	// The document must render: this is the womtool report pipeline.
+	var html strings.Builder
+	if err := telemetry.WriteHTMLReport(&html, &doc); err != nil {
+		t.Fatalf("rendering report from series document: %v", err)
+	}
+	for _, s := range doc.Series {
+		if !strings.Contains(html.String(), s.Arch) {
+			t.Errorf("report does not mention architecture %q", s.Arch)
+		}
+	}
+}

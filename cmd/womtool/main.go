@@ -14,6 +14,7 @@
 //	womtool regress -dir out/cache pin v1          # pin current results
 //	womtool regress -dir out/cache -tol 0.02 report v1  # per-metric deltas
 //	womtool regress -dir out/cache list            # pinned baselines
+//	womtool report series.json -o report.html      # render womsim -series output
 package main
 
 import (
@@ -42,13 +43,15 @@ func main() {
 		searchCode(os.Args[2:])
 	case "regress":
 		regress(os.Args[2:])
+	case "report":
+		report(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name]")
+	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name] | report <series.json> [-o report.html]")
 	os.Exit(2)
 }
 

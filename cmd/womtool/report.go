@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"womcpcm/internal/telemetry"
+)
+
+// report renders a womsim -series document (or a womd replay result saved in
+// the same schema) as a self-contained HTML page: womtool report s.json -o
+// report.html.
+func report(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	out := fs.String("o", "report.html", "output HTML file")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: womtool report <series.json> [-o report.html]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	// Accept flags after the positional too (report s.json -o out.html):
+	// flag.Parse stops at the first non-flag argument.
+	if err := fs.Parse(fs.Args()[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var doc telemetry.Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	if doc.Schema != telemetry.SchemaVersion {
+		fatal(fmt.Errorf("%s: schema %q, want %q (regenerate with womsim -series)",
+			path, doc.Schema, telemetry.SchemaVersion))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	err = telemetry.WriteHTMLReport(f, &doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(fmt.Errorf("writing %s: %w", *out, err))
+	}
+	fmt.Fprintf(os.Stderr, "womtool: report written to %s (%d architectures, %s windows)\n",
+		*out, len(doc.Series), fmtWindow(doc.WindowNs))
+}
+
+// fmtWindow prints a window width in the most natural simulated-time unit.
+func fmtWindow(ns int64) string {
+	switch {
+	case ns >= 1e6 && ns%1e6 == 0:
+		return fmt.Sprintf("%d ms", ns/1e6)
+	case ns >= 1e3 && ns%1e3 == 0:
+		return fmt.Sprintf("%d µs", ns/1e3)
+	default:
+		return fmt.Sprintf("%d ns", ns)
+	}
+}

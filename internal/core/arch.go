@@ -80,6 +80,10 @@ type Options struct {
 	// zero cost. Probes are single-simulation: attach a fresh one per
 	// Simulate call when running concurrently.
 	Probe *probe.Probe
+	// Latency, when set, observes every completed demand request
+	// (memctrl.Config.Latency) — the telemetry collector's latency feed.
+	// Same single-simulation ownership as Probe.
+	Latency memctrl.LatencyHook
 }
 
 // DefaultOptions returns the paper's §5 configuration.
@@ -126,7 +130,7 @@ type System struct {
 // pass DefaultOptions() for the exact §5 setup.
 func NewSystem(arch Arch, opts Options) (*System, error) {
 	opts = opts.normalize()
-	cfg := memctrl.Config{Geometry: opts.Geometry, Timing: opts.Timing, Probe: opts.Probe}
+	cfg := memctrl.Config{Geometry: opts.Geometry, Timing: opts.Timing, Probe: opts.Probe, Latency: opts.Latency}
 	switch arch {
 	case Baseline:
 	case WOMCode:

@@ -65,6 +65,14 @@ type Job struct {
 	progressDone  atomic.Int64
 	progressTotal atomic.Int64
 
+	// hub fans live telemetry windows and progress out to SSE subscribers
+	// (GET /v1/jobs/{id}/stream); the manager closes it when the job reaches
+	// a terminal state. nil for jobs born terminal (cache hits).
+	hub *streamHub
+	// streamPermille throttles "progress" stream events to ≥1‰ steps so a
+	// fine-grained reporting stride cannot flood subscriber buffers.
+	streamPermille atomic.Int64
+
 	mu        sync.Mutex
 	state     State
 	err       error
@@ -173,6 +181,27 @@ func (j *Job) setProgress(done, total int64) {
 			return
 		}
 	}
+}
+
+// reportProgress is the job's sim.ProgressFunc while it runs under a
+// manager: the monotone gauge update plus a throttled "progress" event to
+// stream subscribers (at most one per permille of completion).
+func (j *Job) reportProgress(done, total int64) {
+	j.setProgress(done, total)
+	if j.hub == nil || total <= 0 {
+		return
+	}
+	p := done * 1000 / total
+	for {
+		cur := j.streamPermille.Load()
+		if p <= cur {
+			return
+		}
+		if j.streamPermille.CompareAndSwap(cur, p) {
+			break
+		}
+	}
+	j.hub.publish("progress", j.Progress())
 }
 
 // ProgressView is the JSON shape of GET /v1/jobs/{id}/progress. Total is 0

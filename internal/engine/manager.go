@@ -13,6 +13,7 @@ import (
 
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sim"
+	"womcpcm/internal/telemetry"
 )
 
 // Config sizes the manager. Zero values select production defaults.
@@ -221,6 +222,7 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 				exp: exp, req: req, params: params, timeout: timeout,
 				key: key, dedupOf: fl.leader.id, reqID: reqID,
 				state: StateQueued, submitted: time.Now(),
+				hub: newStreamHub(m.metrics),
 			}
 			fl.waiters = append(fl.waiters, job)
 			m.jobs[job.id] = job
@@ -241,6 +243,7 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 		reqID:     reqID,
 		state:     StateQueued,
 		submitted: time.Now(),
+		hub:       newStreamHub(m.metrics),
 	}
 	select {
 	case m.queue <- job:
@@ -345,6 +348,9 @@ func (m *Manager) worker() {
 
 // runJob drives one job through Running to a terminal state.
 func (m *Manager) runJob(job *Job) {
+	// The hub closes on every exit path: subscribers see the buffered tail,
+	// then a closed feed, and serve the terminal event themselves.
+	defer job.hub.close()
 	var (
 		ctx    context.Context
 		cancel context.CancelFunc
@@ -366,7 +372,7 @@ func (m *Manager) runJob(job *Job) {
 	m.log.Info("job started", "job", job.id, "experiment", job.exp.Name,
 		"request_id", job.reqID)
 	start := time.Now()
-	res, err := job.exp.Run(sim.WithProgress(ctx, job.setProgress), job.params)
+	res, err := job.exp.Run(m.jobContext(ctx, job), job.params)
 	m.metrics.Running.Add(-1)
 	wall := time.Since(start)
 	m.metrics.ObserveWall(job.exp.Name, wall)
@@ -399,6 +405,21 @@ func (m *Manager) runJob(job *Job) {
 	} else {
 		m.log.Info("job finished", attrs...)
 	}
+}
+
+// jobContext decorates a running job's context with the live feeds: the
+// monotone progress gauge plus stream events (sim.WithProgress), windowed
+// telemetry for stream subscribers (sim.WithTelemetry), and write-class
+// accounting into the service metrics (sim.WithClassCounts).
+func (m *Manager) jobContext(ctx context.Context, job *Job) context.Context {
+	ctx = sim.WithProgress(ctx, job.reportProgress)
+	if hub := job.hub; hub != nil {
+		ctx = sim.WithTelemetry(ctx, func(arch string, w telemetry.Window) {
+			hub.publish("window", streamWindow{Arch: arch, Window: w})
+		}, 0)
+	}
+	ctx = sim.WithClassCounts(ctx, m.metrics.AddWriteClasses)
+	return ctx
 }
 
 // storeResult persists one successful cacheable run. Store failures do not
@@ -458,5 +479,6 @@ func (m *Manager) settleFlight(job *Job, state State, res *sim.Result, err error
 		case StateCanceled:
 			m.metrics.Canceled.Add(1)
 		}
+		w.hub.close()
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"womcpcm/internal/probe"
 	"womcpcm/internal/stats"
 )
 
@@ -27,6 +28,14 @@ type Metrics struct {
 	Deduped     atomic.Uint64 // submissions folded into an identical in-flight job
 	StoreErrors atomic.Uint64 // failed result-store appends (job still succeeds)
 
+	// WriteClasses counts simulated row writes by probe write kind across
+	// every executed job (fed per-simulation via sim.WithClassCounts).
+	WriteClasses [probe.NumWriteKinds]atomic.Uint64
+	// StreamDropped counts SSE events lost to full subscriber buffers;
+	// StreamClients gauges connected stream subscribers.
+	StreamDropped atomic.Uint64
+	StreamClients atomic.Int64
+
 	QueueDepth atomic.Int64 // jobs waiting for a worker
 	Running    atomic.Int64 // jobs executing now
 
@@ -44,6 +53,16 @@ func NewMetrics() *Metrics {
 // Uptime reports the time since the metrics set was created — in practice,
 // since the manager (and so the service) started.
 func (m *Metrics) Uptime() time.Duration { return time.Since(m.start) }
+
+// AddWriteClasses folds one simulation's write-class totals into the
+// service counters; it is the manager's sim.ClassCountsFunc.
+func (m *Metrics) AddWriteClasses(counts [probe.NumWriteKinds]uint64) {
+	for k, n := range counts {
+		if n > 0 {
+			m.WriteClasses[k].Add(n)
+		}
+	}
+}
 
 // ObserveWall records one job's wall time under its experiment name.
 func (m *Metrics) ObserveWall(experiment string, d time.Duration) {
@@ -82,6 +101,11 @@ type Snapshot struct {
 	QueueDepth    int64  `json:"queue_depth"`
 	JobsRunning   int64  `json:"jobs_running"`
 
+	// WritesTotal maps write class name → simulated row writes across jobs.
+	WritesTotal   map[string]uint64 `json:"writes_total"`
+	StreamDropped uint64            `json:"stream_dropped_total"`
+	StreamClients int64             `json:"stream_clients"`
+
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
 	WallNs map[string]stats.LatencySnapshot `json:"job_wall_ns"`
@@ -89,6 +113,10 @@ type Snapshot struct {
 
 // Snapshot captures every counter and histogram at once.
 func (m *Metrics) Snapshot() Snapshot {
+	writes := make(map[string]uint64, probe.NumWriteKinds)
+	for k := 0; k < probe.NumWriteKinds; k++ {
+		writes[probe.Kind(k).String()] = m.WriteClasses[k].Load()
+	}
 	return Snapshot{
 		JobsQueued:    m.Queued.Load(),
 		JobsRejected:  m.Rejected.Load(),
@@ -101,6 +129,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		StoreErrors:   m.StoreErrors.Load(),
 		QueueDepth:    m.QueueDepth.Load(),
 		JobsRunning:   m.Running.Load(),
+		WritesTotal:   writes,
+		StreamDropped: m.StreamDropped.Load(),
+		StreamClients: m.StreamClients.Load(),
 		UptimeSeconds: m.Uptime().Seconds(),
 		WallNs:        m.WallSnapshot(),
 	}
@@ -123,6 +154,13 @@ func (m *Metrics) WriteProm(w io.Writer) {
 	counter("womd_cache_misses_total", "Cacheable submissions not found in the store.", m.CacheMisses.Load())
 	counter("womd_jobs_deduped_total", "Submissions folded into an identical in-flight job.", m.Deduped.Load())
 	counter("womd_store_errors_total", "Failed result-store appends.", m.StoreErrors.Load())
+	fmt.Fprintf(w, "# HELP womd_writes_total Simulated row writes by class across executed jobs.\n"+
+		"# TYPE womd_writes_total counter\n")
+	for k := 0; k < probe.NumWriteKinds; k++ {
+		fmt.Fprintf(w, "womd_writes_total{class=%q} %d\n", probe.Kind(k).String(), m.WriteClasses[k].Load())
+	}
+	counter("womd_stream_dropped_total", "SSE stream events lost to full subscriber buffers.", m.StreamDropped.Load())
+	gauge("womd_stream_clients", "Connected SSE stream subscribers.", m.StreamClients.Load())
 	gauge("womd_queue_depth", "Jobs waiting for a worker.", m.QueueDepth.Load())
 	gauge("womd_jobs_running", "Jobs executing now.", m.Running.Load())
 	fmt.Fprintf(w, "# HELP womd_uptime_seconds Seconds since the service started.\n"+

@@ -24,6 +24,7 @@ import (
 //	GET    /v1/jobs/{id}        job status
 //	GET    /v1/jobs/{id}/result result of a succeeded job (202 while pending)
 //	GET    /v1/jobs/{id}/progress records processed / total (replay jobs)
+//	GET    /v1/jobs/{id}/stream   live SSE: telemetry windows + progress
 //	DELETE /v1/jobs/{id}        cancel a pending job / delete a finished one
 //	POST   /v1/traces           upload a trace (binary or text body)
 //	GET    /v1/traces           list uploads
@@ -39,10 +40,11 @@ import (
 //	GET    /metrics.json        JSON metrics snapshot
 //	GET    /healthz             liveness probe
 type Server struct {
-	m     *Manager
-	mux   *http.ServeMux
-	log   *slog.Logger
-	debug bool
+	m         *Manager
+	mux       *http.ServeMux
+	log       *slog.Logger
+	debug     bool
+	heartbeat time.Duration
 }
 
 // ServerOption configures NewServer.
@@ -65,9 +67,21 @@ func WithDebug() ServerOption {
 	return func(s *Server) { s.debug = true }
 }
 
+// WithHeartbeat overrides the SSE heartbeat interval (default 15s): the
+// comment frames that keep idle streams from being reaped by proxies and
+// let the server notice dead clients. Tests shorten it.
+func WithHeartbeat(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.heartbeat = d
+		}
+	}
+}
+
 // NewServer wires the routes over m.
 func NewServer(m *Manager, opts ...ServerOption) *Server {
-	s := &Server{m: m, mux: http.NewServeMux(), log: slog.New(slog.DiscardHandler)}
+	s := &Server{m: m, mux: http.NewServeMux(), log: slog.New(slog.DiscardHandler),
+		heartbeat: 15 * time.Second}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -76,6 +90,7 @@ func NewServer(m *Manager, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.getResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.getProgress)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.streamJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.deleteJob)
 	s.mux.HandleFunc("POST /v1/traces", s.uploadTrace)
 	s.mux.HandleFunc("GET /v1/traces", s.listTraces)
@@ -168,6 +183,10 @@ func (w *jsonErrorWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap exposes the underlying writer to http.ResponseController, so the
+// SSE handler can flush through the interceptor.
+func (w *jsonErrorWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // finish emits a captured error as the structured JSON shape.
 func (w *jsonErrorWriter) finish() {

@@ -181,7 +181,16 @@ type Config struct {
 	// pay nothing (benchmark-verified; see BenchmarkRunNilProbe). The
 	// probe and its sinks are used from the controller's goroutine only.
 	Probe *probe.Probe
+	// Latency, when set, observes every completed demand request:
+	// (completion time, read?, latency). The probe stream carries no demand
+	// latencies, so windowed telemetry (internal/telemetry) hooks in here.
+	// Same contract as Probe: nil costs one pointer check per completion,
+	// and the hook runs on the controller's goroutine.
+	Latency LatencyHook
 }
+
+// LatencyHook observes a completed demand request at simulated time now.
+type LatencyHook func(now Clock, read bool, latency Clock)
 
 // DefaultConfig returns the baseline system with the paper's geometry and
 // timing.

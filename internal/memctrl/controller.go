@@ -140,6 +140,9 @@ type Controller struct {
 	// probe receives instrumentation events; nil (the default) disables
 	// them at the cost of one pointer check per emission site.
 	probe *probe.Probe
+	// latency observes completed demand requests; nil (the default) costs
+	// one pointer check per completion.
+	latency LatencyHook
 }
 
 // New builds a controller; the config must validate.
@@ -155,10 +158,11 @@ func New(cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	c := &Controller{
-		cfg:    cfg,
-		mapper: mapper,
-		run:    &stats.Run{Arch: cfg.ArchName()},
-		probe:  cfg.Probe,
+		cfg:     cfg,
+		mapper:  mapper,
+		run:     &stats.Run{Arch: cfg.ArchName()},
+		probe:   cfg.Probe,
+		latency: cfg.Latency,
 	}
 	c.banks = make([][]*server, cfg.Geometry.Ranks)
 	for r := range c.banks {
@@ -491,6 +495,9 @@ func (c *Controller) complete(req *Request, now Clock) {
 			c.run.ReadLatency.Observe(lat)
 		} else {
 			c.run.WriteLatency.Observe(lat)
+		}
+		if c.latency != nil {
+			c.latency(now, req.Op == trace.Read, lat)
 		}
 	}
 	c.inFlight--

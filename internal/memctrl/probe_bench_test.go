@@ -5,6 +5,7 @@ import (
 
 	"womcpcm/internal/pcm"
 	"womcpcm/internal/probe"
+	"womcpcm/internal/telemetry"
 	"womcpcm/internal/trace"
 )
 
@@ -74,4 +75,36 @@ func BenchmarkRunCounterProbe(b *testing.B) {
 // BenchmarkRunRingProbe measures the bounded post-mortem ring sink.
 func BenchmarkRunRingProbe(b *testing.B) {
 	benchmarkRun(b, probe.New(probe.NewRingSink(4096)))
+}
+
+// BenchmarkRunTelemetryProbe measures the windowed telemetry collector on
+// both feeds: the probe bus and the controller latency hook. Compare against
+// BenchmarkRunNilProbe for the enabled-path cost; the disabled path is the
+// nil case, unchanged by the Latency hook (one extra pointer check per
+// completion).
+func BenchmarkRunTelemetryProbe(b *testing.B) {
+	g := pcm.Geometry{Ranks: 2, BanksPerRank: 4, RowsPerBank: 64, ColsPerRow: 16, BitsPerCol: 8, Devices: 8}
+	recs := benchRecords(g, 20000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		col := telemetry.New(telemetry.Options{Banks: g.Ranks * g.BanksPerRank})
+		cfg := Config{
+			Geometry: g,
+			Timing:   pcm.DefaultTiming(),
+			WOM:      DefaultWOM(),
+			Refresh:  DefaultRefresh(),
+			Probe:    probe.New(col),
+			Latency:  col.ObserveLatency,
+		}
+		c, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := c.Run(trace.NewSliceSource(recs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		col.Finish(cfg.ArchName(), run.SimulatedNs)
+	}
 }

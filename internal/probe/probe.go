@@ -78,6 +78,10 @@ const (
 // NumKinds is the number of defined event kinds.
 const NumKinds = int(numKinds)
 
+// NumWriteKinds is the number of write-classification kinds; kinds
+// 0..NumWriteKinds-1 are exactly the write classes.
+const NumWriteKinds = int(WriteAlpha) + 1
+
 var kindNames = [...]string{
 	"write-flip-n-write", "write-first", "write-wom-rewrite", "write-alpha",
 	"refresh-scheduled", "refresh-started", "refresh-paused",

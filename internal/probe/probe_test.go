@@ -62,6 +62,22 @@ func TestRingSinkKeepsTail(t *testing.T) {
 			t.Errorf("Events()[%d].Time = %d, want %d", i, ev.Time, want)
 		}
 	}
+	// Overwritten events must not vanish from the accounting: the snapshot
+	// carries the drop count beside the retained tail.
+	if got := r.Dropped(); got != 6 {
+		t.Errorf("Dropped() = %d, want 6", got)
+	}
+	snap := r.Snapshot()
+	if snap.Total != 10 || snap.Dropped != 6 {
+		t.Errorf("Snapshot Total=%d Dropped=%d, want 10 and 6", snap.Total, snap.Dropped)
+	}
+	if snap.Total-snap.Dropped != uint64(len(snap.Events)) {
+		t.Errorf("Total−Dropped = %d, want len(Events) = %d",
+			snap.Total-snap.Dropped, len(snap.Events))
+	}
+	if len(snap.Events) != 4 || snap.Events[0].Time != 6 {
+		t.Errorf("Snapshot.Events = %+v, want tail starting at time 6", snap.Events)
+	}
 }
 
 func TestRingSinkPartialFill(t *testing.T) {
@@ -71,6 +87,10 @@ func TestRingSinkPartialFill(t *testing.T) {
 	evs := r.Events()
 	if len(evs) != 2 || evs[0].Time != 1 || evs[1].Time != 2 {
 		t.Fatalf("Events() = %+v, want times [1 2]", evs)
+	}
+	if snap := r.Snapshot(); snap.Dropped != 0 || snap.Total != 2 {
+		t.Errorf("Snapshot Total=%d Dropped=%d before wraparound, want 2 and 0",
+			snap.Total, snap.Dropped)
 	}
 }
 

@@ -75,12 +75,34 @@ func (r *RingSink) Record(ev Event) {
 // Total returns the number of events ever recorded.
 func (r *RingSink) Total() uint64 { return r.total }
 
+// Dropped returns the number of events overwritten by newer ones — the
+// prefix of the stream the ring no longer holds.
+func (r *RingSink) Dropped() uint64 { return r.total - uint64(len(r.buf)) }
+
 // Events returns the retained events oldest-first.
 func (r *RingSink) Events() []Event {
 	out := make([]Event, 0, len(r.buf))
 	out = append(out, r.buf[r.next:]...)
 	out = append(out, r.buf[:r.next]...)
 	return out
+}
+
+// RingSnapshot is a ring's state at one instant: the retained tail plus the
+// loss accounting that tells a reader whether the tail is the whole story.
+type RingSnapshot struct {
+	// Total counts events ever recorded; Dropped counts the overwritten
+	// prefix. Total − Dropped == len(Events).
+	Total   uint64
+	Dropped uint64
+	// Events is the retained tail, oldest-first.
+	Events []Event
+}
+
+// Snapshot exports the ring with its drop accounting. Before this existed,
+// post-mortem consumers read Events() alone and could mistake a truncated
+// tail for the full event stream.
+func (r *RingSink) Snapshot() RingSnapshot {
+	return RingSnapshot{Total: r.total, Dropped: r.Dropped(), Events: r.Events()}
 }
 
 // TimelineSink retains the full event stream of one simulation for Chrome

@@ -7,7 +7,9 @@ import (
 	"text/tabwriter"
 
 	"womcpcm/internal/core"
+	"womcpcm/internal/probe"
 	"womcpcm/internal/stats"
+	"womcpcm/internal/telemetry"
 	"womcpcm/internal/trace"
 )
 
@@ -31,7 +33,10 @@ type ReplayResult struct {
 // Requests field bounds the replay length when positive. Architectures run
 // in parallel under cfg.Parallelism and honor cfg.Ctx. When cfg.Ctx carries
 // a ProgressFunc (WithProgress), the replay reports records processed out of
-// len(recs) × 4 as the architectures consume their sources.
+// len(recs) × 4 as the architectures consume their sources. When it carries
+// a TelemetryFunc (WithTelemetry), each architecture streams finalized
+// telemetry windows as its simulated clock advances; a ClassCountsFunc
+// (WithClassCounts) receives per-architecture write-class totals.
 func Replay(cfg ExpConfig, label string, recs []trace.Record) (*ReplayResult, error) {
 	cfg = cfg.normalize()
 	if err := trace.Validate(recs); err != nil {
@@ -42,6 +47,8 @@ func Replay(cfg ExpConfig, label string, recs []trace.Record) (*ReplayResult, er
 	}
 	arches := core.Arches()
 	report := progressOf(cfg.Ctx)
+	telem := telemetryOf(cfg.Ctx)
+	classes := classCountsOf(cfg.Ctx)
 	var done atomic.Int64
 	total := int64(len(recs)) * int64(len(arches))
 	res := &ReplayResult{
@@ -55,6 +62,26 @@ func Replay(cfg ExpConfig, label string, recs []trace.Record) (*ReplayResult, er
 		opts := core.DefaultOptions()
 		opts.Geometry = cfg.Geometry
 		opts.Timing = cfg.Timing
+		arch := arches[i].String()
+		var col *telemetry.Collector
+		var counter *probe.CounterSink
+		var sinks []probe.Sink
+		if telem != nil {
+			col = telemetry.New(telemetry.Options{
+				WindowNs: telem.windowNs,
+				Banks:    telemetryBanks(arches[i], cfg.Geometry),
+				OnWindow: func(w telemetry.Window) { telem.f(arch, w) },
+			})
+			opts.Latency = col.ObserveLatency
+			sinks = append(sinks, col)
+		}
+		if classes != nil {
+			counter = probe.NewCounterSink()
+			sinks = append(sinks, counter)
+		}
+		if len(sinks) > 0 {
+			opts.Probe = probe.New(sinks...)
+		}
 		sys, err := core.NewSystem(arches[i], opts)
 		if err != nil {
 			return err
@@ -65,6 +92,10 @@ func Replay(cfg ExpConfig, label string, recs []trace.Record) (*ReplayResult, er
 			return fmt.Errorf("sim: replaying %s on %s: %w", label, arches[i], err)
 		}
 		run.Workload = label
+		if col != nil {
+			col.Finish(arch, run.SimulatedNs)
+		}
+		reportClassCounts(classes, counter)
 		res.Runs[i] = run
 		return nil
 	}); err != nil {

@@ -15,6 +15,7 @@ import (
 	"womcpcm/internal/core"
 	"womcpcm/internal/memctrl"
 	"womcpcm/internal/pcm"
+	"womcpcm/internal/probe"
 	"womcpcm/internal/stats"
 	"womcpcm/internal/trace"
 	"womcpcm/internal/workload"
@@ -79,11 +80,19 @@ func (c ExpConfig) source(p workload.Profile, g pcm.Geometry) (trace.Source, err
 	return trace.NewLimit(gen, c.Requests), nil
 }
 
-// runArch simulates one benchmark on one architecture.
+// runArch simulates one benchmark on one architecture. When c.Ctx carries a
+// ClassCountsFunc (WithClassCounts), the simulation's write-class totals are
+// reported through it.
 func (c ExpConfig) runArch(a core.Arch, p workload.Profile, g pcm.Geometry) (*stats.Run, error) {
 	opts := core.DefaultOptions()
 	opts.Geometry = g
 	opts.Timing = c.Timing
+	classes := classCountsOf(c.Ctx)
+	var counter *probe.CounterSink
+	if classes != nil {
+		counter = probe.NewCounterSink()
+		opts.Probe = probe.New(counter)
+	}
 	sys, err := core.NewSystem(a, opts)
 	if err != nil {
 		return nil, err
@@ -97,12 +106,20 @@ func (c ExpConfig) runArch(a core.Arch, p workload.Profile, g pcm.Geometry) (*st
 		return nil, fmt.Errorf("sim: %s on %s: %w", a, p.Name, err)
 	}
 	run.Workload = p.Name
+	reportClassCounts(classes, counter)
 	return run, nil
 }
 
 // runConfig simulates one benchmark on an explicit controller config (for
-// ablations that reach past the core presets).
+// ablations that reach past the core presets). Honors WithClassCounts like
+// runArch.
 func (c ExpConfig) runConfig(cfg memctrl.Config, p workload.Profile) (*stats.Run, error) {
+	classes := classCountsOf(c.Ctx)
+	var counter *probe.CounterSink
+	if classes != nil && cfg.Probe == nil {
+		counter = probe.NewCounterSink()
+		cfg.Probe = probe.New(counter)
+	}
 	ctrl, err := memctrl.New(cfg)
 	if err != nil {
 		return nil, err
@@ -116,6 +133,7 @@ func (c ExpConfig) runConfig(cfg memctrl.Config, p workload.Profile) (*stats.Run
 		return nil, fmt.Errorf("sim: %s on %s: %w", cfg.ArchName(), p.Name, err)
 	}
 	run.Workload = p.Name
+	reportClassCounts(classes, counter)
 	return run, nil
 }
 

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"context"
+
+	"womcpcm/internal/core"
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/probe"
+	"womcpcm/internal/telemetry"
+)
+
+// TelemetryFunc receives finalized telemetry windows from an experiment that
+// supports windowed collection (currently "replay", like progress). arch is
+// the architecture label; callbacks may arrive concurrently from the
+// parallel per-architecture simulations, but windows of one arch arrive in
+// index order.
+type TelemetryFunc func(arch string, w telemetry.Window)
+
+// ClassCountsFunc receives one finished simulation's write-class totals,
+// indexed by probe write kind (probe.WriteFlipNWrite … probe.WriteAlpha).
+// Experiments running many simulations call it once per simulation;
+// consumers accumulate.
+type ClassCountsFunc func(counts [probe.NumWriteKinds]uint64)
+
+type telemetryCtxKey struct{}
+type classCountsCtxKey struct{}
+
+// telemetryOpts is the context payload of WithTelemetry.
+type telemetryOpts struct {
+	f        TelemetryFunc
+	windowNs int64
+}
+
+// WithTelemetry returns a context asking telemetry-capable experiments to
+// collect epoch-windowed series and stream finalized windows to f.
+// windowNs ≤ 0 selects telemetry.DefaultWindowNs.
+func WithTelemetry(ctx context.Context, f TelemetryFunc, windowNs int64) context.Context {
+	if f == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, telemetryCtxKey{}, &telemetryOpts{f: f, windowNs: windowNs})
+}
+
+// telemetryOf extracts the WithTelemetry payload; nil when absent.
+func telemetryOf(ctx context.Context) *telemetryOpts {
+	if ctx == nil {
+		return nil
+	}
+	o, _ := ctx.Value(telemetryCtxKey{}).(*telemetryOpts)
+	return o
+}
+
+// WithClassCounts returns a context asking experiments to attach a probe
+// counter to every simulation and report its write-class totals to f. All
+// experiments honor it (unlike windowed telemetry, it needs no record
+// stream semantics — just the always-cheap CounterSink).
+func WithClassCounts(ctx context.Context, f ClassCountsFunc) context.Context {
+	if f == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, classCountsCtxKey{}, f)
+}
+
+// classCountsOf extracts the ClassCountsFunc from ctx; nil when absent.
+func classCountsOf(ctx context.Context) ClassCountsFunc {
+	if ctx == nil {
+		return nil
+	}
+	f, _ := ctx.Value(classCountsCtxKey{}).(ClassCountsFunc)
+	return f
+}
+
+// reportClassCounts delivers a counter sink's write-class totals to f.
+func reportClassCounts(f ClassCountsFunc, cs *probe.CounterSink) {
+	if f == nil || cs == nil {
+		return
+	}
+	var counts [probe.NumWriteKinds]uint64
+	for k := 0; k < probe.NumWriteKinds; k++ {
+		counts[k] = cs.Count(probe.Kind(k))
+	}
+	f(counts)
+}
+
+// telemetryBanks counts the serially serviced resources behind one
+// architecture's event stream: every bank, plus WCPCM's per-rank cache
+// arrays.
+func telemetryBanks(a core.Arch, g pcm.Geometry) int {
+	n := g.Ranks * g.BanksPerRank
+	if a == core.WCPCM {
+		n += g.Ranks
+	}
+	return n
+}

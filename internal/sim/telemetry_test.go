@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"womcpcm/internal/core"
+	"womcpcm/internal/probe"
+	"womcpcm/internal/telemetry"
+	"womcpcm/internal/trace"
+	"womcpcm/internal/workload"
+)
+
+// TestReplayTelemetry checks the replay experiment streams windowed
+// telemetry through a WithTelemetry context: all four architectures report,
+// windows of one architecture arrive in index order, and the write-class
+// totals match the replayed writes.
+func TestReplayTelemetry(t *testing.T) {
+	recs := progressTrace(4000)
+	var (
+		mu      sync.Mutex
+		windows = map[string][]telemetry.Window{}
+	)
+	const windowNs = 10_000
+	ctx := WithTelemetry(context.Background(), func(arch string, w telemetry.Window) {
+		mu.Lock()
+		windows[arch] = append(windows[arch], w)
+		mu.Unlock()
+	}, windowNs)
+	cfg := ExpConfig{Requests: len(recs), Ctx: ctx}
+	res, err := Replay(cfg, "telemetry", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != len(core.Arches()) {
+		t.Fatalf("got windows for %d architectures, want %d", len(windows), len(core.Arches()))
+	}
+	writes := 0
+	for _, r := range recs {
+		if r.Op == trace.Write {
+			writes++
+		}
+	}
+	for arch, ws := range windows {
+		if len(ws) == 0 {
+			t.Fatalf("%s: no windows", arch)
+		}
+		var total uint64
+		for i, w := range ws {
+			if w.Index != int64(i) {
+				t.Fatalf("%s: window %d has index %d (out of order)", arch, i, w.Index)
+			}
+			if w.EndNs-w.StartNs != windowNs {
+				t.Fatalf("%s: window %d width %d, want %d", arch, i, w.EndNs-w.StartNs, windowNs)
+			}
+			total += w.Writes.Total()
+		}
+		// Every demand write is classified exactly once; WCPCM adds victim
+		// write-backs on top.
+		if total < uint64(writes) {
+			t.Errorf("%s: windowed writes %d < replayed writes %d", arch, total, writes)
+		}
+		// Demand latencies flow through the controller hook.
+		var reads uint64
+		for _, w := range ws {
+			reads += w.Read.Count
+		}
+		if reads == 0 {
+			t.Errorf("%s: no read latencies in any window", arch)
+		}
+	}
+	// Telemetry must not perturb the simulation itself.
+	plain, err := Replay(ExpConfig{Requests: len(recs)}, "telemetry", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Runs {
+		if res.Runs[i].WriteLatency.Mean() != plain.Runs[i].WriteLatency.Mean() {
+			t.Errorf("%s: telemetry changed mean write latency", res.Runs[i].Arch)
+		}
+	}
+}
+
+// TestReplayClassCounts checks WithClassCounts delivers per-architecture
+// write-class totals: four callbacks (one per architecture), each summing to
+// at least the replayed demand writes.
+func TestReplayClassCounts(t *testing.T) {
+	recs := progressTrace(2000)
+	var (
+		mu    sync.Mutex
+		calls [][probe.NumWriteKinds]uint64
+	)
+	ctx := WithClassCounts(context.Background(), func(c [probe.NumWriteKinds]uint64) {
+		mu.Lock()
+		calls = append(calls, c)
+		mu.Unlock()
+	})
+	if _, err := Replay(ExpConfig{Requests: len(recs), Ctx: ctx}, "classes", recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(core.Arches()) {
+		t.Fatalf("got %d class-count reports, want %d", len(calls), len(core.Arches()))
+	}
+	for i, c := range calls {
+		var sum uint64
+		for _, n := range c {
+			sum += n
+		}
+		if sum == 0 {
+			t.Errorf("report %d: all class counts zero", i)
+		}
+	}
+}
+
+// TestRunArchClassCounts checks synthetic-benchmark experiments honor
+// WithClassCounts too (the womd /metrics feed must cover every job type).
+func TestRunArchClassCounts(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		sum uint64
+	)
+	ctx := WithClassCounts(context.Background(), func(c [probe.NumWriteKinds]uint64) {
+		mu.Lock()
+		for _, n := range c {
+			sum += n
+		}
+		mu.Unlock()
+	})
+	cfg := ExpConfig{Requests: 500, Ctx: ctx, Profiles: workload.Profiles()[:1]}
+	if _, err := Fig5(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if sum == 0 {
+		t.Error("no write-class counts reported from Fig5")
+	}
+}

@@ -12,6 +12,11 @@ import (
 )
 
 // Latency accumulates request latencies in nanoseconds.
+//
+// A Latency is not safe for concurrent use: the simulator is single-threaded
+// per run, so Observe/Merge/Reset carry no synchronization. Callers that
+// aggregate across goroutines (e.g. engine wall-time metrics) must hold
+// their own lock.
 type Latency struct {
 	Count uint64
 	Sum   int64
@@ -87,6 +92,13 @@ func (l *Latency) Merge(other *Latency) {
 	for i := range l.buckets {
 		l.buckets[i] += other.buckets[i]
 	}
+}
+
+// Reset returns l to the empty state, as if freshly allocated, so a caller
+// rolling over epochs can reuse one histogram instead of allocating per
+// epoch.
+func (l *Latency) Reset() {
+	*l = Latency{}
 }
 
 // String summarizes the distribution.

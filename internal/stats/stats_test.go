@@ -73,6 +73,34 @@ func TestLatencyMerge(t *testing.T) {
 	}
 }
 
+func TestLatencyReset(t *testing.T) {
+	var l Latency
+	for _, ns := range []int64{5, 10, 1000} {
+		l.Observe(ns)
+	}
+	l.Reset()
+	if l.Count != 0 || l.Sum != 0 || l.Min != 0 || l.Max != 0 {
+		t.Errorf("after Reset = %+v, want zero value", l)
+	}
+	if got := l.Quantile(0.95); got != 0 {
+		t.Errorf("Quantile after Reset = %d, want 0 (histogram must clear)", got)
+	}
+	// A reset histogram behaves exactly like a fresh one.
+	l.Observe(7)
+	var fresh Latency
+	fresh.Observe(7)
+	if l != fresh {
+		t.Errorf("reset-then-observe = %+v, fresh = %+v", l, fresh)
+	}
+	// Merging a reset (empty) histogram is a no-op.
+	var a Latency
+	a.Observe(42)
+	a.Merge(&l)
+	if a.Count != 2 || a.Min != 7 || a.Max != 42 {
+		t.Errorf("merge after reset = %+v", a)
+	}
+}
+
 // TestLatencyQuantileMonotone property: quantile bounds are monotone in q
 // and always ≥ min observed.
 func TestLatencyQuantileMonotone(t *testing.T) {

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleDoc builds a small two-arch document with enough signal to exercise
+// every chart section.
+func sampleDoc() *Document {
+	mkWin := func(i int64, mix WriteMix) Window {
+		return Window{
+			Index: i, StartNs: i * 1000, EndNs: (i + 1) * 1000,
+			Writes:      mix,
+			Refresh:     RefreshActivity{Completed: uint64(i)},
+			Cache:       CacheActivity{Hits: 3, Fills: 1},
+			BusyNs:      500,
+			Utilization: 0.25,
+			Read:        LatencySummary{Count: 10, MeanNs: 120, P50Ns: 100, P95Ns: 300, P99Ns: 400, MaxNs: 500},
+			Write:       LatencySummary{Count: 5, MeanNs: 700, P50Ns: 600, P95Ns: 1200, P99Ns: 1400, MaxNs: 1500},
+			EnergyPJ:    1234.5,
+		}
+	}
+	return &Document{
+		Schema:   SchemaVersion,
+		Workload: "uniform <script>alert(1)</script>",
+		Requests: 1000,
+		Seed:     42,
+		WindowNs: 1000,
+		Series: []Series{
+			{
+				Arch: "PCM w/o WOM-code", WindowNs: 1000, SimulatedNs: 3000, Banks: 4,
+				Windows: []Window{
+					mkWin(0, WriteMix{FlipNWrite: 8}),
+					mkWin(1, WriteMix{FlipNWrite: 6}),
+					mkWin(2, WriteMix{FlipNWrite: 7}),
+				},
+			},
+			{
+				Arch: "WCPCM", WindowNs: 1000, SimulatedNs: 3000, Banks: 5,
+				Windows: []Window{
+					mkWin(0, WriteMix{First: 4, Rewrite: 3}),
+					mkWin(1, WriteMix{Rewrite: 2, Alpha: 2}),
+					mkWin(2, WriteMix{Alpha: 1, FlipNWrite: 1}),
+				},
+			},
+		},
+	}
+}
+
+func TestReportIsSelfContained(t *testing.T) {
+	var b strings.Builder
+	if err := WriteHTMLReport(&b, sampleDoc()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// Structure: a full standalone page with inline SVG charts.
+	for _, want := range []string{
+		"<!doctype html>", "<svg", "</svg>", "<polyline", "<polygon",
+		"PCM w/o WOM-code", "WCPCM", SchemaVersion,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+
+	// Self-contained: no scripts, no external fetches of any kind. The only
+	// URL allowed is the SVG xmlns declaration.
+	for _, banned := range []string{
+		"<script", "<link", "<img", "<iframe", "src=", "@import", "url(",
+		"https://", "fetch(", "XMLHttpRequest",
+	} {
+		if strings.Contains(out, banned) {
+			t.Errorf("report contains banned token %q — must be self-contained", banned)
+		}
+	}
+	allowed := regexp.MustCompile(`xmlns="http://www\.w3\.org/2000/svg"`)
+	if got := strings.Count(out, "http://"); got != len(allowed.FindAllString(out, -1)) {
+		t.Errorf("report has %d http:// occurrences; all must be SVG xmlns declarations", got)
+	}
+
+	// Untrusted workload names are escaped, not interpolated raw.
+	if strings.Contains(out, "<script>alert(1)</script>") {
+		t.Error("workload name not HTML-escaped")
+	}
+	if !strings.Contains(out, "&lt;script&gt;") {
+		t.Error("escaped workload name missing from report")
+	}
+}
+
+func TestReportChartGeometry(t *testing.T) {
+	var b strings.Builder
+	if err := WriteHTMLReport(&b, sampleDoc()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	// Every polyline/polygon coordinate stays inside the chart viewBox.
+	coord := regexp.MustCompile(`points="([^"]+)"`)
+	pair := regexp.MustCompile(`(-?\d+(?:\.\d+)?),(-?\d+(?:\.\d+)?)`)
+	for _, m := range coord.FindAllStringSubmatch(out, -1) {
+		for _, p := range pair.FindAllStringSubmatch(m[1], -1) {
+			x, err := strconv.ParseFloat(p[1], 64)
+			if err != nil {
+				t.Fatalf("bad x %q: %v", p[1], err)
+			}
+			y, err := strconv.ParseFloat(p[2], 64)
+			if err != nil {
+				t.Fatalf("bad y %q: %v", p[2], err)
+			}
+			if x < 0 || x > chartW || y < 0 || y > chartH {
+				t.Fatalf("point (%v,%v) outside %dx%d viewBox", x, y, chartW, chartH)
+			}
+		}
+	}
+}
+
+func TestReportRejectsEmptyDocument(t *testing.T) {
+	var b strings.Builder
+	if err := WriteHTMLReport(&b, &Document{Schema: SchemaVersion}); err == nil {
+		t.Fatal("expected error for empty document")
+	}
+}
+
+func TestReportHandlesZeroValuedSeries(t *testing.T) {
+	// All-zero windows must not divide by zero or emit degenerate charts.
+	doc := &Document{
+		Schema: SchemaVersion, Workload: "idle", WindowNs: 1000,
+		Series: []Series{{Arch: "baseline", WindowNs: 1000, Windows: make([]Window, 3)}},
+	}
+	var b strings.Builder
+	if err := WriteHTMLReport(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") || strings.Contains(b.String(), "Inf") {
+		t.Error("zero-valued series produced NaN/Inf coordinates")
+	}
+}
