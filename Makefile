@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet fmt-check race fuzz bench bench-probe verify clean
+.PHONY: all build test vet fmt-check race fuzz bench bench-probe bench-suite bench-compare verify clean
 
 all: verify
 
@@ -32,6 +32,17 @@ bench:
 # instrumentation contract promises (compare against Counter/Ring).
 bench-probe:
 	$(GO) test -run=NONE -bench=Probe -benchmem ./internal/memctrl/
+
+# Standardized host-time suite (internal/perfmon): the fixed workload ×
+# architecture matrix, written as the next BENCH_<n>.json at the repo root.
+bench-suite:
+	$(GO) run ./cmd/womtool bench
+
+# Diff a fresh short-tier run against the committed BENCH_1.json pin.
+# Host timings are machine-dependent, so the default tolerance is wide;
+# CI runs this warn-only.
+bench-compare:
+	$(GO) run ./cmd/womtool bench -o /dev/null -compare BENCH_1.json -tol 0.5
 
 # Fails listing the files gofmt would rewrite; CI runs this on every push.
 fmt-check:

@@ -9,6 +9,15 @@
 // share one execution, and /v1/results, /v1/baselines, and /v1/compare
 // expose the cache, pinned baselines, and regression reports.
 //
+// Performance observability is on by default: every job carries a host-time
+// perf record (wall clock, simulated events/sec, allocation, CPU) surfaced
+// in its JobView and as womd_job_* histograms on /metrics, and a
+// runtime/metrics poller exports womd_runtime_* families (-runtime-metrics
+// interval, 0 disables; -no-perf disables per-job accounting). With
+// -profile-dir DIR a monitor goroutine captures CPU+heap pprof profiles
+// from jobs that fall behind the fleet or near their deadline, served under
+// /v1/jobs/{id}/profiles.
+//
 // Logs are structured (log/slog): every HTTP request gets an id — honoring
 // a client-supplied X-Request-ID — that follows its job through queued,
 // started, and finished lines, so one grep reconstructs a request's whole
@@ -41,6 +50,7 @@ import (
 	"time"
 
 	"womcpcm/internal/engine"
+	"womcpcm/internal/perfmon"
 	"womcpcm/internal/resultstore"
 )
 
@@ -57,6 +67,13 @@ func main() {
 		cacheSync  = flag.Bool("cache-sync", false, "fsync the result store after every append")
 		debug      = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 		logJSON    = flag.Bool("log-json", false, "emit logs as JSON instead of logfmt-style text")
+		noPerf     = flag.Bool("no-perf", false, "disable per-job host-time accounting (womd_job_events_per_second and friends)")
+		pollEvery  = flag.Duration("runtime-metrics", perfmon.DefaultPollInterval, "runtime/metrics poll interval for womd_runtime_* gauges (0 = off)")
+		profileDir = flag.String("profile-dir", "", "directory for automatic slow-job pprof captures (empty = off)")
+		profileMax = flag.Int("profile-max", perfmon.DefaultMaxCaptures, "retained profile capture cap; oldest evicted past it")
+		slowFrac   = flag.Float64("slow-fraction", 0.25, "profile a job whose rolling events/sec falls below this fraction of the fleet median")
+		deadFrac   = flag.Float64("deadline-fraction", 0.9, "profile a job that has consumed this fraction of its timeout")
+		monEvery   = flag.Duration("monitor-interval", 15*time.Second, "slow-job monitor pass interval")
 	)
 	flag.Parse()
 
@@ -80,19 +97,42 @@ func main() {
 			"results", store.Len(), "baselines", len(store.Baselines()))
 	}
 
+	var profiles *perfmon.ProfileStore
+	if *profileDir != "" {
+		var err error
+		profiles, err = perfmon.NewProfileStore(*profileDir, *profileMax)
+		if err != nil {
+			logger.Error("opening profile store", "dir", *profileDir, "error", err)
+			os.Exit(1)
+		}
+		logger.Info("slow-job profiling enabled", "dir", *profileDir,
+			"slow_fraction", *slowFrac, "deadline_fraction", *deadFrac)
+	}
+
 	mgr := engine.New(engine.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		DefaultTimeout:  *timeout,
-		MaxTraceRecords: *maxRecords,
-		MaxTraces:       *maxTraces,
-		Store:           store,
-		Logger:          logger,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultTimeout:   *timeout,
+		MaxTraceRecords:  *maxRecords,
+		MaxTraces:        *maxTraces,
+		Store:            store,
+		Logger:           logger,
+		DisablePerf:      *noPerf,
+		Profiles:         profiles,
+		SlowFraction:     *slowFrac,
+		DeadlineFraction: *deadFrac,
+		MonitorInterval:  *monEvery,
 	})
 	opts := []engine.ServerOption{engine.WithLogger(logger)}
 	if *debug {
 		opts = append(opts, engine.WithDebug())
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	if *pollEvery > 0 {
+		poller := perfmon.NewPoller(*pollEvery)
+		poller.Start()
+		defer poller.Stop()
+		opts = append(opts, engine.WithRuntimeMetrics(poller))
 	}
 	srv := &http.Server{
 		Addr:        *addr,

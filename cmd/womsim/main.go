@@ -20,6 +20,7 @@
 //	womsim -series s.json -series-window 50us  # 50 µs simulated windows
 //	womsim -cache out/cache -fig fig5   # memoize: rerunning is a disk read
 //	womsim -cache out/cache -fig fig5 -force  # re-simulate and overwrite
+//	womsim -fig fig5 -cpuprofile cpu.pprof -memprofile heap.pprof  # host profiling
 package main
 
 import (
@@ -28,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -60,8 +63,38 @@ func main() {
 		list     = flag.Bool("list", false, "list the experiment registry and exit")
 		cacheDir = flag.String("cache", "", "result-store directory; rerunning an identical figure reads it instead of simulating")
 		force    = flag.Bool("force", false, "with -cache: re-simulate and overwrite stored results")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU pprof profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap pprof profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// The write happens in this deferred hook so every exit path below
+		// (figures, replay, timeline, series) is covered.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "womsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so live objects dominate the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "womsim:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range sim.Experiments() {

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"womcpcm/internal/perfmon"
+	"womcpcm/internal/resultstore"
+)
+
+// bench drives the standardized host-time benchmark suite:
+//
+//	womtool bench                          run the short tier, write BENCH_<n>.json
+//	womtool bench -tier full -o BENCH.json pick tier and output path
+//	womtool bench -compare BENCH_1.json -tol 0.25   run, then diff against a
+//	    pinned report; regressions beyond tolerance exit 1
+//	womtool bench -compare BENCH_1.json -current BENCH_2.json   diff two
+//	    existing reports without running anything
+//	womtool bench -compare BENCH_1.json -warn       report but exit 0 (CI)
+//
+// The matrix is fixed — every architecture × the representative workloads —
+// so successive BENCH_<n>.json files at the repo root form a comparable
+// performance trajectory. Only host-time metrics (wall_ns, events_per_sec,
+// ns_per_event, alloc_bytes, allocs_per_event) participate in comparisons;
+// sim-side results ride along for context but belong to womtool regress.
+func bench(args []string) {
+	os.Exit(benchCmd(args, os.Stdout, os.Stderr))
+}
+
+// benchCmd is the testable body: it returns the process exit code instead
+// of exiting.
+func benchCmd(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tier := fs.String("tier", perfmon.TierShort, "benchmark tier: short or full")
+	requests := fs.Int("requests", 0, "override the tier's request count (0 = tier default)")
+	seed := fs.Int64("seed", 1, "workload generator seed")
+	workloads := fs.String("workloads", "", "comma-separated workload override (default: representative set)")
+	out := fs.String("o", "", "output path (default: next BENCH_<n>.json in the current directory)")
+	compare := fs.String("compare", "", "baseline BENCH_*.json to diff against")
+	current := fs.String("current", "", "existing report to compare instead of running the suite")
+	tol := fs.Float64("tol", 0.25, "relative tolerance for -compare (host timings are noisy)")
+	warn := fs.Bool("warn", false, "with -compare: report regressions but exit 0")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: womtool bench [-tier short|full] [-requests N] [-seed N] [-workloads a,b] [-o PATH] [-compare BASELINE [-current PATH] [-tol F] [-warn]]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *current != "" && *compare == "" {
+		fmt.Fprintln(stderr, "womtool: -current only makes sense with -compare")
+		return 2
+	}
+
+	var report *perfmon.BenchReport
+	if *current != "" {
+		r, err := perfmon.ReadBenchReport(*current)
+		if err != nil {
+			fmt.Fprintln(stderr, "womtool:", err)
+			return 1
+		}
+		report = r
+		fmt.Fprintf(stdout, "loaded %s: tier %s, %d entries\n", *current, r.Tier, len(r.Entries))
+	} else {
+		cfg := perfmon.BenchConfig{Tier: *tier, Requests: *requests, Seed: *seed}
+		if *workloads != "" {
+			cfg.Workloads = strings.Split(*workloads, ",")
+		}
+		fmt.Fprintf(stdout, "running bench tier %s (%s, GOMAXPROCS %d)...\n",
+			*tier, runtime.Version(), runtime.GOMAXPROCS(0))
+		r, err := perfmon.RunBench(cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "womtool:", err)
+			return 1
+		}
+		report = r
+		for _, e := range r.Entries {
+			fmt.Fprintf(stdout, "  %-14s %-12s %10.0f events/s  %6.1f ns/event  wall %.3fs\n",
+				e.Workload, e.Arch, e.EventsPerSec, e.NsPerEvent, float64(e.WallNs)/1e9)
+		}
+		path := *out
+		if path == "" {
+			p, err := perfmon.NextBenchPath(".")
+			if err != nil {
+				fmt.Fprintln(stderr, "womtool:", err)
+				return 1
+			}
+			path = p
+		}
+		if err := perfmon.WriteBenchReport(path, report); err != nil {
+			fmt.Fprintln(stderr, "womtool:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", path)
+	}
+
+	if *compare == "" {
+		return 0
+	}
+	base, err := perfmon.ReadBenchReport(*compare)
+	if err != nil {
+		fmt.Fprintln(stderr, "womtool:", err)
+		return 1
+	}
+	cmp, err := perfmon.CompareBench(base, report, *tol)
+	if err != nil {
+		fmt.Fprintln(stderr, "womtool:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "compare vs %s — %d cell(s) checked, tolerance %g\n",
+		*compare, cmp.Checked, cmp.Tolerance)
+	if len(cmp.Regressions) == 0 {
+		fmt.Fprintln(stdout, "ok: no host-time metric moved beyond tolerance")
+		return 0
+	}
+	printBenchRegressions(stdout, cmp)
+	if *warn {
+		fmt.Fprintln(stdout, "warn-only mode: not failing the run")
+		return 0
+	}
+	return 1
+}
+
+// printBenchRegressions groups the deltas per workload/arch cell.
+func printBenchRegressions(w io.Writer, cmp *resultstore.Comparison) {
+	byKey := make(map[string][]resultstore.Delta)
+	var keys []string
+	for _, d := range cmp.Regressions {
+		if _, ok := byKey[d.Key]; !ok {
+			keys = append(keys, d.Key)
+		}
+		byKey[d.Key] = append(byKey[d.Key], d)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "BENCH REGRESSIONS: %d metric(s) beyond tolerance\n", len(cmp.Regressions))
+	for _, key := range keys {
+		fmt.Fprintf(w, "  %s:\n", key)
+		for _, d := range byKey[key] {
+			switch {
+			case d.Base == nil:
+				fmt.Fprintf(w, "    %-30s new metric, now %.6g\n", d.Metric, *d.Current)
+			case d.Current == nil:
+				fmt.Fprintf(w, "    %-30s vanished, was %.6g\n", d.Metric, *d.Base)
+			default:
+				fmt.Fprintf(w, "    %-30s %.6g → %.6g (%+.2f%%)\n",
+					d.Metric, *d.Base, *d.Current, 100*(*d.Current-*d.Base)/nonzero(*d.Base))
+			}
+		}
+	}
+}

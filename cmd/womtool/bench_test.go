@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"womcpcm/internal/perfmon"
+)
+
+// runBenchCmd invokes the bench subcommand body with captured output.
+func runBenchCmd(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = benchCmd(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// tinyReport runs a minimal real suite once per test file; entries still
+// cover the full architecture matrix.
+func tinyReport(t *testing.T, dir, name string) (*perfmon.BenchReport, string) {
+	t.Helper()
+	r, err := perfmon.RunBench(perfmon.BenchConfig{
+		Tier: perfmon.TierShort, Requests: 300, Seed: 7,
+		Workloads: []string{"qsort"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := perfmon.WriteBenchReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	return r, path
+}
+
+// TestBenchCompareExitCodes is the acceptance check: -compare exits non-zero
+// on an injected regression and zero on a clean (or warn-only) comparison.
+func TestBenchCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base, basePath := tinyReport(t, dir, "BENCH_1.json")
+
+	// Self-comparison at a generous tolerance is clean and exits 0.
+	code, stdout, stderr := runBenchCmd(t,
+		"-compare", basePath, "-current", basePath, "-tol", "0.5")
+	if code != 0 {
+		t.Fatalf("self-compare exit = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "ok: no host-time metric") {
+		t.Errorf("self-compare output: %s", stdout)
+	}
+
+	// Inject a 10× wall-time regression into a copy of the report.
+	slow := *base
+	slow.Entries = append([]perfmon.BenchEntry(nil), base.Entries...)
+	slow.Entries[0].WallNs *= 10
+	slow.Entries[0].NsPerEvent *= 10
+	slow.Entries[0].EventsPerSec /= 10
+	slowPath := filepath.Join(dir, "BENCH_2.json")
+	if err := perfmon.WriteBenchReport(slowPath, &slow); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runBenchCmd(t,
+		"-compare", basePath, "-current", slowPath, "-tol", "0.5")
+	if code == 0 {
+		t.Fatalf("injected regression not flagged:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "BENCH REGRESSIONS") {
+		t.Errorf("regression report missing header: %s", stdout)
+	}
+
+	// -warn reports the same regressions but keeps the exit code green.
+	code, stdout, _ = runBenchCmd(t,
+		"-compare", basePath, "-current", slowPath, "-tol", "0.5", "-warn")
+	if code != 0 {
+		t.Errorf("warn-only exit = %d", code)
+	}
+	if !strings.Contains(stdout, "BENCH REGRESSIONS") || !strings.Contains(stdout, "warn-only") {
+		t.Errorf("warn-only output: %s", stdout)
+	}
+}
+
+// TestBenchRunWritesNumberedReport runs the real subcommand in a temp cwd
+// and checks BENCH_1.json appears with the full matrix.
+func TestBenchRunWritesNumberedReport(t *testing.T) {
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd) //nolint:errcheck
+
+	code, stdout, stderr := runBenchCmd(t,
+		"-requests", "300", "-seed", "7", "-workloads", "qsort")
+	if code != 0 {
+		t.Fatalf("bench exit = %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	r, err := perfmon.ReadBenchReport(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) != 4 {
+		t.Fatalf("entries = %d, want one per architecture", len(r.Entries))
+	}
+
+	// Bad flags exit 2, unknown tier exits 1.
+	if code, _, _ := runBenchCmd(t, "-current", "x.json"); code != 2 {
+		t.Errorf("-current without -compare exit = %d", code)
+	}
+	if code, _, _ := runBenchCmd(t, "-tier", "nope"); code != 1 {
+		t.Errorf("bad tier exit = %d", code)
+	}
+}

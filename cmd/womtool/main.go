@@ -14,6 +14,8 @@
 //	womtool regress -dir out/cache pin v1          # pin current results
 //	womtool regress -dir out/cache -tol 0.02 report v1  # per-metric deltas
 //	womtool regress -dir out/cache list            # pinned baselines
+//	womtool bench                                  # standardized host-time suite → BENCH_<n>.json
+//	womtool bench -compare BENCH_1.json -tol 0.25  # diff against a pinned report
 //	womtool report series.json -o report.html      # render womsim -series output
 package main
 
@@ -43,6 +45,8 @@ func main() {
 		searchCode(os.Args[2:])
 	case "regress":
 		regress(os.Args[2:])
+	case "bench":
+		bench(os.Args[2:])
 	case "report":
 		report(os.Args[2:])
 	default:
@@ -51,7 +55,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name] | report <series.json> [-o report.html]")
+	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name] | bench [-tier short|full] [-compare BASELINE] | report <series.json> [-o report.html]")
 	os.Exit(2)
 }
 

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"womcpcm/internal/memctrl"
 	"womcpcm/internal/pcm"
@@ -84,6 +85,11 @@ type Options struct {
 	// (memctrl.Config.Latency) — the telemetry collector's latency feed.
 	// Same single-simulation ownership as Probe.
 	Latency memctrl.LatencyHook
+	// Events, when set, receives a live count of simulator event-loop steps
+	// (memctrl.Config.Events) — the host-time throughput feed internal/perfmon
+	// reads. Unlike Probe and Latency, one counter may be shared by parallel
+	// simulations; the controller advances it atomically in strides.
+	Events *atomic.Int64
 }
 
 // DefaultOptions returns the paper's §5 configuration.
@@ -130,7 +136,8 @@ type System struct {
 // pass DefaultOptions() for the exact §5 setup.
 func NewSystem(arch Arch, opts Options) (*System, error) {
 	opts = opts.normalize()
-	cfg := memctrl.Config{Geometry: opts.Geometry, Timing: opts.Timing, Probe: opts.Probe, Latency: opts.Latency}
+	cfg := memctrl.Config{Geometry: opts.Geometry, Timing: opts.Timing,
+		Probe: opts.Probe, Latency: opts.Latency, Events: opts.Events}
 	switch arch {
 	case Baseline:
 	case WOMCode:

@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"womcpcm/internal/perfmon"
+	"womcpcm/internal/probe"
 	"womcpcm/internal/sim"
 )
 
@@ -65,6 +67,19 @@ type Job struct {
 	progressDone  atomic.Int64
 	progressTotal atomic.Int64
 
+	// span is the job's host-time accounting (internal/perfmon), installed
+	// when the worker starts the run; nil when perf accounting is disabled
+	// or the job never ran. The monitor goroutine and progress snapshots
+	// read it concurrently, hence the atomic pointer.
+	span atomic.Pointer[perfmon.Span]
+	// classes accumulates the job's simulated write-class totals, advanced
+	// at each of the job's simulation completions — mid-job progress
+	// snapshots see counts from every finished simulation, not just at job
+	// end.
+	classes [probe.NumWriteKinds]atomic.Uint64
+	// profiled latches the one slow-job profile capture per job.
+	profiled atomic.Bool
+
 	// hub fans live telemetry windows and progress out to SSE subscribers
 	// (GET /v1/jobs/{id}/stream); the manager closes it when the job reaches
 	// a terminal state. nil for jobs born terminal (cache hits).
@@ -77,6 +92,7 @@ type Job struct {
 	state     State
 	err       error
 	result    *sim.Result
+	perf      *perfmon.JobRecord // final accounting, set at job end
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -92,6 +108,13 @@ func (j *Job) State() State {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state
+}
+
+// submittedAt returns the admission time (for the queue-wait histogram).
+func (j *Job) submittedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.submitted
 }
 
 // Result returns the experiment result once the job succeeded.
@@ -204,8 +227,45 @@ func (j *Job) reportProgress(done, total int64) {
 	j.hub.publish("progress", j.Progress())
 }
 
+// addClassCounts folds one finished simulation's write-class totals into
+// the job's own counters (the manager additionally feeds the service-wide
+// metrics).
+func (j *Job) addClassCounts(counts [probe.NumWriteKinds]uint64) {
+	for k, n := range counts {
+		if n > 0 {
+			j.classes[k].Add(n)
+		}
+	}
+}
+
+// classCounts snapshots the job's write-class totals as a name→count map,
+// omitting zero classes.
+func (j *Job) classCounts() map[string]uint64 {
+	var out map[string]uint64
+	for k := 0; k < probe.NumWriteKinds; k++ {
+		if n := j.classes[k].Load(); n > 0 {
+			if out == nil {
+				out = make(map[string]uint64, probe.NumWriteKinds)
+			}
+			out[probe.Kind(k).String()] = n
+		}
+	}
+	return out
+}
+
+// setPerf records the job's final host-time accounting.
+func (j *Job) setPerf(rec perfmon.JobRecord) {
+	j.mu.Lock()
+	j.perf = &rec
+	j.mu.Unlock()
+}
+
 // ProgressView is the JSON shape of GET /v1/jobs/{id}/progress. Total is 0
 // for experiments that do not report progress (everything but "replay").
+// The perf fields make mid-job snapshots self-contained: simulated events
+// executed so far, the live throughput, per-class write totals from every
+// finished simulation, and how many SSE events this job's subscribers have
+// lost to full buffers.
 type ProgressView struct {
 	ID    string `json:"id"`
 	State State  `json:"state"`
@@ -213,9 +273,18 @@ type ProgressView struct {
 	Total int64  `json:"total"`
 	// Fraction is Done/Total, 0 when the total is unknown.
 	Fraction float64 `json:"fraction"`
+	// SimEvents and EventsPerSec report live host-time throughput (0 when
+	// perf accounting is disabled or the job has not started).
+	SimEvents    int64   `json:"sim_events,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// WriteClasses maps write class → simulated rows written, accumulated
+	// at each simulation completion inside the job.
+	WriteClasses map[string]uint64 `json:"write_classes,omitempty"`
+	// StreamDropped counts this job's SSE events lost to slow subscribers.
+	StreamDropped uint64 `json:"stream_dropped,omitempty"`
 }
 
-// Progress snapshots the job's completion gauge.
+// Progress snapshots the job's completion gauge and live perf counters.
 func (j *Job) Progress() ProgressView {
 	v := ProgressView{
 		ID:    j.id,
@@ -226,7 +295,25 @@ func (j *Job) Progress() ProgressView {
 	if v.Total > 0 {
 		v.Fraction = float64(v.Done) / float64(v.Total)
 	}
+	if span := j.span.Load(); span != nil {
+		v.SimEvents = span.LiveEvents()
+		v.EventsPerSec, _ = perfmon.Rates(v.SimEvents, span.Elapsed())
+	}
+	v.WriteClasses = j.classCounts()
+	if j.hub != nil {
+		v.StreamDropped = j.hub.droppedCount()
+	}
 	return v
+}
+
+// PerfView is the perf block of a terminal job's status: the span's
+// host-time record plus the per-job counters the satellite feeds surface.
+type PerfView struct {
+	perfmon.JobRecord
+	// WriteClasses maps write class → simulated rows written by this job.
+	WriteClasses map[string]uint64 `json:"write_classes,omitempty"`
+	// StreamDropped counts SSE events this job's subscribers lost.
+	StreamDropped uint64 `json:"stream_dropped,omitempty"`
 }
 
 // JobView is the JSON shape of a job's status.
@@ -245,12 +332,14 @@ type JobView struct {
 	FinishedAt  string `json:"finished_at,omitempty"`
 	// DurationMs is the run's wall time (running jobs: elapsed so far).
 	DurationMs int64 `json:"duration_ms,omitempty"`
+	// Perf is the job's host-time accounting, present once it finished
+	// running with perf accounting enabled.
+	Perf *PerfView `json:"perf,omitempty"`
 }
 
 // View snapshots the job for serialization.
 func (j *Job) View() JobView {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	v := JobView{
 		ID:          j.id,
 		Experiment:  j.exp.Name,
@@ -274,6 +363,18 @@ func (j *Job) View() JobView {
 	}
 	if !j.finished.IsZero() {
 		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.perf != nil {
+		pv := &PerfView{JobRecord: *j.perf}
+		v.Perf = pv
+	}
+	j.mu.Unlock()
+	// The per-job atomics live outside j.mu; fill them in after releasing it.
+	if v.Perf != nil {
+		v.Perf.WriteClasses = j.classCounts()
+		if j.hub != nil {
+			v.Perf.StreamDropped = j.hub.droppedCount()
+		}
 	}
 	return v
 }

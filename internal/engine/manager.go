@@ -11,6 +11,8 @@ import (
 	"sync"
 	"time"
 
+	"womcpcm/internal/perfmon"
+	"womcpcm/internal/probe"
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sim"
 	"womcpcm/internal/telemetry"
@@ -46,6 +48,28 @@ type Config struct {
 	// Logger receives structured job lifecycle logs (queued, started,
 	// finished) with request ids; nil discards them.
 	Logger *slog.Logger
+	// DisablePerf turns off per-job host-time accounting. The disabled path
+	// is the probe contract: a nil span, one pointer check per site, no
+	// allocations (see perfmon's BenchmarkSpanDisabled).
+	DisablePerf bool
+	// Profiles, when set, enables automatic slow-job profiling: a monitor
+	// goroutine samples running jobs' rolling events/sec and captures
+	// CPU+heap pprof profiles into this store when a job falls below
+	// SlowFraction of the fleet median or crosses DeadlineFraction of its
+	// timeout. nil disables the monitor entirely.
+	Profiles *perfmon.ProfileStore
+	// SlowFraction triggers a capture when a job's rolling rate drops below
+	// this fraction of the fleet median (default 0.25). Needs at least two
+	// running jobs — a median of one is the job itself.
+	SlowFraction float64
+	// DeadlineFraction triggers a capture when a job with a timeout has
+	// consumed this fraction of it (default 0.9) — about to be killed is
+	// the last chance to see why it was slow.
+	DeadlineFraction float64
+	// MonitorInterval spaces monitor passes (default 15s).
+	MonitorInterval time.Duration
+	// ProfileCPUDuration is how long a capture samples CPU (default 500ms).
+	ProfileCPUDuration time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +84,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.SlowFraction <= 0 {
+		c.SlowFraction = 0.25
+	}
+	if c.DeadlineFraction <= 0 {
+		c.DeadlineFraction = 0.9
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 15 * time.Second
 	}
 	return c
 }
@@ -97,6 +130,11 @@ type Manager struct {
 	// concurrent submissions share a single execution.
 	inflight map[string]*flight
 
+	// monStop/monDone bracket the slow-job monitor goroutine's lifetime;
+	// both nil when cfg.Profiles is nil.
+	monStop chan struct{}
+	monDone chan struct{}
+
 	wg sync.WaitGroup
 }
 
@@ -127,6 +165,11 @@ func New(cfg Config) *Manager {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	if cfg.Profiles != nil {
+		m.monStop = make(chan struct{})
+		m.monDone = make(chan struct{})
+		go m.monitor()
+	}
 	return m
 }
 
@@ -138,6 +181,9 @@ func (m *Manager) Traces() *TraceStore { return m.traces }
 
 // Store exposes the result store; nil when caching is off.
 func (m *Manager) Store() *resultstore.Store { return m.store }
+
+// Profiles exposes the slow-job profile store; nil when profiling is off.
+func (m *Manager) Profiles() *perfmon.ProfileStore { return m.cfg.Profiles }
 
 // Submit validates the request, resolves its trace reference, and enqueues
 // a job. A full queue or a draining manager rejects immediately —
@@ -319,8 +365,14 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	if !m.draining {
 		m.draining = true
 		close(m.queue) // safe: submitters enqueue under m.mu and check draining
+		if m.monStop != nil {
+			close(m.monStop)
+		}
 	}
 	m.mu.Unlock()
+	if m.monDone != nil {
+		<-m.monDone
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -369,13 +421,27 @@ func (m *Manager) runJob(job *Job) {
 		return
 	}
 	m.metrics.Running.Add(1)
+	m.metrics.ObserveQueueWait(time.Since(job.submittedAt()))
 	m.log.Info("job started", "job", job.id, "experiment", job.exp.Name,
 		"request_id", job.reqID)
+	// Host-time accounting brackets the run. A nil span (DisablePerf) makes
+	// every perf touchpoint below a single pointer check — the probe
+	// contract, pinned by perfmon's BenchmarkSpanDisabled.
+	var span *perfmon.Span
+	if !m.cfg.DisablePerf {
+		span = perfmon.Begin()
+		job.span.Store(span)
+	}
 	start := time.Now()
 	res, err := job.exp.Run(m.jobContext(ctx, job), job.params)
 	m.metrics.Running.Add(-1)
 	wall := time.Since(start)
 	m.metrics.ObserveWall(job.exp.Name, wall)
+	if span != nil {
+		rec := span.End()
+		job.setPerf(rec)
+		m.metrics.ObservePerf(job.exp.Name, rec)
+	}
 	switch {
 	case err == nil:
 		m.metrics.Completed.Add(1)
@@ -409,8 +475,10 @@ func (m *Manager) runJob(job *Job) {
 
 // jobContext decorates a running job's context with the live feeds: the
 // monotone progress gauge plus stream events (sim.WithProgress), windowed
-// telemetry for stream subscribers (sim.WithTelemetry), and write-class
-// accounting into the service metrics (sim.WithClassCounts).
+// telemetry for stream subscribers (sim.WithTelemetry), write-class
+// accounting into both the service metrics and the job's own counters
+// (sim.WithClassCounts), and the live event counter the perf span and the
+// slow-job monitor read (sim.WithSimEvents).
 func (m *Manager) jobContext(ctx context.Context, job *Job) context.Context {
 	ctx = sim.WithProgress(ctx, job.reportProgress)
 	if hub := job.hub; hub != nil {
@@ -418,7 +486,13 @@ func (m *Manager) jobContext(ctx context.Context, job *Job) context.Context {
 			hub.publish("window", streamWindow{Arch: arch, Window: w})
 		}, 0)
 	}
-	ctx = sim.WithClassCounts(ctx, m.metrics.AddWriteClasses)
+	ctx = sim.WithClassCounts(ctx, func(counts [probe.NumWriteKinds]uint64) {
+		m.metrics.AddWriteClasses(counts)
+		job.addClassCounts(counts)
+	})
+	if span := job.span.Load(); span != nil {
+		ctx = sim.WithSimEvents(ctx, span.Events())
+	}
 	return ctx
 }
 

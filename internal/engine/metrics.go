@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"womcpcm/internal/perfmon"
 	"womcpcm/internal/probe"
 	"womcpcm/internal/stats"
 )
@@ -31,6 +32,10 @@ type Metrics struct {
 	// WriteClasses counts simulated row writes by probe write kind across
 	// every executed job (fed per-simulation via sim.WithClassCounts).
 	WriteClasses [probe.NumWriteKinds]atomic.Uint64
+	// SimEvents counts simulator event-loop steps across every executed
+	// job; ProfilesCaptured counts slow-job pprof captures.
+	SimEvents        atomic.Uint64
+	ProfilesCaptured atomic.Uint64
 	// StreamDropped counts SSE events lost to full subscriber buffers;
 	// StreamClients gauges connected stream subscribers.
 	StreamDropped atomic.Uint64
@@ -41,13 +46,25 @@ type Metrics struct {
 
 	start time.Time // process start, for the uptime gauge
 
-	mu   sync.Mutex
-	wall map[string]*stats.Latency // experiment → wall-time histogram
+	mu        sync.Mutex
+	wall      map[string]*stats.Latency // experiment → wall-time histogram
+	queueWait stats.Latency             // admission → worker-start latency
+	// Per-experiment host-time distributions (internal/perfmon records):
+	// events/sec, CPU nanoseconds, allocated bytes.
+	perfEvents map[string]*stats.Latency
+	perfCPU    map[string]*stats.Latency
+	perfAlloc  map[string]*stats.Latency
 }
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
-	return &Metrics{start: time.Now(), wall: make(map[string]*stats.Latency)}
+	return &Metrics{
+		start:      time.Now(),
+		wall:       make(map[string]*stats.Latency),
+		perfEvents: make(map[string]*stats.Latency),
+		perfCPU:    make(map[string]*stats.Latency),
+		perfAlloc:  make(map[string]*stats.Latency),
+	}
 }
 
 // Uptime reports the time since the metrics set was created — in practice,
@@ -74,6 +91,52 @@ func (m *Metrics) ObserveWall(experiment string, d time.Duration) {
 		m.wall[experiment] = l
 	}
 	l.Observe(d.Nanoseconds())
+}
+
+// ObserveQueueWait records one job's admission→worker-start latency.
+func (m *Metrics) ObserveQueueWait(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueWait.Observe(d.Nanoseconds())
+}
+
+// QueueWaitSnapshot exports the queue-wait histogram.
+func (m *Metrics) QueueWaitSnapshot() stats.LatencySnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queueWait.Snapshot()
+}
+
+// ObservePerf folds one finished job's host-time record into the
+// per-experiment distributions and the event counter.
+func (m *Metrics) ObservePerf(experiment string, rec perfmon.JobRecord) {
+	if rec.SimEvents > 0 {
+		m.SimEvents.Add(uint64(rec.SimEvents))
+	}
+	observe := func(hists map[string]*stats.Latency, v int64) {
+		l := hists[experiment]
+		if l == nil {
+			l = &stats.Latency{}
+			hists[experiment] = l
+		}
+		l.Observe(v)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	observe(m.perfEvents, int64(rec.EventsPerSec))
+	observe(m.perfCPU, rec.CPUNs)
+	observe(m.perfAlloc, int64(rec.AllocBytes))
+}
+
+// perfSnapshot exports one per-experiment perf histogram family.
+func (m *Metrics) perfSnapshot(hists map[string]*stats.Latency) map[string]stats.LatencySnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]stats.LatencySnapshot, len(hists))
+	for exp, l := range hists {
+		out[exp] = l.Snapshot()
+	}
+	return out
 }
 
 // WallSnapshot exports the per-experiment wall-time histograms.
@@ -109,6 +172,14 @@ type Snapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 
 	WallNs map[string]stats.LatencySnapshot `json:"job_wall_ns"`
+
+	// Host-time perf aggregates (internal/perfmon).
+	SimEventsTotal   uint64                           `json:"sim_events_total"`
+	ProfilesCaptured uint64                           `json:"profiles_captured_total"`
+	QueueWaitNs      stats.LatencySnapshot            `json:"job_queue_wait_ns"`
+	EventsPerSec     map[string]stats.LatencySnapshot `json:"job_events_per_sec"`
+	CPUNs            map[string]stats.LatencySnapshot `json:"job_cpu_ns"`
+	AllocBytes       map[string]stats.LatencySnapshot `json:"job_alloc_bytes"`
 }
 
 // Snapshot captures every counter and histogram at once.
@@ -134,6 +205,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		StreamClients: m.StreamClients.Load(),
 		UptimeSeconds: m.Uptime().Seconds(),
 		WallNs:        m.WallSnapshot(),
+
+		SimEventsTotal:   m.SimEvents.Load(),
+		ProfilesCaptured: m.ProfilesCaptured.Load(),
+		QueueWaitNs:      m.QueueWaitSnapshot(),
+		EventsPerSec:     m.perfSnapshot(m.perfEvents),
+		CPUNs:            m.perfSnapshot(m.perfCPU),
+		AllocBytes:       m.perfSnapshot(m.perfAlloc),
 	}
 }
 
@@ -170,22 +248,61 @@ func (m *Metrics) WriteProm(w io.Writer) {
 		"# TYPE womd_build_info gauge\nwomd_build_info{go_version=%q,revision=%q} 1\n",
 		goVersion, revision)
 
-	walls := m.WallSnapshot()
-	exps := make([]string, 0, len(walls))
-	for exp := range walls {
+	counter("womd_job_sim_events_total", "Simulator event-loop steps across executed jobs.", m.SimEvents.Load())
+	counter("womd_profiles_captured_total", "Slow-job pprof captures.", m.ProfilesCaptured.Load())
+
+	writeExpHistogram(w, "womd_job_wall_seconds", "Per-experiment job wall time.", m.WallSnapshot(), 1e-9)
+	writeExpHistogram(w, "womd_job_events_per_second", "Per-experiment simulated-events/sec per job.",
+		m.perfSnapshot(m.perfEvents), 1)
+	writeExpHistogram(w, "womd_job_cpu_seconds", "Per-experiment process CPU time per job.",
+		m.perfSnapshot(m.perfCPU), 1e-9)
+	writeExpHistogram(w, "womd_job_alloc_bytes", "Per-experiment heap bytes allocated per job.",
+		m.perfSnapshot(m.perfAlloc), 1)
+	if qw := m.QueueWaitSnapshot(); qw.Count > 0 {
+		writeHistogramSeries(w, "womd_job_queue_wait_seconds",
+			"Job latency from admission to worker start.", "", qw, 1e-9, true)
+	}
+}
+
+// writeExpHistogram renders one per-experiment histogram family, scaling
+// log2-bucket upper bounds by scale (1e-9 turns nanoseconds into seconds).
+// The HELP/TYPE header is emitted only when at least one series has
+// samples: a TYPE line with no samples trips exposition-format checkers.
+func writeExpHistogram(w io.Writer, name, help string, snaps map[string]stats.LatencySnapshot, scale float64) {
+	exps := make([]string, 0, len(snaps))
+	for exp := range snaps {
 		exps = append(exps, exp)
 	}
 	sort.Strings(exps)
-	const name = "womd_job_wall_seconds"
-	fmt.Fprintf(w, "# HELP %s Per-experiment job wall time.\n# TYPE %s histogram\n", name, name)
+	header := false
 	for _, exp := range exps {
-		s := walls[exp]
-		for _, b := range s.Buckets {
-			fmt.Fprintf(w, "%s_bucket{experiment=%q,le=\"%g\"} %d\n",
-				name, exp, float64(b.UpperNs)/1e9, b.Count)
-		}
-		fmt.Fprintf(w, "%s_bucket{experiment=%q,le=\"+Inf\"} %d\n", name, exp, s.Count)
-		fmt.Fprintf(w, "%s_sum{experiment=%q} %g\n", name, exp, float64(s.SumNs)/1e9)
-		fmt.Fprintf(w, "%s_count{experiment=%q} %d\n", name, exp, s.Count)
+		writeHistogramSeries(w, name, help, exp, snaps[exp], scale, !header)
+		header = true
 	}
+}
+
+// writeHistogramSeries renders one histogram series; exp == "" renders an
+// unlabeled series. withHeader emits the HELP/TYPE comment first.
+func writeHistogramSeries(w io.Writer, name, help, exp string, s stats.LatencySnapshot, scale float64, withHeader bool) {
+	if withHeader {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	label := func(le string) string {
+		if exp == "" {
+			if le == "" {
+				return ""
+			}
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		if le == "" {
+			return fmt.Sprintf("{experiment=%q}", exp)
+		}
+		return fmt.Sprintf("{experiment=%q,le=%q}", exp, le)
+	}
+	for _, b := range s.Buckets {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, label(fmt.Sprintf("%g", float64(b.UpperNs)*scale)), b.Count)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, label("+Inf"), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, label(""), float64(s.SumNs)*scale)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, label(""), s.Count)
 }

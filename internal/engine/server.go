@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -12,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"womcpcm/internal/perfmon"
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sim"
 )
@@ -25,6 +27,8 @@ import (
 //	GET    /v1/jobs/{id}/result result of a succeeded job (202 while pending)
 //	GET    /v1/jobs/{id}/progress records processed / total (replay jobs)
 //	GET    /v1/jobs/{id}/stream   live SSE: telemetry windows + progress
+//	GET    /v1/jobs/{id}/profiles        pprof captures for a slow job
+//	GET    /v1/jobs/{id}/profiles/{file} one capture, pprof binary body
 //	DELETE /v1/jobs/{id}        cancel a pending job / delete a finished one
 //	POST   /v1/traces           upload a trace (binary or text body)
 //	GET    /v1/traces           list uploads
@@ -45,6 +49,7 @@ type Server struct {
 	log       *slog.Logger
 	debug     bool
 	heartbeat time.Duration
+	poller    *perfmon.Poller
 }
 
 // ServerOption configures NewServer.
@@ -78,6 +83,13 @@ func WithHeartbeat(d time.Duration) ServerOption {
 	}
 }
 
+// WithRuntimeMetrics appends p's womd_runtime_* families (GC pauses, heap
+// in-use, goroutines, scheduler latency) to GET /metrics. The caller owns
+// the poller's lifecycle — Start it before serving, Stop it on shutdown.
+func WithRuntimeMetrics(p *perfmon.Poller) ServerOption {
+	return func(s *Server) { s.poller = p }
+}
+
 // NewServer wires the routes over m.
 func NewServer(m *Manager, opts ...ServerOption) *Server {
 	s := &Server{m: m, mux: http.NewServeMux(), log: slog.New(slog.DiscardHandler),
@@ -91,6 +103,8 @@ func NewServer(m *Manager, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.getResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.getProgress)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.streamJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/profiles", s.listProfiles)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/profiles/{file}", s.getProfile)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.deleteJob)
 	s.mux.HandleFunc("POST /v1/traces", s.uploadTrace)
 	s.mux.HandleFunc("GET /v1/traces", s.listTraces)
@@ -221,7 +235,7 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusInsufficientStorage
 	case errors.Is(err, ErrNotFound), errors.Is(err, resultstore.ErrNoBaseline):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrNoStore):
+	case errors.Is(err, ErrNoStore), errors.Is(err, ErrNoProfiles):
 		status = http.StatusNotImplemented
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
@@ -295,6 +309,59 @@ func (s *Server) getProgress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Progress())
+}
+
+// ErrNoProfiles rejects profile routes when womd runs without -profile-dir.
+var ErrNoProfiles = errors.New("engine: slow-job profiling not configured (start womd with -profile-dir)")
+
+// requireProfiles resolves the profile store or reports ErrNoProfiles.
+func (s *Server) requireProfiles(w http.ResponseWriter) *perfmon.ProfileStore {
+	ps := s.m.Profiles()
+	if ps == nil {
+		writeError(w, ErrNoProfiles)
+		return nil
+	}
+	return ps
+}
+
+// listProfiles serves GET /v1/jobs/{id}/profiles: every pprof capture the
+// slow-job monitor took for this job, newest first.
+func (s *Server) listProfiles(w http.ResponseWriter, r *http.Request) {
+	ps := s.requireProfiles(w)
+	if ps == nil {
+		return
+	}
+	id := r.PathValue("id")
+	if _, ok := s.m.Get(id); !ok {
+		writeError(w, fmt.Errorf("%w: job %q", ErrNotFound, id))
+		return
+	}
+	caps := ps.List(id)
+	perfmon.SortCapturesByTime(caps)
+	writeJSON(w, http.StatusOK, map[string]any{"job": id, "profiles": caps})
+}
+
+// getProfile serves one capture's pprof body; the file name comes from the
+// listing and only store-registered names resolve (no path traversal).
+func (s *Server) getProfile(w http.ResponseWriter, r *http.Request) {
+	ps := s.requireProfiles(w)
+	if ps == nil {
+		return
+	}
+	id, file := r.PathValue("id"), r.PathValue("file")
+	if _, ok := s.m.Get(id); !ok {
+		writeError(w, fmt.Errorf("%w: job %q", ErrNotFound, id))
+		return
+	}
+	f, err := ps.Open(file)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: profile %q", ErrNotFound, file))
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", file))
+	io.Copy(w, f) //nolint:errcheck // client gone mid-download
 }
 
 // deleteJob cancels a pending job; a terminal job is removed instead.
@@ -500,6 +567,9 @@ func (s *Server) promMetrics(w http.ResponseWriter, _ *http.Request) {
 		for i, p := range progress {
 			fmt.Fprintf(w, "womd_job_progress{job=%q,experiment=%q} %g\n", p.ID, exps[i], p.Fraction)
 		}
+	}
+	if s.poller != nil {
+		s.poller.WriteProm(w)
 	}
 }
 

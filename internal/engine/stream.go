@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"womcpcm/internal/telemetry"
@@ -42,6 +43,10 @@ type streamSub struct {
 // full loses the event, with the loss counted in metrics.
 type streamHub struct {
 	metrics *Metrics
+	// dropped counts this hub's lost events — the per-job view of
+	// womd_stream_dropped_total, surfaced in progress snapshots and the
+	// job's perf block.
+	dropped atomic.Uint64
 
 	mu     sync.Mutex
 	subs   map[*streamSub]struct{}
@@ -71,8 +76,18 @@ func (h *streamHub) publish(name string, v any) {
 		case sub.ch <- ev:
 		default:
 			h.metrics.StreamDropped.Add(1)
+			h.dropped.Add(1)
 		}
 	}
+}
+
+// droppedCount reports this hub's lost events; nil-safe (cache-hit jobs
+// have no hub).
+func (h *streamHub) droppedCount() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.dropped.Load()
 }
 
 // subscribe registers a new bounded feed. The returned cancel is idempotent

@@ -18,6 +18,7 @@ package memctrl
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"womcpcm/internal/pcm"
 	"womcpcm/internal/probe"
@@ -187,6 +188,16 @@ type Config struct {
 	// Same contract as Probe: nil costs one pointer check per completion,
 	// and the hook runs on the controller's goroutine.
 	Latency LatencyHook
+	// Events, when set, receives a live count of discrete-event steps the
+	// controller executes: the shared counter is advanced in strides of
+	// eventFlushStride (plus a final flush), so a long simulation's host-time
+	// throughput (simulated-events/sec) is observable while it runs —
+	// internal/perfmon's rolling rate and the engine's slow-job detector read
+	// it. Several parallel simulations may share one counter (Add is atomic).
+	// nil — the default — costs one pointer check per flush decision and
+	// allocates nothing (see TestEventCountDisabledAllocs and
+	// BenchmarkRunEventCounter).
+	Events *atomic.Int64
 }
 
 // LatencyHook observes a completed demand request at simulated time now.

@@ -143,6 +143,9 @@ type Controller struct {
 	// latency observes completed demand requests; nil (the default) costs
 	// one pointer check per completion.
 	latency LatencyHook
+	// evLocal accumulates event-loop steps between flushes to the shared
+	// cfg.Events counter; see countEvent.
+	evLocal int64
 }
 
 // New builds a controller; the config must validate.
@@ -215,11 +218,16 @@ func (c *Controller) Run(src trace.Source) (*stats.Run, error) {
 				}
 			}
 		case haveEv:
+			c.countEvent()
 			ev := c.popEvent()
 			c.lastTime = ev.time
 			c.handle(ev)
 		default:
 			c.run.SimulatedNs = c.lastTime
+			if c.cfg.Events != nil && c.evLocal > 0 {
+				c.cfg.Events.Add(c.evLocal)
+				c.evLocal = 0
+			}
 			return c.run, nil
 		}
 	}
@@ -232,8 +240,30 @@ func (c *Controller) refreshEnabled() bool {
 	return c.cfg.Cache != nil && c.cfg.Cache.Technology == WOMCache
 }
 
+// eventFlushStride bounds how often the shared Events counter is touched:
+// steps accumulate locally and flush every stride (plus once at Run's end),
+// so the live-rate feed costs one atomic add per stride instead of per step.
+const eventFlushStride = 1024
+
+// countEvent accounts one event-loop step — an arrival or a handled event —
+// in the run statistics and, when a live counter is configured, toward the
+// next stride flush. The disabled path is one field increment and one nil
+// check, allocation-free.
+func (c *Controller) countEvent() {
+	c.run.Events++
+	if c.cfg.Events == nil {
+		return
+	}
+	c.evLocal++
+	if c.evLocal >= eventFlushStride {
+		c.cfg.Events.Add(c.evLocal)
+		c.evLocal = 0
+	}
+}
+
 // arrive admits one trace record.
 func (c *Controller) arrive(rec trace.Record) {
+	c.countEvent()
 	c.lastTime = rec.Time
 	req := &Request{
 		ID:     c.reqID,

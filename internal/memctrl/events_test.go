@@ -1,0 +1,121 @@
+package memctrl
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/trace"
+)
+
+// eventTestConfig is the PCM-refresh architecture over a small geometry —
+// the configuration with the richest event mix (arrivals, service
+// completions, refresh ticks, refresh completions).
+func eventTestConfig(g pcm.Geometry) Config {
+	return Config{
+		Geometry: g,
+		Timing:   pcm.DefaultTiming(),
+		WOM:      DefaultWOM(),
+		Refresh:  DefaultRefresh(),
+	}
+}
+
+// TestEventCountTotalsMatchRun checks the live counter's final total equals
+// the run's Events field: every stride flush plus the terminal flush must
+// account for every event-loop step.
+func TestEventCountTotalsMatchRun(t *testing.T) {
+	g := pcm.Geometry{Ranks: 2, BanksPerRank: 4, RowsPerBank: 64, ColsPerRow: 16, BitsPerCol: 8, Devices: 8}
+	cfg := eventTestConfig(g)
+	var live atomic.Int64
+	cfg.Events = &live
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := c.Run(trace.NewSliceSource(benchRecords(g, 5000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Events == 0 {
+		t.Fatal("run recorded zero events")
+	}
+	if run.Events < 5000 {
+		t.Errorf("run.Events = %d, want at least one event per request (5000)", run.Events)
+	}
+	if got := uint64(live.Load()); got != run.Events {
+		t.Errorf("live counter = %d, run.Events = %d", got, run.Events)
+	}
+}
+
+// TestEventCountDeterministic pins that the event count is a function of the
+// trace and configuration alone, so it is a stable denominator for
+// events/sec comparisons across runs and machines.
+func TestEventCountDeterministic(t *testing.T) {
+	g := pcm.Geometry{Ranks: 2, BanksPerRank: 4, RowsPerBank: 64, ColsPerRow: 16, BitsPerCol: 8, Devices: 8}
+	recs := benchRecords(g, 3000)
+	var totals [2]uint64
+	for i := range totals {
+		c, err := New(eventTestConfig(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := c.Run(trace.NewSliceSource(recs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals[i] = run.Events
+	}
+	if totals[0] != totals[1] {
+		t.Errorf("event count not deterministic: %d vs %d", totals[0], totals[1])
+	}
+}
+
+// TestEventCountDisabledAllocs pins the disabled path's allocation contract:
+// attaching a live counter must not change how many allocations a run
+// performs, and the nil path must match it — the counter feed is stride
+// batched and allocation free either way.
+func TestEventCountDisabledAllocs(t *testing.T) {
+	g := pcm.Geometry{Ranks: 2, BanksPerRank: 4, RowsPerBank: 32, ColsPerRow: 16, BitsPerCol: 8, Devices: 8}
+	recs := benchRecords(g, 2000)
+	measure := func(events *atomic.Int64) float64 {
+		return testing.AllocsPerRun(3, func() {
+			cfg := eventTestConfig(g)
+			cfg.Events = events
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Run(trace.NewSliceSource(recs)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	var live atomic.Int64
+	nilAllocs := measure(nil)
+	liveAllocs := measure(&live)
+	if nilAllocs != liveAllocs {
+		t.Errorf("allocation count changed with live event counter: nil=%v live=%v", nilAllocs, liveAllocs)
+	}
+}
+
+// BenchmarkRunEventCounter measures Controller.Run with a live event counter
+// attached; compare against BenchmarkRunNilProbe (the nil-everything
+// baseline) to see the stride-batched atomic feed's cost.
+func BenchmarkRunEventCounter(b *testing.B) {
+	g := pcm.Geometry{Ranks: 2, BanksPerRank: 4, RowsPerBank: 64, ColsPerRow: 16, BitsPerCol: 8, Devices: 8}
+	recs := benchRecords(g, 20000)
+	var live atomic.Int64
+	cfg := eventTestConfig(g)
+	cfg.Events = &live
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(trace.NewSliceSource(recs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package perfmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"womcpcm/internal/core"
+	"womcpcm/internal/pcm"
+	"womcpcm/internal/resultstore"
+	"womcpcm/internal/sim"
+	"womcpcm/internal/trace"
+	"womcpcm/internal/workload"
+)
+
+// BenchSchema versions the BENCH_<n>.json shape. Bump it whenever entry
+// fields change — `womtool bench -compare` refuses to diff across schemas.
+const BenchSchema = "womcpcm-bench-v1"
+
+// Bench tiers and their per-configuration request budgets.
+const (
+	TierShort        = "short"
+	TierFull         = "full"
+	ShortRequests    = 20000
+	FullRequests     = 200000
+	defaultBenchSeed = 1
+)
+
+// DefaultBenchWorkloads is the fixed representative matrix: one write-heavy
+// SPEC benchmark, a balanced and a read-heavy MiBench workload, and a
+// SPLASH-2 scientific kernel — small enough to run in CI, diverse enough
+// that a throughput regression in any write class shows up.
+func DefaultBenchWorkloads() []string {
+	return []string{"464.h264ref", "ocean", "qsort", "stringsearch"}
+}
+
+// BenchConfig parameterizes RunBench. The zero value selects the short tier
+// over the default matrix.
+type BenchConfig struct {
+	// Tier is TierShort (default) or TierFull.
+	Tier string
+	// Requests overrides the tier's per-configuration request budget.
+	Requests int
+	// Seed makes the trace streams reproducible (default 1).
+	Seed int64
+	// Workloads overrides DefaultBenchWorkloads (names from
+	// internal/workload).
+	Workloads []string
+}
+
+func (c BenchConfig) normalize() (BenchConfig, error) {
+	switch c.Tier {
+	case "":
+		c.Tier = TierShort
+	case TierShort, TierFull:
+	default:
+		return c, fmt.Errorf("perfmon: unknown bench tier %q (want %s or %s)", c.Tier, TierShort, TierFull)
+	}
+	if c.Requests <= 0 {
+		if c.Tier == TierFull {
+			c.Requests = FullRequests
+		} else {
+			c.Requests = ShortRequests
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = defaultBenchSeed
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = DefaultBenchWorkloads()
+	}
+	return c, nil
+}
+
+// BenchEntry is one (workload, architecture) cell of the matrix: host-time
+// throughput plus the sim-side IPC-proxy metrics that contextualize it.
+// No field is omitempty — the flattened metric shape must be identical
+// across entries and runs, or -compare would report shape drift.
+type BenchEntry struct {
+	Workload string `json:"workload"`
+	Arch     string `json:"arch"`
+	Requests int    `json:"requests"`
+
+	// Host-time metrics.
+	WallNs         int64   `json:"wall_ns"`
+	SimEvents      int64   `json:"sim_events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocBytes     uint64  `json:"alloc_bytes"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	CPUNs          int64   `json:"cpu_ns"`
+
+	// Sim-side IPC-proxy metrics: how much simulated work the trace
+	// represents and how the architecture served it.
+	SimulatedNs   int64   `json:"simulated_ns"`
+	ReqPerSimMs   float64 `json:"req_per_sim_ms"`
+	MeanReadNs    float64 `json:"mean_read_ns"`
+	MeanWriteNs   float64 `json:"mean_write_ns"`
+	AlphaFraction float64 `json:"alpha_fraction"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+}
+
+// BenchReport is the BENCH_<n>.json document.
+type BenchReport struct {
+	Schema     string       `json:"schema"`
+	Tier       string       `json:"tier"`
+	Requests   int          `json:"requests"`
+	Seed       int64        `json:"seed"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	CreatedAt  time.Time    `json:"created_at"`
+	Entries    []BenchEntry `json:"entries"`
+}
+
+// RunBench executes the matrix serially — parallel cells would contend for
+// cores and pollute each other's throughput numbers — in deterministic
+// order: workloads sorted by name, architectures in core.Arches() order.
+func RunBench(cfg BenchConfig) (*BenchReport, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	names := append([]string(nil), cfg.Workloads...)
+	sort.Strings(names)
+	profiles := make([]workload.Profile, len(names))
+	for i, name := range names {
+		p, err := workload.ProfileByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("perfmon: bench workload: %w", err)
+		}
+		profiles[i] = p
+	}
+	g := pcm.DefaultGeometry()
+	rep := &BenchReport{
+		Schema:     BenchSchema,
+		Tier:       cfg.Tier,
+		Requests:   cfg.Requests,
+		Seed:       cfg.Seed,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CreatedAt:  time.Now().UTC(),
+	}
+	for _, p := range profiles {
+		for _, arch := range core.Arches() {
+			entry, err := benchCell(arch, p, g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep.Entries = append(rep.Entries, entry)
+		}
+	}
+	return rep, nil
+}
+
+// benchCell runs one (workload, architecture) configuration under a Span.
+func benchCell(arch core.Arch, p workload.Profile, g pcm.Geometry, cfg BenchConfig) (BenchEntry, error) {
+	gen, err := workload.NewGenerator(p, g, cfg.Seed)
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	span := Begin()
+	opts := core.DefaultOptions()
+	opts.Geometry = g
+	opts.Events = span.Events()
+	sys, err := core.NewSystem(arch, opts)
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	run, err := sys.Simulate(trace.NewLimit(gen, cfg.Requests))
+	if err != nil {
+		return BenchEntry{}, fmt.Errorf("perfmon: bench %s on %s: %w", arch, p.Name, err)
+	}
+	rec := span.End()
+	e := BenchEntry{
+		Workload:      p.Name,
+		Arch:          arch.String(),
+		Requests:      cfg.Requests,
+		WallNs:        rec.WallNs,
+		SimEvents:     rec.SimEvents,
+		EventsPerSec:  rec.EventsPerSec,
+		NsPerEvent:    rec.NsPerEvent,
+		AllocBytes:    rec.AllocBytes,
+		CPUNs:         rec.CPUNs,
+		SimulatedNs:   run.SimulatedNs,
+		MeanReadNs:    run.ReadLatency.Mean(),
+		MeanWriteNs:   run.WriteLatency.Mean(),
+		AlphaFraction: run.AlphaFraction(),
+		CacheHitRate:  run.CacheHitRate(),
+	}
+	if rec.SimEvents > 0 {
+		e.AllocsPerEvent = float64(rec.AllocObjects) / float64(rec.SimEvents)
+	}
+	if run.SimulatedNs > 0 {
+		e.ReqPerSimMs = float64(cfg.Requests) / (float64(run.SimulatedNs) / 1e6)
+	}
+	return e, nil
+}
+
+// hostTimePaths are the flattened BenchEntry fields that measure the host,
+// not the simulation. Only these are compared — the sim-side fields are
+// deterministic replays already covered by the resultstore regress flow,
+// and including them would make every intentional simulator change a bench
+// "regression" too.
+var hostTimePaths = map[string]bool{
+	"wall_ns":          true,
+	"events_per_sec":   true,
+	"ns_per_event":     true,
+	"alloc_bytes":      true,
+	"allocs_per_event": true,
+}
+
+// CompareBench diffs current against a pinned baseline report through the
+// resultstore regression machinery: each (workload, arch) cell is an entry
+// keyed "workload/arch", host-time metrics must agree within the relative
+// tolerance, and a cell or metric that appears or vanishes is shape drift.
+// Sim-side metrics ride along in the report but are excluded from the
+// comparison (see hostTimePaths).
+func CompareBench(baseline, current *BenchReport, tol float64) (*resultstore.Comparison, error) {
+	if baseline.Schema != current.Schema {
+		return nil, fmt.Errorf("perfmon: bench schema mismatch: baseline %q vs current %q", baseline.Schema, current.Schema)
+	}
+	if baseline.Tier != current.Tier {
+		return nil, fmt.Errorf("perfmon: bench tier mismatch: baseline %q vs current %q", baseline.Tier, current.Tier)
+	}
+	base := &resultstore.Baseline{
+		Name:        "bench",
+		Schema:      baseline.Schema,
+		CreatedAt:   baseline.CreatedAt,
+		Metrics:     make(map[string]map[string]float64, len(baseline.Entries)),
+		Experiments: make(map[string]string, len(baseline.Entries)),
+	}
+	for _, e := range baseline.Entries {
+		m, err := benchEntryMetrics(e)
+		if err != nil {
+			return nil, err
+		}
+		key := e.Workload + "/" + e.Arch
+		base.Metrics[key] = m
+		base.Experiments[key] = "bench"
+	}
+	entries := make([]*resultstore.Entry, 0, len(current.Entries))
+	for _, e := range current.Entries {
+		m, err := benchEntryMetrics(e)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, &resultstore.Entry{
+			Key:        e.Workload + "/" + e.Arch,
+			Experiment: "bench",
+			Schema:     current.Schema,
+			Result:     &sim.Result{Experiment: "bench", Data: m},
+		})
+	}
+	return resultstore.Compare(base, entries, tol)
+}
+
+// benchEntryMetrics flattens one entry to its host-time numeric leaves.
+func benchEntryMetrics(e BenchEntry) (map[string]float64, error) {
+	raw, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("perfmon: flattening bench entry: %w", err)
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("perfmon: flattening bench entry: %w", err)
+	}
+	all := resultstore.Flatten(v)
+	out := make(map[string]float64, len(hostTimePaths))
+	for path, val := range all {
+		if hostTimePaths[path] {
+			out[path] = val
+		}
+	}
+	return out, nil
+}
+
+// WriteBenchReport writes the report as pretty JSON.
+func WriteBenchReport(path string, rep *BenchReport) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perfmon: encoding bench report: %w", err)
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadBenchReport loads a BENCH_<n>.json and validates its schema tag.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perfmon: reading bench report: %w", err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("perfmon: parsing %s: %w", path, err)
+	}
+	if rep.Schema == "" {
+		return nil, fmt.Errorf("perfmon: %s carries no schema tag", path)
+	}
+	return &rep, nil
+}
+
+// NextBenchPath returns dir/BENCH_<n>.json for the smallest n ≥ 1 not
+// already present — the append-only BENCH trajectory.
+func NextBenchPath(dir string) (string, error) {
+	for n := 1; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", fmt.Errorf("perfmon: probing %s: %w", path, err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package perfmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"womcpcm/internal/core"
+)
+
+// testBenchConfig is the smallest matrix that still covers all four
+// architectures.
+func testBenchConfig() BenchConfig {
+	return BenchConfig{Tier: TierShort, Requests: 300, Seed: 7}
+}
+
+// jsonKeyPaths walks a marshaled value and returns its sorted set of key
+// paths, array indices collapsed to "#" — the schema shape, independent of
+// values and entry counts.
+func jsonKeyPaths(t *testing.T, v any) []string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tree any
+	if err := json.Unmarshal(raw, &tree); err != nil {
+		t.Fatal(err)
+	}
+	set := map[string]bool{}
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			for k, e := range x {
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				set[p] = true
+				walk(p, e)
+			}
+		case []any:
+			for _, e := range x {
+				walk(prefix+".#", e)
+			}
+		}
+	}
+	walk("", tree)
+	paths := make([]string, 0, len(set))
+	for p := range set {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// TestBenchReportGoldenSchema pins the BENCH_<n>.json field set against
+// testdata/bench_schema.golden: any shape change must be deliberate (update
+// the golden AND bump BenchSchema).
+func TestBenchReportGoldenSchema(t *testing.T) {
+	rep, err := RunBench(testBenchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchema {
+		t.Errorf("Schema = %q, want %q", rep.Schema, BenchSchema)
+	}
+	got := strings.Join(jsonKeyPaths(t, rep), "\n") + "\n"
+	goldenPath := filepath.Join("testdata", "bench_schema.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file: %v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if got != string(want) {
+		t.Errorf("BENCH schema drifted from golden (bump BenchSchema and regenerate with UPDATE_GOLDEN=1)\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestBenchOrderingDeterministic pins entry order: workloads sorted by
+// name, architectures in core.Arches() order, identical across runs.
+func TestBenchOrderingDeterministic(t *testing.T) {
+	cfg := testBenchConfig()
+	cfg.Requests = 100
+	labels := func(rep *BenchReport) []string {
+		out := make([]string, len(rep.Entries))
+		for i, e := range rep.Entries {
+			out[i] = e.Workload + "/" + e.Arch
+		}
+		return out
+	}
+	a, err := RunBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := labels(a), labels(b)
+	if fmt.Sprint(la) != fmt.Sprint(lb) {
+		t.Errorf("entry order differs across runs:\n%v\n%v", la, lb)
+	}
+	arches := core.Arches()
+	if len(la) != len(DefaultBenchWorkloads())*len(arches) {
+		t.Fatalf("matrix has %d entries, want %d", len(la), len(DefaultBenchWorkloads())*len(arches))
+	}
+	wls := append([]string(nil), DefaultBenchWorkloads()...)
+	sort.Strings(wls)
+	for i, label := range la {
+		want := wls[i/len(arches)] + "/" + arches[i%len(arches)].String()
+		if label != want {
+			t.Errorf("entry %d = %s, want %s", i, label, want)
+		}
+	}
+	// All four architectures appear.
+	seen := map[string]bool{}
+	for _, e := range a.Entries {
+		seen[e.Arch] = true
+	}
+	for _, arch := range arches {
+		if !seen[arch.String()] {
+			t.Errorf("architecture %s missing from matrix", arch)
+		}
+	}
+}
+
+// TestCompareBenchInjectedRegression injects a 10× wall-time regression
+// into one cell and asserts the comparison flags it beyond a 50% band.
+func TestCompareBenchInjectedRegression(t *testing.T) {
+	base, err := RunBench(testBenchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := *base
+	current.Entries = append([]BenchEntry(nil), base.Entries...)
+	current.Entries[0].WallNs *= 10
+	current.Entries[0].EventsPerSec /= 10
+
+	cmp, err := CompareBench(base, &current, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Regressions) == 0 {
+		t.Fatal("injected regression not detected")
+	}
+	key := base.Entries[0].Workload + "/" + base.Entries[0].Arch
+	found := false
+	for _, d := range cmp.Regressions {
+		if d.Key == key && (d.Metric == "wall_ns" || d.Metric == "events_per_sec") {
+			found = true
+		}
+		if !hostTimePaths[d.Metric] {
+			t.Errorf("sim-side metric %s compared as host-time", d.Metric)
+		}
+	}
+	if !found {
+		t.Errorf("regression on %s not attributed: %+v", key, cmp.Regressions)
+	}
+
+	// The same report diffed against itself is clean at any tolerance.
+	clean, err := CompareBench(base, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Regressions) != 0 || len(clean.MissingKeys) != 0 || len(clean.NewKeys) != 0 {
+		t.Errorf("self-comparison not clean: %+v", clean)
+	}
+}
+
+func TestCompareBenchSchemaMismatch(t *testing.T) {
+	a := &BenchReport{Schema: BenchSchema, Tier: TierShort}
+	b := &BenchReport{Schema: "womcpcm-bench-v999", Tier: TierShort}
+	if _, err := CompareBench(a, b, 0.5); err == nil {
+		t.Error("schema mismatch not rejected")
+	}
+	c := &BenchReport{Schema: BenchSchema, Tier: TierFull}
+	if _, err := CompareBench(a, c, 0.5); err == nil {
+		t.Error("tier mismatch not rejected")
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep, err := RunBench(BenchConfig{Requests: 100, Workloads: []string{"qsort"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := NextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_1.json" {
+		t.Errorf("first path = %s, want BENCH_1.json", path)
+	}
+	if err := WriteBenchReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	next, err := NextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(next) != "BENCH_2.json" {
+		t.Errorf("second path = %s, want BENCH_2.json", next)
+	}
+	back, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != rep.Schema || len(back.Entries) != len(rep.Entries) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestBenchConfigValidation(t *testing.T) {
+	if _, err := RunBench(BenchConfig{Tier: "medium"}); err == nil {
+		t.Error("unknown tier accepted")
+	}
+	if _, err := RunBench(BenchConfig{Requests: 10, Workloads: []string{"no-such-workload"}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

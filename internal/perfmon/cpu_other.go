@@ -1,0 +1,7 @@
+//go:build !unix
+
+package perfmon
+
+// processCPUNs has no portable implementation off unix; records carry
+// CPUNs = 0 there and every consumer treats 0 as "unavailable".
+func processCPUNs() int64 { return 0 }

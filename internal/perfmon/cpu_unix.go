@@ -1,0 +1,17 @@
+//go:build unix
+
+package perfmon
+
+import "syscall"
+
+// processCPUNs returns the process's cumulative CPU time (user + system) in
+// nanoseconds, or 0 if the platform refuses. getrusage updates continuously,
+// unlike runtime/metrics' CPU classes, which only refresh at GC cycles —
+// per-job CPU deltas need the live view.
+func processCPUNs() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

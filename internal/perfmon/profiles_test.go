@@ -1,0 +1,102 @@
+package perfmon
+
+import (
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"time"
+)
+
+func testStore(t *testing.T, max int) *ProfileStore {
+	t.Helper()
+	ps, err := NewProfileStore(t.TempDir(), max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ps
+}
+
+func TestProfileCaptureListOpen(t *testing.T) {
+	ps := testStore(t, 0)
+	caps, err := ps.Capture("job-1", "deadline", 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != 2 {
+		t.Fatalf("captured %d profiles, want cpu+heap", len(caps))
+	}
+	kinds := map[string]bool{}
+	for _, c := range caps {
+		kinds[c.Kind] = true
+		if c.JobID != "job-1" || c.Reason != "deadline" || c.File == "" {
+			t.Errorf("bad capture: %+v", c)
+		}
+		if c.Size == 0 {
+			t.Errorf("%s profile is empty", c.Kind)
+		}
+	}
+	if !kinds["cpu"] || !kinds["heap"] {
+		t.Errorf("kinds = %v, want cpu and heap", kinds)
+	}
+
+	if got := ps.List("job-1"); len(got) != 2 {
+		t.Errorf("List(job-1) = %d captures", len(got))
+	}
+	if got := ps.List("other"); len(got) != 0 {
+		t.Errorf("List(other) = %d captures, want 0", len(got))
+	}
+	if got := ps.List(""); len(got) != 2 {
+		t.Errorf("List() = %d captures", len(got))
+	}
+
+	f, err := ps.Open(caps[0].File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(f)
+	f.Close()
+	if err != nil || len(raw) == 0 {
+		t.Errorf("profile body unreadable: %d bytes, %v", len(raw), err)
+	}
+}
+
+func TestProfileOpenRejectsUnknownNames(t *testing.T) {
+	ps := testStore(t, 0)
+	if _, err := ps.Capture("job", "slow", 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"../profiles_test.go", "/etc/passwd", "nope.pprof", ""} {
+		if _, err := ps.Open(name); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("Open(%q) = %v, want ErrNotExist", name, err)
+		}
+	}
+}
+
+func TestProfileEviction(t *testing.T) {
+	ps := testStore(t, 2) // holds one cpu+heap pair
+	first, err := ps.Capture("old", "slow", 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Capture("new", "slow", 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if n := ps.Len(); n != 2 {
+		t.Errorf("store holds %d captures, want bound 2", n)
+	}
+	if got := ps.List("old"); len(got) != 0 {
+		t.Errorf("evicted job still listed: %+v", got)
+	}
+	for _, c := range first {
+		if _, err := ps.Open(c.File); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("evicted file %s still opens (err=%v)", c.File, err)
+		}
+	}
+}
+
+func TestSanitizeID(t *testing.T) {
+	if got := sanitizeID("job/../../x y"); got != "job_______x_y" {
+		t.Errorf("sanitizeID = %q", got)
+	}
+}

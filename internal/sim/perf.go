@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type simEventsCtxKey struct{}
+
+// WithSimEvents returns a context asking experiments to attach c as the live
+// event counter of every simulation they run (memctrl.Config.Events): the
+// controller advances it atomically in strides while simulating, so a caller
+// (internal/perfmon, the engine's slow-job detector) can observe host-time
+// throughput — simulated-events/sec — while a job is still running. One
+// counter aggregates across an experiment's parallel simulations.
+func WithSimEvents(ctx context.Context, c *atomic.Int64) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, simEventsCtxKey{}, c)
+}
+
+// simEventsOf extracts the WithSimEvents counter from ctx; nil when absent.
+func simEventsOf(ctx context.Context) *atomic.Int64 {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(simEventsCtxKey{}).(*atomic.Int64)
+	return c
+}

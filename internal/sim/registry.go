@@ -16,7 +16,7 @@ import (
 // result shapes, or simulator behavior change in a way that alters outputs —
 // invalidates all previously cached results at once instead of serving
 // stale data under a matching hash.
-const SchemaVersion = "sim-v1"
+const SchemaVersion = "sim-v2"
 
 // Params parameterizes a registry experiment through plain serializable
 // fields, so one schema covers the CLI (cmd/womsim flags), the service API

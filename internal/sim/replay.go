@@ -82,6 +82,7 @@ func Replay(cfg ExpConfig, label string, recs []trace.Record) (*ReplayResult, er
 		if len(sinks) > 0 {
 			opts.Probe = probe.New(sinks...)
 		}
+		opts.Events = simEventsOf(cfg.Ctx)
 		sys, err := core.NewSystem(arches[i], opts)
 		if err != nil {
 			return err

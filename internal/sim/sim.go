@@ -93,6 +93,7 @@ func (c ExpConfig) runArch(a core.Arch, p workload.Profile, g pcm.Geometry) (*st
 		counter = probe.NewCounterSink()
 		opts.Probe = probe.New(counter)
 	}
+	opts.Events = simEventsOf(c.Ctx)
 	sys, err := core.NewSystem(a, opts)
 	if err != nil {
 		return nil, err
@@ -119,6 +120,9 @@ func (c ExpConfig) runConfig(cfg memctrl.Config, p workload.Profile) (*stats.Run
 	if classes != nil && cfg.Probe == nil {
 		counter = probe.NewCounterSink()
 		cfg.Probe = probe.New(counter)
+	}
+	if cfg.Events == nil {
+		cfg.Events = simEventsOf(c.Ctx)
 	}
 	ctrl, err := memctrl.New(cfg)
 	if err != nil {

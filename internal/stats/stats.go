@@ -171,6 +171,12 @@ type Run struct {
 	// WriteCancels counts in-service writes aborted by arriving reads
 	// (write cancellation scheduling, the paper's [7]).
 	WriteCancels uint64
+	// Events counts discrete-event steps the simulator executed for this
+	// run — request arrivals plus every scheduled event handled (service
+	// completions, refresh ticks, refresh completions). It is the
+	// denominator of the host-time throughput figures (simulated-events/sec)
+	// internal/perfmon reports.
+	Events uint64
 	// SimulatedNs is the completion time of the last request.
 	SimulatedNs int64
 }
