@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet fmt-check race fuzz bench bench-probe bench-suite bench-compare verify clean
+.PHONY: all build test vet fmt-check race fuzz bench bench-probe bench-suite bench-compare cluster-smoke cluster-demo verify clean
 
 all: verify
 
@@ -43,6 +43,21 @@ bench-suite:
 # CI runs this warn-only.
 bench-compare:
 	$(GO) run ./cmd/womtool bench -o /dev/null -compare BENCH_1.json -tol 0.5
+
+# End-to-end cluster check against real processes: coordinator + worker on
+# localhost, one job over the wire, asserted to have run on the worker.
+cluster-smoke:
+	scripts/cluster_smoke.sh
+
+# Interactive cluster on localhost: coordinator on :8080, two workers on
+# :8081/:8082. Submit jobs to http://127.0.0.1:8080/v1/jobs and watch
+# /cluster/v1/workers; Ctrl-C tears the fleet down.
+cluster-demo:
+	@$(GO) build -o /tmp/womd-demo ./cmd/womd; \
+	/tmp/womd-demo -role=worker -addr :8081 -coordinator http://127.0.0.1:8080 -cluster-name demo-a & W1=$$!; \
+	/tmp/womd-demo -role=worker -addr :8082 -coordinator http://127.0.0.1:8080 -cluster-name demo-b & W2=$$!; \
+	trap "kill $$W1 $$W2 2>/dev/null" EXIT INT TERM; \
+	/tmp/womd-demo -role=coordinator -addr :8080
 
 # Fails listing the files gofmt would rewrite; CI runs this on every push.
 fmt-check:

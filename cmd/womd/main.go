@@ -23,9 +23,20 @@
 // started, and finished lines, so one grep reconstructs a request's whole
 // lifecycle. -debug additionally mounts net/http/pprof under /debug/pprof/.
 //
+// The daemon also runs distributed (-role): a coordinator keeps this whole
+// API but dispatches jobs to registered workers over the /cluster/v1/ RPC
+// surface (internal/cluster), and a worker joins a coordinator's fleet,
+// executing dispatched jobs on its local pool and streaming events back.
+// -role standalone (the default) is the unchanged single-process path.
+//
 // Usage:
 //
 //	womd -addr :8080 -workers 4 -queue 64 -timeout 10m -cache /var/lib/womd
+//
+// Cluster (see README "Running a cluster"):
+//
+//	womd -role coordinator -addr :8080
+//	womd -role worker -addr :8081 -coordinator http://127.0.0.1:8080
 //
 // Quickstart:
 //
@@ -43,12 +54,15 @@ import (
 	"errors"
 	"flag"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"womcpcm/internal/cluster"
 	"womcpcm/internal/engine"
 	"womcpcm/internal/perfmon"
 	"womcpcm/internal/resultstore"
@@ -74,6 +88,16 @@ func main() {
 		slowFrac   = flag.Float64("slow-fraction", 0.25, "profile a job whose rolling events/sec falls below this fraction of the fleet median")
 		deadFrac   = flag.Float64("deadline-fraction", 0.9, "profile a job that has consumed this fraction of its timeout")
 		monEvery   = flag.Duration("monitor-interval", 15*time.Second, "slow-job monitor pass interval")
+
+		role         = flag.String("role", "standalone", "process role: standalone, coordinator, or worker")
+		coordURL     = flag.String("coordinator", "", "coordinator base URL (worker role)")
+		advertise    = flag.String("advertise", "", "this worker's base URL as seen from the coordinator (worker role; default derived from -addr)")
+		clusterName  = flag.String("cluster-name", "", "worker display name in the fleet view (default the advertise URL)")
+		clusterBeat  = flag.Duration("cluster-heartbeat", 5*time.Second, "worker heartbeat interval")
+		evictAfter   = flag.Duration("cluster-evict-after", 15*time.Second, "heartbeat silence before a worker is evicted and its jobs requeued")
+		dispatchWait = flag.Duration("cluster-dispatch-wait", 2*time.Second, "how long a job waits for a worker to register before running locally")
+		rebalance    = flag.Duration("cluster-rebalance", 10*time.Second, "work-stealing rebalance pass interval")
+		stealMargin  = flag.Int("cluster-steal-margin", 2, "pending jobs above the fleet average before queued work is stolen back")
 	)
 	flag.Parse()
 
@@ -109,7 +133,27 @@ func main() {
 			"slow_fraction", *slowFrac, "deadline_fraction", *deadFrac)
 	}
 
-	mgr := engine.New(engine.Config{
+	// Cluster roles: the coordinator installs its dispatcher as the engine's
+	// Execute hook (built first, manager attached after); a worker runs a
+	// plain local engine plus the agent that joins the coordinator's fleet.
+	var coord *cluster.Coordinator
+	switch *role {
+	case "standalone", "worker":
+	case "coordinator":
+		coord = cluster.NewCoordinator(cluster.Config{
+			Heartbeat:    *clusterBeat,
+			EvictAfter:   *evictAfter,
+			DispatchWait: *dispatchWait,
+			Rebalance:    *rebalance,
+			StealMargin:  *stealMargin,
+			Logger:       logger,
+		})
+	default:
+		logger.Error("unknown -role; want standalone, coordinator, or worker", "role", *role)
+		os.Exit(2)
+	}
+
+	cfg := engine.Config{
 		Workers:          *workers,
 		QueueDepth:       *queue,
 		DefaultTimeout:   *timeout,
@@ -122,8 +166,59 @@ func main() {
 		SlowFraction:     *slowFrac,
 		DeadlineFraction: *deadFrac,
 		MonitorInterval:  *monEvery,
-	})
+	}
+	if coord != nil {
+		cfg.Execute = coord.Execute
+	}
+	mgr := engine.New(cfg)
+	if coord != nil {
+		coord.AttachManager(mgr)
+		coord.Start()
+		logger.Info("coordinator role active", "heartbeat", clusterBeat.String(),
+			"evict_after", evictAfter.String())
+	}
+
+	var agent *cluster.Agent
+	if *role == "worker" {
+		if *coordURL == "" {
+			logger.Error("-role worker requires -coordinator URL")
+			os.Exit(2)
+		}
+		adv := *advertise
+		if adv == "" {
+			host, port, err := net.SplitHostPort(*addr)
+			if err != nil || port == "" {
+				logger.Error("cannot derive -advertise from -addr; pass -advertise explicitly", "addr", *addr)
+				os.Exit(2)
+			}
+			if host == "" || host == "::" || host == "0.0.0.0" {
+				host = "127.0.0.1"
+			}
+			adv = "http://" + net.JoinHostPort(host, port)
+		}
+		capacity := *workers
+		if capacity <= 0 {
+			capacity = runtime.GOMAXPROCS(0)
+		}
+		agent = cluster.NewAgent(cluster.AgentConfig{
+			Coordinator: *coordURL,
+			Advertise:   adv,
+			Name:        *clusterName,
+			Capacity:    capacity,
+			Heartbeat:   *clusterBeat,
+			Logger:      logger,
+		}, mgr)
+		if err := agent.Start(); err != nil {
+			// Not fatal: the heartbeat loop keeps retrying, so workers may
+			// start before their coordinator.
+			logger.Warn("initial registration failed; will retry", "error", err.Error())
+		}
+	}
+
 	opts := []engine.ServerOption{engine.WithLogger(logger)}
+	if coord != nil {
+		opts = append(opts, engine.WithPromAppender(coord.WriteProm))
+	}
 	if *debug {
 		opts = append(opts, engine.WithDebug())
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
@@ -134,9 +229,20 @@ func main() {
 		defer poller.Stop()
 		opts = append(opts, engine.WithRuntimeMetrics(poller))
 	}
+	var httpHandler http.Handler = engine.NewServer(mgr, opts...)
+	if coord != nil || agent != nil {
+		mux := http.NewServeMux()
+		if coord != nil {
+			mux.Handle("/cluster/v1/", coord.Handler())
+		} else {
+			mux.Handle("/cluster/v1/", agent.Handler())
+		}
+		mux.Handle("/", httpHandler)
+		httpHandler = mux
+	}
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     engine.NewServer(mgr, opts...),
+		Handler:     httpHandler,
 		ReadTimeout: 5 * time.Minute, // trace uploads can be large
 	}
 
@@ -164,10 +270,27 @@ func main() {
 		"jobs_running", before.JobsRunning, "queue_depth", before.QueueDepth)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(drainCtx); err != nil {
-		logger.Warn("http shutdown", "error", err)
+	var drainErr error
+	if agent != nil {
+		// Worker order matters: announce the drain (coordinator stops
+		// routing here and steals queued jobs), finish running jobs while
+		// the HTTP listener stays up so their event streams complete, then
+		// close the listener and the heartbeat loop.
+		agent.BeginDrain()
+		drainErr = mgr.Shutdown(drainCtx)
+		if err := srv.Shutdown(drainCtx); err != nil {
+			logger.Warn("http shutdown", "error", err)
+		}
+		agent.Stop()
+	} else {
+		if err := srv.Shutdown(drainCtx); err != nil {
+			logger.Warn("http shutdown", "error", err)
+		}
+		drainErr = mgr.Shutdown(drainCtx)
+		if coord != nil {
+			coord.Stop()
+		}
 	}
-	drainErr := mgr.Shutdown(drainCtx)
 	after := mgr.Metrics().Snapshot()
 	logger.Info("drain finished",
 		"jobs_completed", after.JobsCompleted-before.JobsCompleted,

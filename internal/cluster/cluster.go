@@ -1,0 +1,161 @@
+// Package cluster distributes the womd engine across a coordinator and a
+// fleet of workers.
+//
+// The coordinator is a standalone womd process that keeps the public HTTP
+// API, admission queue, result store, singleflight, and SSE fan-out exactly
+// as in single-process mode, but installs a dispatcher as the engine's
+// Execute hook (engine.Config.Execute): a worker-pool goroutine that
+// dequeues a job hands it to the dispatcher, which routes it to a cluster
+// worker over a small HTTP/JSON RPC surface mounted under /cluster/v1/ and
+// streams the run's events back. Workers run their own engine.Manager and
+// expose the worker half of the RPC surface; they register with the
+// coordinator at startup and heartbeat with load stats thereafter.
+//
+// Coordinator-side endpoints (served by Coordinator.Handler):
+//
+//	POST /cluster/v1/register     worker joins the fleet
+//	POST /cluster/v1/heartbeat    liveness + load report
+//	POST /cluster/v1/drain        worker announces shutdown (SIGTERM)
+//	GET  /cluster/v1/workers      fleet view (debugging, smoke tests)
+//	GET  /cluster/v1/traces/{id}  binary trace download for replay dispatch
+//
+// Worker-side endpoints (served by Agent.Handler):
+//
+//	POST /cluster/v1/jobs                   dispatch one job
+//	POST /cluster/v1/jobs/{id}/cancel       propagate cancel / steal a queued job
+//	GET  /cluster/v1/jobs/{id}/events       NDJSON event stream for one job
+//
+// Routing is consistent hashing (fnv-64a ring with virtual nodes) over the
+// job's result-store content key, so identical submissions land on the same
+// worker and fold into its local cache; jobs with no content key (trace
+// replays) hash their computed parameter key or job id instead. Redispatches
+// after a failure go to the least-loaded surviving worker.
+//
+// Failure handling: a worker that misses heartbeats past EvictAfter is
+// evicted and its in-flight jobs requeued; a worker whose not-yet-started
+// backlog exceeds the fleet average by StealMargin has queued jobs stolen
+// back and re-routed; a worker announcing drain stops receiving work and
+// has its queued (not running) jobs stolen immediately.
+package cluster
+
+import (
+	"encoding/json"
+
+	"womcpcm/internal/engine"
+	"womcpcm/internal/sim"
+)
+
+// RegisterRequest is the POST /cluster/v1/register payload: the worker's
+// advertised base URL (scheme://host:port, no trailing slash), its slot
+// capacity, and the sim-registry fingerprint it was built with. A
+// fingerprint mismatch is rejected — a worker with a different experiment
+// set or params schema would silently compute different results.
+type RegisterRequest struct {
+	Name        string `json:"name"`
+	Addr        string `json:"addr"`
+	Capacity    int    `json:"capacity"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// RegisterResponse assigns the worker its fleet id and the heartbeat
+// interval the coordinator expects.
+type RegisterResponse struct {
+	ID          string `json:"id"`
+	HeartbeatMs int64  `json:"heartbeat_ms"`
+}
+
+// HeartbeatRequest is the periodic liveness + load report. QueueDepth and
+// Running describe the worker's local engine; Draining marks a worker that
+// has begun shutdown and must receive no new work.
+type HeartbeatRequest struct {
+	ID         string `json:"id"`
+	QueueDepth int64  `json:"queue_depth"`
+	Running    int64  `json:"running"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	SimEvents  uint64 `json:"sim_events"`
+	Draining   bool   `json:"draining,omitempty"`
+}
+
+// DrainRequest announces a worker's shutdown (POST /cluster/v1/drain): the
+// coordinator stops routing to it and steals its queued jobs; running jobs
+// finish streaming within the worker's drain budget.
+type DrainRequest struct {
+	ID string `json:"id"`
+}
+
+// DispatchRequest is the coordinator → worker job handoff. Params travels in
+// its JSON schema form (the in-memory trace slice is excluded); a replay
+// job instead carries the coordinator's TraceID, which the worker resolves
+// by downloading GET {coordinator}/cluster/v1/traces/{id} once and caching
+// the decoded records in its local trace store.
+type DispatchRequest struct {
+	JobID      string     `json:"job_id"` // coordinator job id, for logs
+	RequestID  string     `json:"request_id,omitempty"`
+	Experiment string     `json:"experiment"`
+	Params     sim.Params `json:"params"`
+	TraceID    string     `json:"trace_id,omitempty"`
+	TraceLabel string     `json:"trace_label,omitempty"`
+	TimeoutMs  int64      `json:"timeout_ms,omitempty"`
+}
+
+// DispatchResponse acknowledges a dispatch with the worker-local job id all
+// follow-up RPCs (events, cancel) address.
+type DispatchResponse struct {
+	WorkerJobID string `json:"worker_job_id"`
+}
+
+// Frame is one NDJSON line of a job's event stream
+// (GET /cluster/v1/jobs/{id}/events). Event names mirror the SSE protocol —
+// "started", "progress", "window" — plus the terminal "done"; Data holds the
+// event's payload (a ProgressFrame, a raw SSE window payload, or a
+// DoneFrame).
+type Frame struct {
+	Event string          `json:"event"`
+	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// ProgressFrame is the "progress" frame payload: the worker-side completion
+// gauge, re-reported on the coordinator job via Job.ForwardProgress (the
+// coordinator's own view carries its job id, so the worker's is not
+// forwarded verbatim).
+type ProgressFrame struct {
+	Done  int64 `json:"done"`
+	Total int64 `json:"total"`
+}
+
+// DoneFrame is the terminal frame: the worker job's outcome, its result on
+// success, and the worker-measured host-time accounting the coordinator
+// installs via Job.SetRemotePerf.
+type DoneFrame struct {
+	State  engine.State     `json:"state"`
+	Error  string           `json:"error,omitempty"`
+	Result *sim.Result      `json:"result,omitempty"`
+	Perf   *engine.PerfView `json:"perf,omitempty"`
+}
+
+// CancelResponse answers POST /cluster/v1/jobs/{id}/cancel. For
+// reason=steal, Stolen reports whether the job was still queued and is now
+// canceled (stealable); a job already running is left untouched and keeps
+// streaming.
+type CancelResponse struct {
+	Stolen bool         `json:"stolen"`
+	State  engine.State `json:"state"`
+}
+
+// WorkerView is one fleet member in GET /cluster/v1/workers.
+type WorkerView struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Addr     string `json:"addr"`
+	Capacity int    `json:"capacity"`
+	// HeartbeatAgeMs is the time since the last heartbeat (or registration).
+	HeartbeatAgeMs int64 `json:"heartbeat_age_ms"`
+	Draining       bool  `json:"draining,omitempty"`
+	// QueueDepth and Running echo the worker's last load report.
+	QueueDepth int64 `json:"queue_depth"`
+	Running    int64 `json:"running"`
+	// Outstanding counts coordinator-side assignments in flight on this
+	// worker (dispatched, not yet terminal).
+	Outstanding int `json:"outstanding"`
+}

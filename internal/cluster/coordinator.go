@@ -1,0 +1,855 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"womcpcm/internal/engine"
+	"womcpcm/internal/resultstore"
+	"womcpcm/internal/sim"
+	"womcpcm/internal/trace"
+)
+
+// Config tunes the coordinator. Zero values select production defaults.
+type Config struct {
+	// Heartbeat is the interval workers are told to report at (default 5s).
+	Heartbeat time.Duration
+	// EvictAfter is the heartbeat silence after which a worker is presumed
+	// dead: removed from the ring, its in-flight jobs requeued (default
+	// 3 × Heartbeat).
+	EvictAfter time.Duration
+	// DispatchWait bounds how long a job waits for a worker to register when
+	// the fleet is empty before falling back to local execution (default 0:
+	// fall back immediately).
+	DispatchWait time.Duration
+	// Rebalance spaces work-stealing passes (default 2 × Heartbeat).
+	Rebalance time.Duration
+	// StealMargin is how far above the fleet-average pending backlog a
+	// worker may sit before queued jobs are stolen back (default 2).
+	StealMargin int
+	// Logger receives dispatch/requeue/eviction logs; nil discards them.
+	Logger *slog.Logger
+	// Client performs worker RPCs (default http.DefaultClient).
+	Client *http.Client
+	// now is the test clock hook.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 5 * time.Second
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 3 * c.Heartbeat
+	}
+	if c.Rebalance <= 0 {
+		c.Rebalance = 2 * c.Heartbeat
+	}
+	if c.StealMargin <= 0 {
+		c.StealMargin = 2
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// streamReconnects is how many times a broken worker event stream is
+// reattached before the job is requeued elsewhere.
+const streamReconnects = 2
+
+// maxDispatchAttempts bounds how many workers one job is tried on before
+// falling back to local execution — a job must not starve because the whole
+// fleet is flapping.
+const maxDispatchAttempts = 6
+
+// dispatchTimeout bounds the dispatch RPC itself. The POST deliberately does
+// not use the job's context: aborting it mid-flight can leave the worker
+// running a job the coordinator never learned the worker-side id for, making
+// it uncancelable. The ack always lands (or the worker is declared failed),
+// and only then is coordinator-side cancellation honored — with a targeted
+// cancel RPC. The bound covers worker-side trace downloads, which happen
+// before the ack.
+const dispatchTimeout = 60 * time.Second
+
+// workerState is the coordinator's view of one fleet member. Mutable fields
+// are guarded by Coordinator.mu; id/name/addr/capacity are immutable.
+type workerState struct {
+	id       string
+	name     string
+	addr     string // base URL, no trailing slash
+	capacity int
+
+	lastBeat   time.Time
+	draining   bool
+	queueDepth int64
+	running    int64
+	// assignments tracks in-flight dispatches (coordinator job id → state)
+	// so eviction and stealing can reach the goroutines streaming them.
+	assignments map[string]*assignment
+}
+
+// assignment is one dispatched job's coordination handle. The dispatching
+// goroutine (Coordinator.Execute) owns it; eviction and rebalance loops
+// post signals into signal (capacity 1, non-blocking — one pending signal
+// is enough).
+type assignment struct {
+	job         *engine.Job
+	workerJobID string
+	started     bool // guarded by Coordinator.mu; set on the "started" frame
+	signal      chan string
+}
+
+// Coordinator routes engine jobs to registered workers. Install its Execute
+// as engine.Config.Execute, then AttachManager the resulting manager, mount
+// Handler under /cluster/v1/, and Start the maintenance loops.
+type Coordinator struct {
+	cfg         Config
+	log         *slog.Logger
+	client      *http.Client
+	metrics     *clusterMetrics
+	ring        *ring
+	fingerprint string
+
+	mu      sync.Mutex
+	seq     uint64
+	workers map[string]*workerState
+	mgr     *engine.Manager
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewCoordinator builds a coordinator accepting workers whose sim registry
+// matches this binary's fingerprint.
+func NewCoordinator(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	return &Coordinator{
+		cfg:         cfg,
+		log:         cfg.Logger,
+		client:      cfg.Client,
+		metrics:     newClusterMetrics(),
+		ring:        newRing(),
+		fingerprint: sim.RegistryFingerprint(),
+		workers:     make(map[string]*workerState),
+		stopCh:      make(chan struct{}),
+	}
+}
+
+func (c *Coordinator) now() time.Time { return c.cfg.now() }
+
+// AttachManager wires the engine manager in after construction (the manager
+// itself is built with Execute: c.Execute, so the two reference each other).
+func (c *Coordinator) AttachManager(m *engine.Manager) {
+	c.mu.Lock()
+	c.mgr = m
+	c.mu.Unlock()
+}
+
+// Start launches the eviction and rebalance loops.
+func (c *Coordinator) Start() {
+	c.wg.Add(2)
+	go c.evictLoop()
+	go c.rebalanceLoop()
+}
+
+// Stop halts the maintenance loops. In-flight dispatches are not
+// interrupted — the manager's own shutdown drains them.
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.wg.Wait()
+}
+
+// Handler mounts the coordinator's /cluster/v1/ RPC surface.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/v1/register", c.handleRegister)
+	mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /cluster/v1/drain", c.handleDrain)
+	mux.HandleFunc("GET /cluster/v1/workers", c.handleWorkers)
+	mux.HandleFunc("GET /cluster/v1/traces/{id}", c.handleTrace)
+	return mux
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: decoding register: %w", err))
+		return
+	}
+	if req.Addr == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: register without addr"))
+		return
+	}
+	if req.Fingerprint != c.fingerprint {
+		httpError(w, http.StatusConflict, fmt.Errorf(
+			"cluster: sim registry fingerprint %q does not match coordinator %q — mixed builds would compute different results",
+			req.Fingerprint, c.fingerprint))
+		return
+	}
+	c.mu.Lock()
+	// A re-registration from an address we already track replaces the old
+	// incarnation: its process restarted, so anything in flight there is
+	// requeued via the eviction path.
+	for id, ws := range c.workers {
+		if ws.addr == req.Addr {
+			c.evictLocked(ws, "replaced by re-registration")
+			delete(c.workers, id)
+		}
+	}
+	c.seq++
+	ws := &workerState{
+		id:          fmt.Sprintf("w-%03d", c.seq),
+		name:        req.Name,
+		addr:        req.Addr,
+		capacity:    req.Capacity,
+		lastBeat:    c.now(),
+		assignments: make(map[string]*assignment),
+	}
+	c.workers[ws.id] = ws
+	c.ring.Add(ws.id)
+	c.mu.Unlock()
+	c.log.Info("worker registered", "worker", ws.id, "name", req.Name,
+		"addr", req.Addr, "capacity", req.Capacity)
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		ID: ws.id, HeartbeatMs: c.cfg.Heartbeat.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: decoding heartbeat: %w", err))
+		return
+	}
+	c.mu.Lock()
+	ws, ok := c.workers[req.ID]
+	if ok {
+		ws.lastBeat = c.now()
+		ws.queueDepth = req.QueueDepth
+		ws.running = req.Running
+		if req.Draining && !ws.draining {
+			c.drainLocked(ws)
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		// Unknown id — evicted or coordinator restarted. 404 tells the
+		// worker to re-register.
+		httpError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown worker %q", req.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req DrainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: decoding drain: %w", err))
+		return
+	}
+	c.mu.Lock()
+	ws, ok := c.workers[req.ID]
+	if ok {
+		c.drainLocked(ws)
+	}
+	c.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown worker %q", req.ID))
+		return
+	}
+	c.log.Info("worker draining", "worker", req.ID)
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// drainLocked marks a worker draining: out of the ring, queued (not yet
+// started) assignments stolen back for re-routing. Running jobs keep
+// streaming — the worker's drain budget lets them finish.
+func (c *Coordinator) drainLocked(ws *workerState) {
+	if ws.draining {
+		return
+	}
+	ws.draining = true
+	c.ring.Remove(ws.id)
+	for _, asn := range ws.assignments {
+		if !asn.started {
+			signalAssignment(asn, "steal")
+		}
+	}
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	views := make([]WorkerView, 0, len(c.workers))
+	for _, ws := range c.workers {
+		views = append(views, WorkerView{
+			ID: ws.id, Name: ws.name, Addr: ws.addr, Capacity: ws.capacity,
+			HeartbeatAgeMs: c.now().Sub(ws.lastBeat).Milliseconds(),
+			Draining:       ws.draining,
+			QueueDepth:     ws.queueDepth,
+			Running:        ws.running,
+			Outstanding:    len(ws.assignments),
+		})
+	}
+	c.mu.Unlock()
+	for i := 0; i < len(views); i++ {
+		for j := i + 1; j < len(views); j++ {
+			if views[j].ID < views[i].ID {
+				views[i], views[j] = views[j], views[i]
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Workers []WorkerView `json:"workers"`
+	}{views})
+}
+
+// handleTrace serves an uploaded trace in binary form for a worker
+// resolving a replay dispatch.
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	mgr := c.mgr
+	c.mu.Unlock()
+	if mgr == nil {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("cluster: no manager attached"))
+		return
+	}
+	st, ok := mgr.Traces().Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("cluster: unknown trace %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	bw := trace.NewBinWriter(w)
+	for _, rec := range st.Records() {
+		bw.Write(rec)
+	}
+	bw.Flush() //nolint:errcheck // worker retries a broken download
+}
+
+// evictLoop removes workers whose heartbeats went silent and requeues their
+// in-flight jobs.
+func (c *Coordinator) evictLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.EvictAfter / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			now := c.now()
+			for id, ws := range c.workers {
+				if now.Sub(ws.lastBeat) > c.cfg.EvictAfter {
+					c.evictLocked(ws, "heartbeat timeout")
+					delete(c.workers, id)
+					c.metrics.Evictions.Add(1)
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// evictLocked removes a worker from the ring and signals every in-flight
+// assignment to requeue. Caller holds c.mu and deletes the map entry.
+func (c *Coordinator) evictLocked(ws *workerState, reason string) {
+	c.ring.Remove(ws.id)
+	for _, asn := range ws.assignments {
+		signalAssignment(asn, "evict")
+	}
+	c.log.Warn("worker evicted", "worker", ws.id, "addr", ws.addr,
+		"reason", reason, "inflight", len(ws.assignments))
+}
+
+// rebalanceLoop steals queued jobs back from workers whose pending backlog
+// sits more than StealMargin above the fleet average.
+func (c *Coordinator) rebalanceLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.Rebalance)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			c.rebalanceOnce()
+		}
+	}
+}
+
+func (c *Coordinator) rebalanceOnce() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	live, totalPending := 0, 0
+	pending := make(map[*workerState][]*assignment)
+	for _, ws := range c.workers {
+		if ws.draining {
+			continue
+		}
+		live++
+		for _, asn := range ws.assignments {
+			if !asn.started {
+				pending[ws] = append(pending[ws], asn)
+				totalPending++
+			}
+		}
+	}
+	if live < 2 {
+		return
+	}
+	avg := totalPending / live
+	for ws, asns := range pending {
+		excess := len(asns) - avg - c.cfg.StealMargin
+		for i := 0; i < excess; i++ {
+			signalAssignment(asns[i], "steal")
+			c.log.Info("stealing queued job for rebalance", "worker", ws.id,
+				"job", asns[i].job.ID(), "pending", len(asns), "fleet_avg", avg)
+		}
+	}
+}
+
+// signalAssignment posts a signal without blocking; a signal already
+// pending is enough.
+func signalAssignment(asn *assignment, s string) {
+	select {
+	case asn.signal <- s:
+	default:
+	}
+}
+
+// routingKey derives the consistent-hash key for a job: the result-store
+// content key when present (so identical submissions land on one worker and
+// fold into its cache), the computed parameter key otherwise (trace replays
+// — not cacheable, still deterministic), the job id as a last resort.
+func (c *Coordinator) routingKey(job *engine.Job) string {
+	if k := job.Key(); k != "" {
+		return k
+	}
+	if k, err := resultstore.KeyForParams(job.Experiment(), job.Params(), "route"); err == nil {
+		if tid := job.Request().TraceID; tid != "" {
+			return k + "\x00" + tid
+		}
+		return k
+	}
+	return job.ID()
+}
+
+// Owner reports which worker a routing key currently maps to — test and
+// debugging introspection.
+func (c *Coordinator) Owner(key string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring.Pick(key, func(m string) bool {
+		ws := c.workers[m]
+		return ws == nil || ws.draining
+	})
+}
+
+// liveWorkers reports how many non-draining workers are registered.
+func (c *Coordinator) liveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ws := range c.workers {
+		if !ws.draining {
+			n++
+		}
+	}
+	return n
+}
+
+// pickWorker chooses the target for one dispatch attempt: the ring owner on
+// the first try (cache affinity), the least-loaded survivor on requeues.
+func (c *Coordinator) pickWorker(key string, firstAttempt bool, exclude map[string]bool) *workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if firstAttempt {
+		id := c.ring.Pick(key, func(m string) bool {
+			ws := c.workers[m]
+			return ws == nil || ws.draining || exclude[m]
+		})
+		if id != "" {
+			return c.workers[id]
+		}
+		return nil
+	}
+	var best *workerState
+	for _, ws := range c.workers {
+		if ws.draining || exclude[ws.id] {
+			continue
+		}
+		if best == nil || len(ws.assignments) < len(best.assignments) {
+			best = ws
+		}
+	}
+	return best
+}
+
+func (c *Coordinator) addAssignment(ws *workerState, asn *assignment) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.workers[ws.id]; ok && cur == ws {
+		ws.assignments[asn.job.ID()] = asn
+	}
+}
+
+func (c *Coordinator) removeAssignment(ws *workerState, jobID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(ws.assignments, jobID)
+}
+
+func (c *Coordinator) markStarted(asn *assignment) {
+	c.mu.Lock()
+	asn.started = true
+	c.mu.Unlock()
+}
+
+// Execute is the engine's Execute hook: route the job to a worker, stream
+// its run back, requeue on worker failure. It returns
+// engine.ErrExecuteLocally when no worker can take the job, so standalone
+// behavior is the universal fallback. Requeues happen inside this call —
+// the job never re-enters the manager's queue, so the queue-wait histogram
+// observes it exactly once and its request id rides along unchanged.
+func (c *Coordinator) Execute(ctx context.Context, job *engine.Job) (*sim.Result, error) {
+	if len(job.Params().Trace) > 0 && job.Request().TraceID == "" {
+		// An inline trace (direct API use, tests) has no coordinator-side
+		// trace id for the worker to download — run it here.
+		return nil, engine.ErrExecuteLocally
+	}
+	key := c.routingKey(job)
+	exclude := make(map[string]bool)
+	for attempt := 0; attempt < maxDispatchAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		ws := c.pickWorker(key, attempt == 0 && len(exclude) == 0, exclude)
+		if ws == nil && len(exclude) > 0 {
+			// Every live worker failed this job once; start over on the
+			// whole fleet rather than giving up while workers exist.
+			exclude = make(map[string]bool)
+			ws = c.pickWorker(key, true, exclude)
+		}
+		if ws == nil {
+			if c.cfg.DispatchWait > 0 && c.waitForWorker(ctx) {
+				continue
+			}
+			return nil, engine.ErrExecuteLocally
+		}
+		res, err, v := c.runOn(ctx, ws, job)
+		switch v {
+		case vDone:
+			return res, err
+		case vSteal:
+			c.metrics.Steals.Add(1)
+			c.metrics.CountDispatch(ws.id, outcomeStolen)
+			exclude[ws.id] = true
+			c.log.Info("job stolen for re-route", "job", job.ID(),
+				"request_id", job.RequestID(), "worker", ws.id)
+		case vRequeue:
+			c.metrics.Requeues.Add(1)
+			c.metrics.CountDispatch(ws.id, outcomeRequeue)
+			exclude[ws.id] = true
+			c.log.Warn("job requeued after worker failure", "job", job.ID(),
+				"request_id", job.RequestID(), "worker", ws.id)
+		}
+	}
+	c.log.Warn("dispatch attempts exhausted; running locally", "job", job.ID(),
+		"request_id", job.RequestID())
+	return nil, engine.ErrExecuteLocally
+}
+
+// waitForWorker polls for a live worker for up to DispatchWait. True means
+// one registered; false means fall back to local execution.
+func (c *Coordinator) waitForWorker(ctx context.Context) bool {
+	deadline := time.After(c.cfg.DispatchWait)
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-deadline:
+			return false
+		case <-tick.C:
+			if c.liveWorkers() > 0 {
+				return true
+			}
+		}
+	}
+}
+
+type verdict int
+
+const (
+	vDone    verdict = iota // outcome final (success, failure, or canceled)
+	vRequeue                // worker failed; try another
+	vSteal                  // queued job stolen back; try another
+)
+
+// runOn dispatches job to ws and consumes its event stream until a terminal
+// outcome, a worker failure, or a steal.
+func (c *Coordinator) runOn(ctx context.Context, ws *workerState, job *engine.Job) (*sim.Result, error, verdict) {
+	spec := DispatchRequest{
+		JobID:      job.ID(),
+		RequestID:  job.RequestID(),
+		Experiment: job.Experiment(),
+		Params:     job.Params(),
+		TraceID:    job.Request().TraceID,
+		TraceLabel: job.Params().TraceLabel,
+		TimeoutMs:  job.Timeout().Milliseconds(),
+	}
+	var ack DispatchResponse
+	dctx, dcancel := context.WithTimeout(context.Background(), dispatchTimeout)
+	err := c.postJSON(dctx, ws.addr+"/cluster/v1/jobs", spec, &ack)
+	dcancel()
+	if err != nil {
+		c.metrics.CountDispatch(ws.id, outcomeError)
+		if ctx.Err() != nil {
+			return nil, ctx.Err(), vDone
+		}
+		return nil, nil, vRequeue
+	}
+	asn := &assignment{job: job, workerJobID: ack.WorkerJobID, signal: make(chan string, 1)}
+	c.addAssignment(ws, asn)
+	defer c.removeAssignment(ws, job.ID())
+	job.SetWorker(ws.id)
+	c.log.Info("job dispatched", "job", job.ID(), "request_id", job.RequestID(),
+		"experiment", job.Experiment(), "worker", ws.id, "worker_job", ack.WorkerJobID)
+	if ctx.Err() != nil {
+		// Canceled while the dispatch was in flight: the worker has the job,
+		// so stop it there before reporting the cancellation.
+		c.cancelRemote(ws, ack.WorkerJobID, "")
+		return nil, ctx.Err(), vDone
+	}
+
+	for reconnect := 0; ; reconnect++ {
+		res, err, v, retry := c.consumeStream(ctx, ws, asn)
+		if !retry {
+			if v == vDone && err == nil && res != nil {
+				c.metrics.CountDispatch(ws.id, outcomeOK)
+			}
+			return res, err, v
+		}
+		if reconnect >= streamReconnects {
+			return nil, nil, vRequeue
+		}
+		select {
+		case <-ctx.Done():
+			c.cancelRemote(ws, asn.workerJobID, "")
+			return nil, ctx.Err(), vDone
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// consumeStream attaches to the worker's event stream for one assignment
+// and processes frames until the job settles, the stream breaks
+// (retry=true), the coordinator-side context ends, or a steal/evict signal
+// lands.
+func (c *Coordinator) consumeStream(ctx context.Context, ws *workerState, asn *assignment) (*sim.Result, error, verdict, bool) {
+	job := asn.job
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		ws.addr+"/cluster/v1/jobs/"+asn.workerJobID+"/events", nil)
+	if err != nil {
+		return nil, nil, vRequeue, false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			c.cancelRemote(ws, asn.workerJobID, "")
+			return nil, ctx.Err(), vDone, false
+		}
+		return nil, nil, vRequeue, true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		// The worker is alive but no longer knows the job (restart between
+		// dispatch and attach) — requeue, no point retrying the stream.
+		return nil, nil, vRequeue, false
+	}
+
+	frames := make(chan Frame)
+	go func() {
+		defer close(frames)
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var f Frame
+			if err := dec.Decode(&f); err != nil {
+				return
+			}
+			select {
+			case frames <- f:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case <-ctx.Done():
+			// Coordinator-side cancel or timeout: propagate to the worker so
+			// the remote run stops too, then report the context error — the
+			// manager maps it onto canceled/timed-out.
+			c.cancelRemote(ws, asn.workerJobID, "")
+			return nil, ctx.Err(), vDone, false
+		case sig := <-asn.signal:
+			switch sig {
+			case "evict":
+				// Heartbeats died but maybe only the control plane did; tell
+				// the worker to stop the job in case it is still alive.
+				c.cancelRemote(ws, asn.workerJobID, "")
+				return nil, nil, vRequeue, false
+			case "steal":
+				var cr CancelResponse
+				err := c.postJSON(context.Background(),
+					ws.addr+"/cluster/v1/jobs/"+asn.workerJobID+"/cancel?reason=steal", struct{}{}, &cr)
+				if err == nil && cr.Stolen {
+					return nil, nil, vSteal, false
+				}
+				// Already running (or unreachable — eviction will follow):
+				// keep streaming.
+			}
+		case f, ok := <-frames:
+			if !ok {
+				// Stream broke without a done frame: worker died or the
+				// connection dropped. Retry the attach; the dispatch loop
+				// requeues after streamReconnects failures.
+				if ctx.Err() != nil {
+					c.cancelRemote(ws, asn.workerJobID, "")
+					return nil, ctx.Err(), vDone, false
+				}
+				return nil, nil, vRequeue, true
+			}
+			switch f.Event {
+			case "started":
+				c.markStarted(asn)
+			case "progress":
+				var p ProgressFrame
+				if json.Unmarshal(f.Data, &p) == nil {
+					job.ForwardProgress(p.Done, p.Total)
+				}
+			case "done":
+				var d DoneFrame
+				if err := json.Unmarshal(f.Data, &d); err != nil {
+					return nil, nil, vRequeue, true
+				}
+				return c.settle(job, d)
+			default:
+				// Telemetry windows and any future frame types fan out to
+				// the coordinator's SSE subscribers verbatim.
+				job.PublishRaw(f.Event, f.Data)
+			}
+		}
+	}
+}
+
+// settle maps a done frame onto the (result, error) contract the engine
+// manager expects from an ExecuteFunc.
+func (c *Coordinator) settle(job *engine.Job, d DoneFrame) (*sim.Result, error, verdict, bool) {
+	if d.Perf != nil {
+		job.SetRemotePerf(*d.Perf)
+	}
+	switch d.State {
+	case engine.StateSucceeded:
+		if d.Result == nil {
+			return nil, fmt.Errorf("cluster: worker reported success without a result"), vDone, false
+		}
+		return d.Result, nil, vDone, false
+	case engine.StateCanceled:
+		return nil, context.Canceled, vDone, false
+	default:
+		msg := d.Error
+		if msg == "" {
+			msg = "worker reported " + string(d.State)
+		}
+		return nil, fmt.Errorf("cluster: %s", msg), vDone, false
+	}
+}
+
+// cancelRemote asks a worker to stop a job, best effort — the worker may
+// already be gone.
+func (c *Coordinator) cancelRemote(ws *workerState, workerJobID, reason string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	url := ws.addr + "/cluster/v1/jobs/" + workerJobID + "/cancel"
+	if reason != "" {
+		url += "?reason=" + reason
+	}
+	var cr CancelResponse
+	c.postJSON(ctx, url, struct{}{}, &cr) //nolint:errcheck // best effort
+}
+
+// postJSON performs one JSON-in/JSON-out POST against a worker or
+// coordinator endpoint.
+func (c *Coordinator) postJSON(ctx context.Context, url string, in, out any) error {
+	return postJSON(ctx, c.client, url, in, out)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding %s: %w", url, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &rpcError{Status: resp.StatusCode, Body: string(bytes.TrimSpace(msg)), URL: url}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// rpcError is a non-2xx RPC response, keeping the status for callers that
+// branch on it (heartbeat 404 → re-register).
+type rpcError struct {
+	Status int
+	Body   string
+	URL    string
+}
+
+func (e *rpcError) Error() string {
+	return fmt.Sprintf("cluster: %s: HTTP %d: %s", e.URL, e.Status, e.Body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone mid-write
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

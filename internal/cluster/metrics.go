@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Dispatch outcomes for womd_cluster_dispatch_total.
+const (
+	outcomeOK      = "ok"      // done frame received, job settled
+	outcomeRequeue = "requeue" // dispatch or stream failed; job re-routed
+	outcomeStolen  = "stolen"  // queued job stolen back for rebalancing
+	outcomeError   = "error"   // dispatch RPC itself failed
+)
+
+// clusterMetrics aggregates the coordinator's fleet counters, exported as
+// the womd_cluster_* Prometheus families via Coordinator.WriteProm.
+type clusterMetrics struct {
+	Requeues  atomic.Uint64 // jobs re-routed after a worker failure/eviction
+	Steals    atomic.Uint64 // queued jobs stolen back for rebalancing
+	Evictions atomic.Uint64 // workers evicted on heartbeat timeout
+
+	mu       sync.Mutex
+	dispatch map[[2]string]uint64 // {worker, outcome} → count
+}
+
+func newClusterMetrics() *clusterMetrics {
+	return &clusterMetrics{dispatch: make(map[[2]string]uint64)}
+}
+
+// CountDispatch increments womd_cluster_dispatch_total{worker,outcome}.
+func (m *clusterMetrics) CountDispatch(worker, outcome string) {
+	m.mu.Lock()
+	m.dispatch[[2]string{worker, outcome}]++
+	m.mu.Unlock()
+}
+
+// writeDispatch renders the labeled dispatch family. The HELP/TYPE header is
+// emitted only alongside samples, matching the repo's exposition convention.
+func (m *clusterMetrics) writeDispatch(w io.Writer) {
+	m.mu.Lock()
+	keys := make([][2]string, 0, len(m.dispatch))
+	for k := range m.dispatch {
+		keys = append(keys, k)
+	}
+	counts := make([]uint64, len(keys))
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for i, k := range keys {
+		counts[i] = m.dispatch[k]
+	}
+	m.mu.Unlock()
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP womd_cluster_dispatch_total Job dispatches by worker and outcome.\n"+
+		"# TYPE womd_cluster_dispatch_total counter\n")
+	for i, k := range keys {
+		fmt.Fprintf(w, "womd_cluster_dispatch_total{worker=%q,outcome=%q} %d\n", k[0], k[1], counts[i])
+	}
+}
+
+// WriteProm exports the coordinator's cluster families: the fleet gauge (by
+// state), per-worker heartbeat age, and the dispatch/requeue/steal/eviction
+// counters. Installed on the engine server via engine.WithPromAppender.
+func (c *Coordinator) WriteProm(w io.Writer) {
+	type workerStat struct {
+		id       string
+		ageMs    int64
+		draining bool
+	}
+	c.mu.Lock()
+	stats := make([]workerStat, 0, len(c.workers))
+	for _, ws := range c.workers {
+		stats = append(stats, workerStat{
+			id:       ws.id,
+			ageMs:    c.now().Sub(ws.lastBeat).Milliseconds(),
+			draining: ws.draining,
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].id < stats[j].id })
+
+	active, draining := 0, 0
+	for _, s := range stats {
+		if s.draining {
+			draining++
+		} else {
+			active++
+		}
+	}
+	fmt.Fprintf(w, "# HELP womd_cluster_workers Registered cluster workers by state.\n"+
+		"# TYPE womd_cluster_workers gauge\n"+
+		"womd_cluster_workers{state=\"active\"} %d\n"+
+		"womd_cluster_workers{state=\"draining\"} %d\n", active, draining)
+	if len(stats) > 0 {
+		fmt.Fprintf(w, "# HELP womd_cluster_heartbeat_age_seconds Time since each worker's last heartbeat.\n"+
+			"# TYPE womd_cluster_heartbeat_age_seconds gauge\n")
+		for _, s := range stats {
+			fmt.Fprintf(w, "womd_cluster_heartbeat_age_seconds{worker=%q} %g\n",
+				s.id, float64(s.ageMs)/1000)
+		}
+	}
+	m := c.metrics
+	m.writeDispatch(w)
+	fmt.Fprintf(w, "# HELP womd_cluster_requeue_total Jobs re-routed after a worker failure or eviction.\n"+
+		"# TYPE womd_cluster_requeue_total counter\nwomd_cluster_requeue_total %d\n", m.Requeues.Load())
+	fmt.Fprintf(w, "# HELP womd_cluster_steals_total Queued jobs stolen back for rebalancing.\n"+
+		"# TYPE womd_cluster_steals_total counter\nwomd_cluster_steals_total %d\n", m.Steals.Load())
+	fmt.Fprintf(w, "# HELP womd_cluster_evictions_total Workers evicted on heartbeat timeout.\n"+
+		"# TYPE womd_cluster_evictions_total counter\nwomd_cluster_evictions_total %d\n", m.Evictions.Load())
+}

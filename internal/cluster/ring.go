@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// ringVnodes is how many points each member contributes to the hash ring.
+// Enough for an even spread over a handful of workers without making
+// membership changes expensive — fleets here are tens of workers, not
+// thousands.
+const ringVnodes = 64
+
+// ring is a consistent-hash ring: keys map to members such that adding or
+// removing one member only remaps the keys that hashed to its arc. Safe for
+// concurrent use.
+type ring struct {
+	mu      sync.RWMutex
+	points  []ringPoint // sorted by hash
+	members map[string]struct{}
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+func newRing() *ring {
+	return &ring{members: make(map[string]struct{})}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never errors
+	// fnv barely avalanches on short, similar strings ("w-001#0" …), which
+	// would cluster each member's virtual nodes into one contiguous arc; a
+	// splitmix64 finalizer spreads them across the ring.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a member's virtual nodes; adding an existing member is a
+// no-op.
+func (r *ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for v := 0; v < ringVnodes; v++ {
+		r.points = append(r.points, ringPoint{
+			hash:   ringHash(member + "#" + strconv.Itoa(v)),
+			member: member,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member and its virtual nodes.
+func (r *ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Pick maps key to a member, walking clockwise from the key's hash and
+// skipping members for which skip returns true (draining or excluded
+// workers). Returns "" when the ring is empty or every member is skipped.
+func (r *ring) Pick(key string, skip func(member string) bool) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	tried := make(map[string]struct{}, len(r.members))
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, seen := tried[p.member]; seen {
+			continue
+		}
+		tried[p.member] = struct{}{}
+		if skip == nil || !skip(p.member) {
+			return p.member
+		}
+		if len(tried) == len(r.members) {
+			return ""
+		}
+	}
+	return ""
+}
+
+// Members snapshots the current membership.
+func (r *ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

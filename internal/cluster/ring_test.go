@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic checks the same key always maps to the same member.
+func TestRingDeterministic(t *testing.T) {
+	r := newRing()
+	r.Add("w-001")
+	r.Add("w-002")
+	r.Add("w-003")
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		first := r.Pick(key, nil)
+		if first == "" {
+			t.Fatalf("Pick(%q) = empty on a populated ring", key)
+		}
+		for n := 0; n < 10; n++ {
+			if got := r.Pick(key, nil); got != first {
+				t.Fatalf("Pick(%q) = %q, want stable %q", key, got, first)
+			}
+		}
+	}
+}
+
+// TestRingBalance checks virtual nodes spread keys roughly evenly: no member
+// of a 4-worker ring owns more than half of 1000 keys.
+func TestRingBalance(t *testing.T) {
+	r := newRing()
+	members := []string{"w-001", "w-002", "w-003", "w-004"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		counts[r.Pick(fmt.Sprintf("key-%d", i), nil)]++
+	}
+	for _, m := range members {
+		if counts[m] == 0 {
+			t.Errorf("member %s owns no keys", m)
+		}
+		if counts[m] > 500 {
+			t.Errorf("member %s owns %d/1000 keys — ring badly unbalanced", m, counts[m])
+		}
+	}
+}
+
+// TestRingMinimalDisruption checks removing one member only remaps the keys
+// it owned.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := newRing()
+	for _, m := range []string{"w-001", "w-002", "w-003"} {
+		r.Add(m)
+	}
+	before := make(map[string]string)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before[key] = r.Pick(key, nil)
+	}
+	r.Remove("w-002")
+	for key, owner := range before {
+		got := r.Pick(key, nil)
+		if owner != "w-002" && got != owner {
+			t.Fatalf("key %q moved %s → %s though its owner survived", key, owner, got)
+		}
+		if owner == "w-002" && got == "w-002" {
+			t.Fatalf("key %q still maps to removed member", key)
+		}
+	}
+}
+
+// TestRingSkip checks skip-filtered members are routed around, and an
+// all-skipped ring returns empty.
+func TestRingSkip(t *testing.T) {
+	r := newRing()
+	r.Add("w-001")
+	r.Add("w-002")
+	got := r.Pick("some-key", func(m string) bool { return m == "w-001" })
+	if got != "w-002" {
+		t.Fatalf("Pick with w-001 skipped = %q, want w-002", got)
+	}
+	if got := r.Pick("some-key", func(string) bool { return true }); got != "" {
+		t.Fatalf("Pick with all skipped = %q, want empty", got)
+	}
+	if got := newRing().Pick("k", nil); got != "" {
+		t.Fatalf("Pick on empty ring = %q, want empty", got)
+	}
+}

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"womcpcm/internal/sim"
+)
+
+// waitJobTerminal polls a job to a terminal state.
+func waitJobTerminal(t *testing.T, job *Job, timeout time.Duration) State {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !job.State().Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", job.ID(), job.State())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return job.State()
+}
+
+// TestExecuteHookRemote checks a configured Execute hook replaces local
+// execution: the job succeeds with the hook's result, the local experiment
+// never runs, and queue wait is observed exactly once.
+func TestExecuteHookRemote(t *testing.T) {
+	var calls atomic.Int64
+	canned := &sim.Result{Experiment: "fig5", Text: "remote sentinel"}
+	mgr := New(Config{Workers: 1, QueueDepth: 4,
+		Execute: func(ctx context.Context, job *Job) (*sim.Result, error) {
+			calls.Add(1)
+			return canned, nil
+		}})
+	defer mgr.Shutdown(context.Background()) //nolint:errcheck
+
+	job, err := mgr.Submit(context.Background(), JobRequest{Experiment: "fig5", Params: fastParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitJobTerminal(t, job, 30*time.Second); got != StateSucceeded {
+		t.Fatalf("state = %s, want succeeded", got)
+	}
+	res, err := job.Result()
+	if err != nil || res == nil || res.Text != "remote sentinel" {
+		t.Fatalf("result = %+v, %v; want the hook's canned result", res, err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("Execute called %d times, want 1", got)
+	}
+	if got := mgr.Metrics().QueueWaitSnapshot().Count; got != 1 {
+		t.Errorf("queue wait observations = %d, want 1", got)
+	}
+}
+
+// TestExecuteHookLocalFallback checks ErrExecuteLocally hands the job back
+// to the in-process path, which computes a real result.
+func TestExecuteHookLocalFallback(t *testing.T) {
+	var calls atomic.Int64
+	mgr := New(Config{Workers: 1, QueueDepth: 4,
+		Execute: func(ctx context.Context, job *Job) (*sim.Result, error) {
+			calls.Add(1)
+			return nil, ErrExecuteLocally
+		}})
+	defer mgr.Shutdown(context.Background()) //nolint:errcheck
+
+	job, err := mgr.Submit(context.Background(), JobRequest{Experiment: "fig5", Params: fastParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitJobTerminal(t, job, 60*time.Second); got != StateSucceeded {
+		t.Fatalf("state = %s, want succeeded", got)
+	}
+	res, err := job.Result()
+	if err != nil || res == nil || res.Data == nil {
+		t.Fatalf("result = %+v, %v; want a locally computed result", res, err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("Execute called %d times, want 1", got)
+	}
+}
+
+// TestExecuteHookError checks a hook failure fails the job with the hook's
+// error rather than silently falling back to a local run.
+func TestExecuteHookError(t *testing.T) {
+	boom := errors.New("fleet exploded")
+	mgr := New(Config{Workers: 1, QueueDepth: 4,
+		Execute: func(ctx context.Context, job *Job) (*sim.Result, error) {
+			return nil, boom
+		}})
+	defer mgr.Shutdown(context.Background()) //nolint:errcheck
+
+	job, err := mgr.Submit(context.Background(), JobRequest{Experiment: "fig5", Params: fastParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitJobTerminal(t, job, 30*time.Second); got != StateFailed {
+		t.Fatalf("state = %s, want failed", got)
+	}
+	if _, err := job.Result(); !errors.Is(err, boom) {
+		t.Errorf("result error = %v, want the hook's error", err)
+	}
+	if got := mgr.Metrics().Failed.Load(); got != 1 {
+		t.Errorf("failed counter = %d, want 1", got)
+	}
+}

@@ -68,6 +68,15 @@ type Config struct {
 	DeadlineFraction float64
 	// MonitorInterval spaces monitor passes (default 15s).
 	MonitorInterval time.Duration
+	// Execute, when set, replaces in-process experiment execution: a worker
+	// goroutine that dequeues a job calls it instead of running the
+	// experiment itself. The cluster coordinator (internal/cluster) installs
+	// its dispatcher here, turning the pool into N concurrent remote-job
+	// slots while the queue, admission control, result store, singleflight,
+	// and SSE fan-out stay exactly as in standalone mode. Returning
+	// ErrExecuteLocally falls back to in-process execution for that job
+	// (e.g. no workers registered, or inputs that cannot cross the wire).
+	Execute ExecuteFunc
 	// ProfileCPUDuration is how long a capture samples CPU (default 500ms).
 	ProfileCPUDuration time.Duration
 }
@@ -96,6 +105,16 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// ExecuteFunc runs one job outside the manager (see Config.Execute). ctx
+// carries the job's timeout and cancellation; implementations must return
+// ctx.Err() when it ends the run so the manager maps the outcome onto the
+// usual timed-out/canceled states.
+type ExecuteFunc func(ctx context.Context, job *Job) (*sim.Result, error)
+
+// ErrExecuteLocally is returned by an ExecuteFunc to decline a job: the
+// manager runs it in-process instead, exactly as in standalone mode.
+var ErrExecuteLocally = errors.New("engine: execute locally")
 
 // Admission and lifecycle errors, mapped to HTTP statuses by the server.
 var (
@@ -290,6 +309,7 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 		state:     StateQueued,
 		submitted: time.Now(),
 		hub:       newStreamHub(m.metrics),
+		startedCh: make(chan struct{}),
 	}
 	select {
 	case m.queue <- job:
@@ -424,16 +444,33 @@ func (m *Manager) runJob(job *Job) {
 	m.metrics.ObserveQueueWait(time.Since(job.submittedAt()))
 	m.log.Info("job started", "job", job.id, "experiment", job.exp.Name,
 		"request_id", job.reqID)
-	// Host-time accounting brackets the run. A nil span (DisablePerf) makes
-	// every perf touchpoint below a single pointer check — the probe
-	// contract, pinned by perfmon's BenchmarkSpanDisabled.
-	var span *perfmon.Span
-	if !m.cfg.DisablePerf {
-		span = perfmon.Begin()
-		job.span.Store(span)
-	}
 	start := time.Now()
-	res, err := job.exp.Run(m.jobContext(ctx, job), job.params)
+	var (
+		res    *sim.Result
+		err    error
+		span   *perfmon.Span
+		remote bool
+	)
+	// A configured Execute hook (cluster coordinator) gets the job first; it
+	// declines with ErrExecuteLocally when no worker can take it.
+	if m.cfg.Execute != nil {
+		res, err = m.cfg.Execute(ctx, job)
+		if errors.Is(err, ErrExecuteLocally) {
+			res, err = nil, nil
+		} else {
+			remote = true
+		}
+	}
+	if !remote {
+		// Host-time accounting brackets the local run. A nil span
+		// (DisablePerf) makes every perf touchpoint below a single pointer
+		// check — the probe contract, pinned by BenchmarkSpanDisabled.
+		if !m.cfg.DisablePerf {
+			span = perfmon.Begin()
+			job.span.Store(span)
+		}
+		res, err = job.exp.Run(m.jobContext(ctx, job), job.params)
+	}
 	m.metrics.Running.Add(-1)
 	wall := time.Since(start)
 	m.metrics.ObserveWall(job.exp.Name, wall)
@@ -441,6 +478,13 @@ func (m *Manager) runJob(job *Job) {
 		rec := span.End()
 		job.setPerf(rec)
 		m.metrics.ObservePerf(job.exp.Name, rec)
+	} else if remote {
+		// A remote job's accounting was measured on the worker and installed
+		// via SetRemotePerf; fold it into the fleet-facing histograms here.
+		if rec := job.perfRecord(); rec != nil {
+			m.metrics.ObservePerf(job.exp.Name, *rec)
+			m.metrics.AddWriteClasses(classArray(job.classCounts()))
+		}
 	}
 	switch {
 	case err == nil:
@@ -465,6 +509,9 @@ func (m *Manager) runJob(job *Job) {
 	attrs := []any{"job", job.id, "experiment", job.exp.Name,
 		"request_id", job.reqID, "state", string(job.State()),
 		"duration_ms", wall.Milliseconds()}
+	if w := job.workerID(); w != "" {
+		attrs = append(attrs, "worker", w)
+	}
 	if err != nil {
 		attrs = append(attrs, "error", err.Error())
 		m.log.Warn("job finished", attrs...)

@@ -50,6 +50,7 @@ type Server struct {
 	debug     bool
 	heartbeat time.Duration
 	poller    *perfmon.Poller
+	promExtra []func(io.Writer)
 }
 
 // ServerOption configures NewServer.
@@ -88,6 +89,17 @@ func WithHeartbeat(d time.Duration) ServerOption {
 // the poller's lifecycle — Start it before serving, Stop it on shutdown.
 func WithRuntimeMetrics(p *perfmon.Poller) ServerOption {
 	return func(s *Server) { s.poller = p }
+}
+
+// WithPromAppender appends extra metric families to GET /metrics — the hook
+// the cluster coordinator uses to export womd_cluster_* alongside the
+// service counters. f must emit valid Prometheus text exposition.
+func WithPromAppender(f func(io.Writer)) ServerOption {
+	return func(s *Server) {
+		if f != nil {
+			s.promExtra = append(s.promExtra, f)
+		}
+	}
 }
 
 // NewServer wires the routes over m.
@@ -570,6 +582,9 @@ func (s *Server) promMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.poller != nil {
 		s.poller.WriteProm(w)
+	}
+	for _, f := range s.promExtra {
+		f(w)
 	}
 }
 

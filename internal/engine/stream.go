@@ -18,11 +18,13 @@ import (
 // experiment's clock must never wait on a slow network reader.
 const streamClientBuf = 256
 
-// streamEvent is one SSE frame: the event name plus a single-line JSON
-// payload (json.Marshal emits no newlines, so one data: line suffices).
-type streamEvent struct {
-	name string
-	data []byte
+// StreamEvent is one live job event: the event name plus a single-line JSON
+// payload (json.Marshal emits no newlines, so one SSE data: line suffices).
+// Exported so cluster workers can forward a job's feed (Job.SubscribeStream)
+// to their coordinator.
+type StreamEvent struct {
+	Name string
+	Data []byte
 }
 
 // streamWindow is the "window" event payload: one finalized telemetry window
@@ -35,7 +37,7 @@ type streamWindow struct {
 // streamSub is one subscriber's bounded event feed. The channel closes when
 // the job reaches a terminal state.
 type streamSub struct {
-	ch chan streamEvent
+	ch chan StreamEvent
 }
 
 // streamHub fans one job's live events (telemetry windows, progress) out to
@@ -65,7 +67,13 @@ func (h *streamHub) publish(name string, v any) {
 	if err != nil {
 		return
 	}
-	ev := streamEvent{name: name, data: data}
+	h.publishRaw(name, data)
+}
+
+// publishRaw offers an already-marshaled event to every subscriber —
+// the pass-through for frames that arrive marshaled from a cluster worker.
+func (h *streamHub) publishRaw(name string, data []byte) {
+	ev := StreamEvent{Name: name, Data: data}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -96,7 +104,7 @@ func (h *streamHub) droppedCount() uint64 {
 // returns an already-closed feed, so callers fall straight through to the
 // terminal event.
 func (h *streamHub) subscribe() (*streamSub, func()) {
-	sub := &streamSub{ch: make(chan streamEvent, streamClientBuf)}
+	sub := &streamSub{ch: make(chan StreamEvent, streamClientBuf)}
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -188,7 +196,7 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request) {
 				sendDone()
 				return
 			}
-			if !writeEvent(ev.name, ev.data) {
+			if !writeEvent(ev.Name, ev.Data) {
 				return
 			}
 		}

@@ -220,8 +220,8 @@ func TestStreamDropAccounting(t *testing.T) {
 	for i := 0; i < streamClientBuf; i++ {
 		ev := <-sub.ch
 		var p ProgressView
-		if err := json.Unmarshal(ev.data, &p); err != nil || p.Done != int64(i) {
-			t.Fatalf("event %d = %s (err %v)", i, ev.data, err)
+		if err := json.Unmarshal(ev.Data, &p); err != nil || p.Done != int64(i) {
+			t.Fatalf("event %d = %s (err %v)", i, ev.Data, err)
 		}
 	}
 }

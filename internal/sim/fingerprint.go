@@ -1,0 +1,23 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+)
+
+// RegistryFingerprint identifies this binary's experiment surface: the
+// (Params, Result) schema version plus the sorted registry names, hashed.
+// Cluster nodes exchange it at registration (internal/cluster), so a
+// coordinator never dispatches to a worker built with a different registry
+// or wire schema — a mismatched worker would silently compute different
+// results under the same resultstore content key.
+func RegistryFingerprint() string {
+	h := sha256.New()
+	io.WriteString(h, SchemaVersion) //nolint:errcheck // hash writes cannot fail
+	for _, name := range ExperimentNames() {
+		io.WriteString(h, "\x00") //nolint:errcheck
+		io.WriteString(h, name)   //nolint:errcheck
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryFingerprint checks the handshake value is stable within one
+// binary, hex-shaped, and derived from the schema version — the property the
+// cluster registration guard relies on.
+func TestRegistryFingerprint(t *testing.T) {
+	fp := RegistryFingerprint()
+	if fp != RegistryFingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint length = %d, want 16", len(fp))
+	}
+	if strings.ToLower(fp) != fp {
+		t.Errorf("fingerprint %q not lowercase hex", fp)
+	}
+	for _, c := range fp {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("fingerprint %q contains non-hex %q", fp, c)
+		}
+	}
+}

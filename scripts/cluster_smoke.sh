@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# cluster_smoke.sh — end-to-end cluster check against real processes.
+#
+# Builds womd, starts a coordinator and one worker on localhost, submits a
+# small fig5 job through the coordinator's public API, and asserts that it
+# completes AND that it executed on the worker (the job view carries a
+# worker id). Exercises the same wire path as production: register,
+# heartbeat, dispatch, event stream, result.
+#
+# Usage: scripts/cluster_smoke.sh [coordinator-port] [worker-port]
+set -eu
+
+COORD_PORT="${1:-18080}"
+WORKER_PORT="${2:-18081}"
+COORD="http://127.0.0.1:${COORD_PORT}"
+WORKER="http://127.0.0.1:${WORKER_PORT}"
+WORKDIR="$(mktemp -d)"
+COORD_PID=""
+WORKER_PID=""
+
+cleanup() {
+    [ -n "$WORKER_PID" ] && kill "$WORKER_PID" 2>/dev/null || true
+    [ -n "$COORD_PID" ] && kill "$COORD_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "FAIL: $*" >&2
+    echo "--- coordinator log ---" >&2
+    cat "$WORKDIR/coordinator.log" >&2 || true
+    echo "--- worker log ---" >&2
+    cat "$WORKDIR/worker.log" >&2 || true
+    exit 1
+}
+
+# Poll url until its body matches pattern or ~15s pass.
+wait_for() {
+    url="$1"; pattern="$2"; what="$3"
+    i=0
+    while [ "$i" -lt 150 ]; do
+        if curl -fsS "$url" 2>/dev/null | grep -q "$pattern"; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    fail "$what (no match for '$pattern' at $url)"
+}
+
+echo "==> building womd"
+go build -o "$WORKDIR/womd" ./cmd/womd
+
+echo "==> starting coordinator on :$COORD_PORT"
+"$WORKDIR/womd" -role=coordinator -addr ":$COORD_PORT" \
+    -cluster-heartbeat 500ms -cluster-evict-after 3s \
+    >"$WORKDIR/coordinator.log" 2>&1 &
+COORD_PID=$!
+wait_for "$COORD/v1/experiments" '"fig5"' "coordinator never came up"
+
+echo "==> starting worker on :$WORKER_PORT"
+"$WORKDIR/womd" -role=worker -addr ":$WORKER_PORT" -coordinator "$COORD" \
+    -cluster-name smoke-worker -cluster-heartbeat 500ms \
+    >"$WORKDIR/worker.log" 2>&1 &
+WORKER_PID=$!
+wait_for "$COORD/cluster/v1/workers" '"smoke-worker"' "worker never registered"
+
+echo "==> submitting fig5 job to the coordinator"
+job=$(curl -fsS -X POST "$COORD/v1/jobs" -H 'Content-Type: application/json' \
+    -d '{"experiment":"fig5","params":{"requests":20000,"bench":["qsort"],"ranks":4,"seed":7}}') \
+    || fail "job submission rejected"
+job_id=$(echo "$job" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$job_id" ] || fail "no job id in submit response: $job"
+echo "    job $job_id accepted"
+
+wait_for "$COORD/v1/jobs/$job_id" '"state": *"succeeded"' "job never succeeded"
+
+view=$(curl -fsS "$COORD/v1/jobs/$job_id")
+echo "$view" | grep -q '"worker": *"w-' \
+    || fail "job completed but not on a worker: $view"
+curl -fsS "$COORD/v1/jobs/$job_id/result" | grep -q '"experiment": *"fig5"' \
+    || fail "result endpoint did not serve the fig5 result"
+curl -fsS "$COORD/metrics" | grep -q 'womd_cluster_dispatch_total{worker="w-001",outcome="ok"} 1' \
+    || fail "dispatch metric missing from /metrics"
+
+worker_id=$(echo "$view" | sed -n 's/.*"worker": *"\([^"]*\)".*/\1/p' | head -n 1)
+echo "==> OK: job $job_id executed on worker $worker_id"
