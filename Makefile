@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet fmt-check race fuzz bench bench-probe bench-suite bench-compare cluster-smoke cluster-demo verify clean
+.PHONY: all build test vet fmt-check race fuzz bench bench-probe bench-suite bench-compare cluster-smoke cluster-demo loadgen-smoke verify clean
 
 all: verify
 
@@ -48,6 +48,12 @@ bench-compare:
 # localhost, one job over the wire, asserted to have run on the worker.
 cluster-smoke:
 	scripts/cluster_smoke.sh
+
+# End-to-end multi-tenant load check: womd -tenants + womtool loadgen over
+# a short Poisson run, interactive SLO asserted, SIGHUP reload exercised.
+# The womcpcm-loadgen-v1 report lands at ./loadgen-report.json.
+loadgen-smoke:
+	scripts/loadgen_smoke.sh
 
 # Interactive cluster on localhost: coordinator on :8080, two workers on
 # :8081/:8082. Submit jobs to http://127.0.0.1:8080/v1/jobs and watch

@@ -9,6 +9,14 @@
 // share one execution, and /v1/results, /v1/baselines, and /v1/compare
 // expose the cache, pinned baselines, and regression reports.
 //
+// With -tenants FILE the daemon replaces its FIFO queue with a multi-tenant
+// SLO scheduler (internal/sched): weighted-fair dequeue across tenant
+// classes, earliest-deadline-first within one, and graduated load shedding
+// whose 429s carry a Retry-After computed from the observed drain rate.
+// GET /v1/tenants shows live per-tenant state, womd_tenant_* families
+// appear on /metrics, and SIGHUP re-reads the file without dropping queued
+// work.
+//
 // Performance observability is on by default: every job carries a host-time
 // perf record (wall clock, simulated events/sec, allocation, CPU) surfaced
 // in its JobView and as womd_job_* histograms on /metrics, and a
@@ -66,6 +74,7 @@ import (
 	"womcpcm/internal/engine"
 	"womcpcm/internal/perfmon"
 	"womcpcm/internal/resultstore"
+	"womcpcm/internal/sched"
 )
 
 func main() {
@@ -73,6 +82,7 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		workers    = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
 		queue      = flag.Int("queue", 64, "job queue depth; full queue returns HTTP 429")
+		tenants    = flag.String("tenants", "", "tenant scheduling config (JSON); enables multi-tenant SLO scheduling, hot-reloaded on SIGHUP")
 		timeout    = flag.Duration("timeout", 15*time.Minute, "default per-job timeout (0 = none)")
 		drain      = flag.Duration("drain", 2*time.Minute, "graceful drain budget on shutdown")
 		maxRecords = flag.Int("max-trace-records", 4<<20, "per-upload trace record cap")
@@ -170,6 +180,40 @@ func main() {
 	if coord != nil {
 		cfg.Execute = coord.Execute
 	}
+	// Multi-tenant SLO scheduling: replace the FIFO queue with the
+	// weighted-fair scheduler and hot-reload its config on SIGHUP.
+	var scheduler *sched.Scheduler
+	if *tenants != "" {
+		scfg, err := sched.LoadConfig(*tenants)
+		if err != nil {
+			logger.Error("loading tenant config", "path", *tenants, "error", err)
+			os.Exit(1)
+		}
+		scheduler = sched.New(scfg)
+		cfg.Queue = engine.NewTenantQueue(scheduler)
+		logger.Info("multi-tenant scheduling enabled", "path", *tenants,
+			"tenants", len(scfg.Tenants), "default_tenant", scfg.DefaultTenant,
+			"max_depth", scfg.MaxDepth)
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				scfg, err := sched.LoadConfig(*tenants)
+				if err != nil {
+					logger.Error("tenant config reload failed; keeping previous config",
+						"path", *tenants, "error", err)
+					continue
+				}
+				if err := scheduler.Reload(scfg); err != nil {
+					logger.Error("tenant config reload rejected; keeping previous config",
+						"path", *tenants, "error", err)
+					continue
+				}
+				logger.Info("tenant config reloaded", "path", *tenants,
+					"tenants", len(scfg.Tenants), "default_tenant", scfg.DefaultTenant)
+			}
+		}()
+	}
 	mgr := engine.New(cfg)
 	if coord != nil {
 		coord.AttachManager(mgr)
@@ -218,6 +262,9 @@ func main() {
 	opts := []engine.ServerOption{engine.WithLogger(logger)}
 	if coord != nil {
 		opts = append(opts, engine.WithPromAppender(coord.WriteProm))
+	}
+	if scheduler != nil {
+		opts = append(opts, engine.WithPromAppender(scheduler.WriteProm))
 	}
 	if *debug {
 		opts = append(opts, engine.WithDebug())

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"womcpcm/internal/loadgen"
+)
+
+// loadgenCmd drives `womtool loadgen`: an open-loop load run against a womd
+// instance, emitting the womcpcm-loadgen-v1 report and optionally asserting
+// SLO attainment and shed distribution for CI gates.
+func loadgenCmd(args []string) {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8080", "base URL of the womd instance under load")
+	mixPath := fs.String("mix", "", "mix file: duration, arrival process, tenant shares (required)")
+	out := fs.String("o", "", "write the JSON report here (default stdout)")
+	duration := fs.Float64("duration", 0, "override the mix duration_s")
+	seed := fs.Int64("seed", -1, "override the mix arrival seed (-1 keeps the mix value)")
+	poll := fs.Duration("poll", 25*time.Millisecond, "job status poll interval")
+	drain := fs.Duration("drain", 60*time.Second, "wait this long after the last arrival for admitted jobs to finish")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	assertSLO := fs.String("assert-slo", "",
+		"comma-separated tenants whose queue-wait SLO (mix slo_ms) must be attained; exit 1 otherwise")
+	assertShed := fs.String("assert-shed-share", "",
+		"tenant=fraction: the tenant must absorb at least this fraction of all sheds (vacuous when nothing shed); exit 1 otherwise")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if *mixPath == "" {
+		fmt.Fprintln(os.Stderr, "womtool loadgen: -mix is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	mix, err := loadgen.LoadMix(*mixPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *duration > 0 {
+		mix.DurationS = *duration
+	}
+	if *seed >= 0 {
+		mix.Arrival.Seed = *seed
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Run(ctx, loadgen.Options{
+		BaseURL:      *url,
+		Mix:          mix,
+		PollInterval: *poll,
+		DrainTimeout: *drain,
+		Logf:         logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		os.Stdout.Write(doc) //nolint:errcheck // stdout
+	} else if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fatal(err)
+	}
+
+	failed := false
+	for _, name := range splitList(*assertSLO) {
+		t := rep.Tenant(name)
+		switch {
+		case t == nil:
+			fmt.Fprintf(os.Stderr, "womtool loadgen: assert-slo: tenant %q not in mix\n", name)
+			failed = true
+		case t.SLOAttained == nil:
+			fmt.Fprintf(os.Stderr, "womtool loadgen: assert-slo: tenant %q has no slo_ms in the mix\n", name)
+			failed = true
+		case !*t.SLOAttained:
+			fmt.Fprintf(os.Stderr,
+				"womtool loadgen: SLO MISSED: tenant %q p95 queue wait %.1fms > target %.1fms (completed %d)\n",
+				name, t.QueueWaitMs.P95, t.SLOMs, t.Completed)
+			failed = true
+		default:
+			fmt.Fprintf(os.Stderr,
+				"womtool loadgen: SLO ok: tenant %q p95 queue wait %.1fms ≤ %.1fms\n",
+				name, t.QueueWaitMs.P95, t.SLOMs)
+		}
+	}
+	if *assertShed != "" {
+		name, fracStr, ok := strings.Cut(*assertShed, "=")
+		frac, perr := strconv.ParseFloat(fracStr, 64)
+		if !ok || perr != nil || frac < 0 || frac > 1 {
+			fmt.Fprintf(os.Stderr, "womtool loadgen: bad -assert-shed-share %q (want tenant=0.9)\n", *assertShed)
+			os.Exit(2)
+		}
+		if got := rep.ShedShare(name); got < frac {
+			fmt.Fprintf(os.Stderr,
+				"womtool loadgen: SHED SHARE MISSED: tenant %q absorbed %.0f%% of %d sheds, want ≥ %.0f%%\n",
+				name, got*100, rep.Shed, frac*100)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "womtool loadgen: shed share ok: tenant %q absorbed %.0f%% of %d sheds\n",
+				name, got*100, rep.Shed)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

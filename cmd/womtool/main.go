@@ -17,6 +17,7 @@
 //	womtool bench                                  # standardized host-time suite → BENCH_<n>.json
 //	womtool bench -compare BENCH_1.json -tol 0.25  # diff against a pinned report
 //	womtool report series.json -o report.html      # render womsim -series output
+//	womtool loadgen -mix mix.json -o report.json   # open-loop load run against womd
 package main
 
 import (
@@ -49,13 +50,15 @@ func main() {
 		bench(os.Args[2:])
 	case "report":
 		report(os.Args[2:])
+	case "loadgen":
+		loadgenCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name] | bench [-tier short|full] [-compare BASELINE] | report <series.json> [-o report.html]")
+	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name] | bench [-tier short|full] [-compare BASELINE] | report <series.json> [-o report.html] | loadgen -mix MIX [-url URL] [-o REPORT]")
 	os.Exit(2)
 }
 

@@ -209,9 +209,11 @@ func (a *Agent) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req := engine.JobRequest{
-		Experiment: spec.Experiment,
-		Params:     spec.Params,
-		TimeoutMs:  spec.TimeoutMs,
+		Experiment:   spec.Experiment,
+		Params:       spec.Params,
+		TimeoutMs:    spec.TimeoutMs,
+		Tenant:       spec.Tenant,
+		AdmittedAtMs: spec.AdmittedAtMs,
 	}
 	if spec.TraceID != "" {
 		localID, err := a.resolveTrace(r.Context(), spec.TraceID, spec.TraceLabel)

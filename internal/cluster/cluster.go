@@ -97,6 +97,14 @@ type DispatchRequest struct {
 	TraceID    string     `json:"trace_id,omitempty"`
 	TraceLabel string     `json:"trace_label,omitempty"`
 	TimeoutMs  int64      `json:"timeout_ms,omitempty"`
+	// Tenant bills the job to the same scheduling class on the worker as
+	// on the coordinator (womd -tenants).
+	Tenant string `json:"tenant,omitempty"`
+	// AdmittedAtMs is the coordinator-side first-admission time
+	// (Unix milliseconds), so the worker measures queue-wait and any
+	// tenant deadline from the client's original admission — a requeued
+	// or stolen job does not have its deadline restarted at each hop.
+	AdmittedAtMs int64 `json:"admitted_at_ms,omitempty"`
 }
 
 // DispatchResponse acknowledges a dispatch with the worker-local job id all

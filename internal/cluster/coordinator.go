@@ -614,6 +614,10 @@ func (c *Coordinator) runOn(ctx context.Context, ws *workerState, job *engine.Jo
 		TraceID:    job.Request().TraceID,
 		TraceLabel: job.Params().TraceLabel,
 		TimeoutMs:  job.Timeout().Milliseconds(),
+		Tenant:     job.TenantName(),
+	}
+	if at := job.SubmittedAt(); !at.IsZero() {
+		spec.AdmittedAtMs = at.UnixMilli()
 	}
 	var ack DispatchResponse
 	dctx, dcancel := context.WithTimeout(context.Background(), dispatchTimeout)

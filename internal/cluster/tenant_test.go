@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"womcpcm/internal/engine"
+	"womcpcm/internal/sim"
+)
+
+// TestDispatchPreservesTenantAdmission: a job dispatched to a worker carries
+// its tenant and original admission time, so the worker-side engine measures
+// queue-wait (and any tenant deadline) from the client's first admission
+// rather than restarting the clock at the hop.
+func TestDispatchPreservesTenantAdmission(t *testing.T) {
+	tc := newTestCluster(t, Config{}, engine.Config{})
+	w := tc.addWorker("alpha")
+
+	then := time.Now().Add(-3 * time.Second)
+	job, err := tc.mgr.Submit(context.Background(), engine.JobRequest{
+		Experiment:   "fig5",
+		Params:       sim.Params{Requests: 20000, Seed: 7, Bench: []string{"qsort"}, Ranks: 4},
+		Tenant:       "batch",
+		AdmittedAtMs: then.UnixMilli(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, job, engine.StateSucceeded, 60*time.Second)
+
+	jobs := w.mgr.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("worker ran %d jobs, want 1", len(jobs))
+	}
+	remote := jobs[0]
+	if got := remote.TenantName(); got != "batch" {
+		t.Errorf("worker-side tenant = %q, want batch", got)
+	}
+	if got := remote.SubmittedAt(); got.Sub(then).Abs() > 100*time.Millisecond {
+		t.Errorf("worker-side SubmittedAt = %v, want ≈ %v (admission preserved across dispatch)", got, then)
+	}
+	if got := job.SubmittedAt(); got.Sub(then).Abs() > 100*time.Millisecond {
+		t.Errorf("coordinator-side SubmittedAt = %v, want ≈ %v", got, then)
+	}
+}

@@ -46,6 +46,15 @@ type JobRequest struct {
 	TraceID string `json:"trace_id,omitempty"`
 	// TimeoutMs bounds the run; 0 selects the manager's default.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Tenant names the scheduling class this submission bills to; unknown
+	// or empty names map to the default tenant. Ignored (but recorded in
+	// the JobView) when womd runs without -tenants.
+	Tenant string `json:"tenant,omitempty"`
+	// AdmittedAtMs is the Unix-millisecond time the job was first admitted,
+	// set by a cluster coordinator re-submitting the job on a worker so its
+	// queue-wait and tenant deadline stay measured from the original
+	// admission. 0 (external submissions) means "now".
+	AdmittedAtMs int64 `json:"admitted_at_ms,omitempty"`
 }
 
 // Job is one submitted experiment moving through the manager.
@@ -60,6 +69,11 @@ type Job struct {
 	cached  bool   // served from the result store without executing
 	dedupOf string // leader job id this submission was folded into
 	reqID   string // submitting request's id, carried into lifecycle logs
+	// tenant is the scheduling class the job was admitted under: the
+	// canonical name resolved by the tenant queue, or the raw request
+	// tenant on the default FIFO. Written only before the job is visible
+	// to workers (Submit/Enqueue), so reads need no lock.
+	tenant string
 
 	// startedCh closes when the job transitions Queued → Running; set only
 	// for jobs that will actually execute (queue leaders). Cluster workers
@@ -137,6 +151,12 @@ func (j *Job) Params() sim.Params { return j.params }
 
 // Timeout returns the job's execution bound; 0 means unbounded.
 func (j *Job) Timeout() time.Duration { return j.timeout }
+
+// TenantName returns the scheduling class the job was admitted under ("",
+// when submitted without a tenant on the default FIFO queue). A cluster
+// coordinator forwards it in the dispatch so the worker bills the same
+// class.
+func (j *Job) TenantName() string { return j.tenant }
 
 // closedCh is the Started answer for jobs that never pass through the queue.
 var closedCh = func() chan struct{} {
@@ -229,6 +249,11 @@ func (j *Job) submittedAt() time.Time {
 	defer j.mu.Unlock()
 	return j.submitted
 }
+
+// SubmittedAt exposes the job's first admission time. A cluster
+// coordinator forwards it in the dispatch (DispatchRequest.AdmittedAtMs)
+// so a worker's queue-wait accounting starts at the original admission.
+func (j *Job) SubmittedAt() time.Time { return j.submittedAt() }
 
 // Result returns the experiment result once the job succeeded.
 func (j *Job) Result() (*sim.Result, error) {
@@ -462,7 +487,9 @@ type JobView struct {
 	DedupOf string `json:"dedup_of,omitempty"`
 	// Worker names the cluster worker the job was dispatched to; empty for
 	// jobs executed in-process.
-	Worker      string `json:"worker,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	// Tenant is the scheduling class the job was admitted under.
+	Tenant      string `json:"tenant,omitempty"`
 	SubmittedAt string `json:"submitted_at"`
 	StartedAt   string `json:"started_at,omitempty"`
 	FinishedAt  string `json:"finished_at,omitempty"`
@@ -484,6 +511,7 @@ func (j *Job) View() JobView {
 		Cached:      j.cached,
 		DedupOf:     j.dedupOf,
 		Worker:      j.worker,
+		Tenant:      j.tenant,
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 	}
 	if j.err != nil {

@@ -14,6 +14,7 @@ import (
 	"womcpcm/internal/perfmon"
 	"womcpcm/internal/probe"
 	"womcpcm/internal/resultstore"
+	"womcpcm/internal/sched"
 	"womcpcm/internal/sim"
 	"womcpcm/internal/telemetry"
 )
@@ -27,7 +28,13 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds jobs waiting for a worker (default 64). A full
 	// queue rejects submissions (HTTP 429) instead of queueing unbounded.
+	// Ignored when Queue is set — the queue implementation owns its bound.
 	QueueDepth int
+	// Queue replaces the pending-job buffer; nil selects the default FIFO
+	// of QueueDepth, byte-compatible with the pre-pluggable behavior. womd
+	// -tenants installs NewTenantQueue here for multi-tenant SLO
+	// scheduling.
+	Queue Queue
 	// DefaultTimeout bounds jobs that do not request their own timeout;
 	// 0 means no default bound.
 	DefaultTimeout time.Duration
@@ -126,6 +133,8 @@ var (
 	ErrTooManyJobs = errors.New("engine: too many retained jobs")
 	// ErrNotFound reports an unknown job or trace id.
 	ErrNotFound = errors.New("engine: not found")
+	// ErrNoTenants rejects tenant routes when womd runs without -tenants.
+	ErrNoTenants = errors.New("engine: tenant scheduling not configured (start womd with -tenants)")
 )
 
 // Manager owns the job queue, the worker pool, the trace store, and the
@@ -144,7 +153,7 @@ type Manager struct {
 	jobs     map[string]*Job
 	seq      uint64
 	draining bool
-	queue    chan *Job
+	queue    Queue
 	// inflight tracks one leader job per content key so identical
 	// concurrent submissions share a single execution.
 	inflight map[string]*flight
@@ -167,6 +176,10 @@ type flight struct {
 // New starts a manager and its worker pool.
 func New(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
+	queue := cfg.Queue
+	if queue == nil {
+		queue = newFIFOQueue(cfg.QueueDepth)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:      cfg,
@@ -177,7 +190,7 @@ func New(cfg Config) *Manager {
 		baseCtx:  ctx,
 		abort:    cancel,
 		jobs:     make(map[string]*Job),
-		queue:    make(chan *Job, cfg.QueueDepth),
+		queue:    queue,
 		inflight: make(map[string]*flight),
 	}
 	for w := 0; w < cfg.Workers; w++ {
@@ -203,6 +216,15 @@ func (m *Manager) Store() *resultstore.Store { return m.store }
 
 // Profiles exposes the slow-job profile store; nil when profiling is off.
 func (m *Manager) Profiles() *perfmon.ProfileStore { return m.cfg.Profiles }
+
+// TenantViews snapshots per-tenant scheduling state when the manager runs
+// on a tenant-aware queue; ErrNoTenants otherwise (the default FIFO).
+func (m *Manager) TenantViews() ([]sched.TenantView, error) {
+	if tq, ok := m.queue.(interface{ Views() []sched.TenantView }); ok {
+		return tq.Views(), nil
+	}
+	return nil, ErrNoTenants
+}
 
 // Submit validates the request, resolves its trace reference, and enqueues
 // a job. A full queue or a draining manager rejects immediately —
@@ -238,6 +260,16 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
 	}
 	reqID := RequestIDFrom(ctx)
+	// A job re-dispatched by a cluster coordinator carries its first
+	// admission time, so queue-wait and any tenant deadline are measured
+	// from when the client's submission was admitted — not restarted at
+	// each hop. Future timestamps are clamped to now (clock skew).
+	admitted := time.Now()
+	if req.AdmittedAtMs > 0 {
+		if t := time.UnixMilli(req.AdmittedAtMs); t.Before(admitted) {
+			admitted = t
+		}
+	}
 
 	// Content-address the request when the store can serve or dedup it.
 	var key string
@@ -267,7 +299,7 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 			job := &Job{
 				id: fmt.Sprintf("j-%06d", m.seq), seq: m.seq,
 				exp: exp, req: req, params: params, timeout: timeout,
-				key: key, cached: true, reqID: reqID,
+				key: key, cached: true, reqID: reqID, tenant: req.Tenant,
 				state: StateSucceeded, result: entry.Result,
 				submitted: now, started: now, finished: now,
 			}
@@ -285,8 +317,8 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 			job := &Job{
 				id: fmt.Sprintf("j-%06d", m.seq), seq: m.seq,
 				exp: exp, req: req, params: params, timeout: timeout,
-				key: key, dedupOf: fl.leader.id, reqID: reqID,
-				state: StateQueued, submitted: time.Now(),
+				key: key, dedupOf: fl.leader.id, reqID: reqID, tenant: req.Tenant,
+				state: StateQueued, submitted: admitted,
 				hub: newStreamHub(m.metrics),
 			}
 			fl.waiters = append(fl.waiters, job)
@@ -306,17 +338,16 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 		timeout:   timeout,
 		key:       key,
 		reqID:     reqID,
+		tenant:    req.Tenant,
 		state:     StateQueued,
-		submitted: time.Now(),
+		submitted: admitted,
 		hub:       newStreamHub(m.metrics),
 		startedCh: make(chan struct{}),
 	}
-	select {
-	case m.queue <- job:
-	default:
+	if err := m.queue.Enqueue(job); err != nil {
 		m.seq-- // id not spent
 		m.metrics.Rejected.Add(1)
-		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
+		return nil, err
 	}
 	m.jobs[job.id] = job
 	if key != "" {
@@ -384,7 +415,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.draining {
 		m.draining = true
-		close(m.queue) // safe: submitters enqueue under m.mu and check draining
+		m.queue.Close() // safe: submitters enqueue under m.mu and check draining
 		if m.monStop != nil {
 			close(m.monStop)
 		}
@@ -412,9 +443,14 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 // worker executes queued jobs until the queue closes on drain.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for job := range m.queue {
+	for {
+		job, ok := m.queue.Dequeue()
+		if !ok {
+			return
+		}
 		m.metrics.QueueDepth.Add(-1)
 		m.runJob(job)
+		m.queue.Done(job)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 
 	"womcpcm/internal/perfmon"
 	"womcpcm/internal/resultstore"
+	"womcpcm/internal/sched"
 	"womcpcm/internal/sim"
 )
 
@@ -34,6 +36,7 @@ import (
 //	GET    /v1/traces           list uploads
 //	DELETE /v1/traces/{id}      drop an upload
 //	GET    /v1/experiments      list the experiment registry
+//	GET    /v1/tenants          per-tenant scheduler state (womd -tenants)
 //	GET    /v1/results          list cached results (when a store is wired)
 //	GET    /v1/results/{key}    one cached result, full body
 //	POST   /v1/baselines        pin a named baseline snapshot {"name": "..."}
@@ -122,6 +125,7 @@ func NewServer(m *Manager, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/traces", s.listTraces)
 	s.mux.HandleFunc("DELETE /v1/traces/{id}", s.deleteTrace)
 	s.mux.HandleFunc("GET /v1/experiments", s.listExperiments)
+	s.mux.HandleFunc("GET /v1/tenants", s.listTenants)
 	s.mux.HandleFunc("GET /v1/results", s.listResults)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.getStoredResult)
 	s.mux.HandleFunc("POST /v1/baselines", s.pinBaseline)
@@ -235,7 +239,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // client gone mid-response
 }
 
-// writeError maps engine errors onto HTTP statuses.
+// writeError maps engine errors onto HTTP statuses. Shed submissions
+// (queue full, tenant shed) additionally carry a Retry-After header
+// computed from the observed drain rate and machine-readable reason and
+// tenant fields, so clients back off proportionally to the real backlog.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
@@ -247,8 +254,26 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusInsufficientStorage
 	case errors.Is(err, ErrNotFound), errors.Is(err, resultstore.ErrNoBaseline):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrNoStore), errors.Is(err, ErrNoProfiles):
+	case errors.Is(err, ErrNoStore), errors.Is(err, ErrNoProfiles), errors.Is(err, ErrNoTenants):
 		status = http.StatusNotImplemented
+	}
+	var se *sched.ShedError
+	if errors.As(err, &se) {
+		secs := int64(math.Ceil(se.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		body := map[string]any{
+			"error":         err.Error(),
+			"reason":        se.Reason,
+			"retry_after_s": secs,
+		}
+		if se.Tenant != "" {
+			body["tenant"] = se.Tenant
+		}
+		writeJSON(w, status, body)
+		return
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -424,6 +449,18 @@ func (s *Server) deleteTrace(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) listExperiments(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"experiments": sim.Experiments()})
+}
+
+// listTenants serves GET /v1/tenants: per-tenant scheduling state (depth,
+// in-flight, sheds by reason, SLO attainment, queue-wait quantiles). 501
+// when womd runs without -tenants.
+func (s *Server) listTenants(w http.ResponseWriter, _ *http.Request) {
+	views, err := s.m.TenantViews()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": views})
 }
 
 // requireStore resolves the result store or reports ErrNoStore.

@@ -1,0 +1,131 @@
+package loadgen_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"womcpcm/internal/engine"
+	"womcpcm/internal/loadgen"
+	"womcpcm/internal/sched"
+	"womcpcm/internal/sim"
+)
+
+// TestMMPPOverloadSLO is the acceptance run for multi-tenant scheduling: a
+// 3-tenant mix under a bursty MMPP arrival process whose bursts (400/s)
+// overflow a service with ~200 jobs/s capacity. The scheduler must hold the
+// interactive tenant's p95 queue-wait SLO while graduated shedding pushes
+// nearly all rejections onto the best-effort tenant.
+func TestMMPPOverloadSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load run")
+	}
+
+	// Capacity: 2 workers × 10ms per job ≈ 200 jobs/s.
+	scheduler := sched.New(sched.Config{
+		Tenants: []sched.TenantClass{
+			{Name: "interactive", Weight: 8, Priority: 0, DeadlineMs: 400},
+			{Name: "batch", Weight: 3, Priority: 1, DeadlineMs: 5000},
+			{Name: "best-effort", Weight: 1, Priority: 2},
+		},
+		DefaultTenant: "best-effort",
+		MaxDepth:      120, // thresholds: interactive 120, batch 80, best-effort 40
+	})
+	mgr := engine.New(engine.Config{
+		Workers: 2,
+		Queue:   engine.NewTenantQueue(scheduler),
+		Execute: func(ctx context.Context, job *engine.Job) (*sim.Result, error) {
+			select {
+			case <-time.After(10 * time.Millisecond):
+				return &sim.Result{Experiment: job.Experiment()}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		mgr.Shutdown(ctx) //nolint:errcheck
+	}()
+	ts := httptest.NewServer(engine.NewServer(mgr))
+	defer ts.Close()
+
+	params := json.RawMessage(`{"requests":20000,"seed":7,"bench":["qsort"],"ranks":4}`)
+	mix := loadgen.Mix{
+		DurationS: 8,
+		Arrival: loadgen.ArrivalSpec{
+			Process:       "mmpp",
+			RatePerS:      100, // calm: under capacity
+			BurstRatePerS: 400, // burst: 2× capacity
+			MeanCalmS:     1.5,
+			MeanBurstS:    1.5,
+			Seed:          11,
+		},
+		// Shares keep burst-time interactive+batch demand (0.3 × 400 =
+		// 120/s) below capacity even on slow machines (e.g. under -race),
+		// so best-effort is always the tenant the graduated thresholds
+		// push the overflow onto.
+		Tenants: []loadgen.TenantMix{
+			{Name: "interactive", Share: 0.15, Experiment: "fig5", Params: params, SLOMs: 400},
+			{Name: "batch", Share: 0.15, Experiment: "fig5", Params: params},
+			{Name: "best-effort", Share: 0.7, Experiment: "fig5", Params: params},
+		},
+	}
+	rep, err := loadgen.Run(context.Background(), loadgen.Options{
+		BaseURL:      ts.URL,
+		Mix:          mix,
+		PollInterval: 10 * time.Millisecond,
+		DrainTimeout: 30 * time.Second,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Schema != loadgen.Schema {
+		t.Errorf("schema = %q, want %q", rep.Schema, loadgen.Schema)
+	}
+	if rep.Offered == 0 || rep.Admitted == 0 {
+		t.Fatalf("empty run: offered %d admitted %d", rep.Offered, rep.Admitted)
+	}
+	// The bursts must actually overload the service — otherwise the shed
+	// assertions below are vacuous and the run proves nothing.
+	if rep.Shed == 0 {
+		t.Fatalf("no sheds: offered %.0f/s against ~200/s capacity did not overload", rep.OfferedPerS)
+	}
+	if rep.Unresolved != 0 {
+		t.Errorf("%d admitted jobs never reached a terminal state", rep.Unresolved)
+	}
+	for _, tr := range rep.Tenants {
+		if tr.SubmitErrors != 0 {
+			t.Errorf("tenant %s: %d submit errors", tr.Name, tr.SubmitErrors)
+		}
+		if tr.Failed != 0 {
+			t.Errorf("tenant %s: %d failed jobs", tr.Name, tr.Failed)
+		}
+	}
+
+	// Acceptance: the interactive SLO holds through the overload...
+	inter := rep.Tenant("interactive")
+	if inter == nil || inter.SLOAttained == nil {
+		t.Fatalf("interactive tenant report incomplete: %+v", inter)
+	}
+	if !*inter.SLOAttained {
+		t.Errorf("interactive SLO missed: p95 queue wait %.1fms > %.0fms (completed %d)",
+			inter.QueueWaitMs.P95, inter.SLOMs, inter.Completed)
+	}
+	// ...and best-effort absorbs at least 90%% of the sheds.
+	if share := rep.ShedShare("best-effort"); share < 0.9 {
+		t.Errorf("best-effort absorbed %.1f%% of %d sheds, want ≥ 90%%", share*100, rep.Shed)
+	}
+	// Interactive itself must never have been shed at these depths.
+	if inter.Shed > 0 {
+		t.Errorf("interactive was shed %d times", inter.Shed)
+	}
+	t.Logf("offered %.0f/s attained %.0f/s; interactive p95 wait %.1fms; sheds %d (best-effort %.0f%%)",
+		rep.OfferedPerS, rep.AttainedPerS, inter.QueueWaitMs.P95, rep.Shed,
+		rep.ShedShare("best-effort")*100)
+}

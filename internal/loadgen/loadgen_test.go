@@ -1,0 +1,182 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testMix() Mix {
+	return Mix{
+		DurationS: 10,
+		Arrival:   ArrivalSpec{Process: "poisson", RatePerS: 50, Seed: 42},
+		Tenants: []TenantMix{
+			{Name: "interactive", Share: 0.2, Experiment: "fig5", SLOMs: 400},
+			{Name: "batch", Share: 0.3, Experiment: "fig5"},
+			{Name: "best-effort", Share: 0.5, Experiment: "fig5"},
+		},
+	}
+}
+
+// TestScheduleDeterministic: a fixed seed reproduces the exact arrival
+// schedule — times and tenant attribution — and a different seed does not.
+func TestScheduleDeterministic(t *testing.T) {
+	mix := testMix()
+	a, err := mix.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mix.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Tenant.Name != b[i].Tenant.Name {
+			t.Fatalf("arrival %d differs across runs: %v/%s vs %v/%s",
+				i, a[i].At, a[i].Tenant.Name, b[i].At, b[i].Tenant.Name)
+		}
+		if i > 0 && a[i].At < a[i-1].At {
+			t.Fatalf("arrival %d out of order: %v after %v", i, a[i].At, a[i-1].At)
+		}
+		if a[i].At < 0 || a[i].At >= 10*time.Second {
+			t.Fatalf("arrival %d outside the run window: %v", i, a[i].At)
+		}
+	}
+	mix.Arrival.Seed = 43
+	c, err := mix.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].At != c[i].At {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("changing the seed did not change the schedule")
+	}
+}
+
+// TestScheduleSharesAndRate: over many arrivals, the tenant split tracks the
+// shares and the arrival count tracks rate×duration.
+func TestScheduleSharesAndRate(t *testing.T) {
+	mix := testMix()
+	mix.DurationS = 40 // 2000 expected arrivals
+	schedule, err := mix.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mix.Arrival.RatePerS * mix.DurationS
+	if got := float64(len(schedule)); math.Abs(got-want) > 0.2*want {
+		t.Fatalf("arrivals = %g, want ≈ %g (Poisson at %g/s over %gs)",
+			got, want, mix.Arrival.RatePerS, mix.DurationS)
+	}
+	counts := map[string]int{}
+	for _, a := range schedule {
+		counts[a.Tenant.Name]++
+	}
+	for _, tm := range mix.Tenants {
+		got := float64(counts[tm.Name]) / float64(len(schedule))
+		if math.Abs(got-tm.Share) > 0.05 {
+			t.Errorf("tenant %s share = %.3f, want ≈ %.3f", tm.Name, got, tm.Share)
+		}
+	}
+}
+
+// TestMMPPBurstsRaiseRate: the two-state process offers more load than a
+// pure calm-rate Poisson and less than a pure burst-rate one.
+func TestMMPPBurstsRaiseRate(t *testing.T) {
+	p := MMPP2{RatePerS: 50, BurstRatePerS: 400, MeanCalmS: 2, MeanBurstS: 2}
+	rng := rand.New(rand.NewSource(7))
+	n := len(p.Arrivals(60*time.Second, rng))
+	lo, hi := 50*60, 400*60
+	if n <= lo || n >= hi {
+		t.Fatalf("mmpp arrivals = %d over 60s, want within (%d, %d)", n, lo, hi)
+	}
+}
+
+// TestDiurnalStaysNearMean: thinning preserves the period-mean rate.
+func TestDiurnalStaysNearMean(t *testing.T) {
+	p := Diurnal{RatePerS: 100, Amplitude: 0.8, PeriodS: 10}
+	rng := rand.New(rand.NewSource(7))
+	n := float64(len(p.Arrivals(60*time.Second, rng)))
+	want := 100.0 * 60
+	if math.Abs(n-want) > 0.15*want {
+		t.Fatalf("diurnal arrivals = %g over 60s, want ≈ %g", n, want)
+	}
+}
+
+// TestArrivalSpecValidation rejects incomplete or unknown processes.
+func TestArrivalSpecValidation(t *testing.T) {
+	bad := []ArrivalSpec{
+		{Process: "poisson"},               // no rate
+		{Process: "mmpp", RatePerS: 10},    // no burst params
+		{Process: "diurnal", RatePerS: 10}, // no period
+		{Process: "diurnal", RatePerS: 10, PeriodS: 5, Amplitude: 2},
+		{Process: "weibull", RatePerS: 10}, // unknown
+	}
+	for _, s := range bad {
+		if _, err := s.Build(); err == nil {
+			t.Errorf("spec %+v built without error", s)
+		}
+	}
+	if _, err := (ArrivalSpec{RatePerS: 1}).Build(); err != nil {
+		t.Errorf("empty process should default to poisson: %v", err)
+	}
+}
+
+// TestParseMixRejects: malformed documents fail loudly.
+func TestParseMixRejects(t *testing.T) {
+	bad := map[string]string{
+		"unknown field": `{"duration_s":1,"arrival":{"rate_per_s":1},"tenants":[{"name":"a","share":1,"experiment":"fig5"}],"oops":1}`,
+		"no tenants":    `{"duration_s":1,"arrival":{"rate_per_s":1},"tenants":[]}`,
+		"dup tenant":    `{"duration_s":1,"arrival":{"rate_per_s":1},"tenants":[{"name":"a","share":1,"experiment":"fig5"},{"name":"a","share":1,"experiment":"fig5"}]}`,
+		"no experiment": `{"duration_s":1,"arrival":{"rate_per_s":1},"tenants":[{"name":"a","share":1}]}`,
+		"zero share":    `{"duration_s":1,"arrival":{"rate_per_s":1},"tenants":[{"name":"a","share":0,"experiment":"fig5"}]}`,
+		"zero duration": `{"duration_s":0,"arrival":{"rate_per_s":1},"tenants":[{"name":"a","share":1,"experiment":"fig5"}]}`,
+	}
+	for name, doc := range bad {
+		if _, err := ParseMix([]byte(doc)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// TestQuantilesExact pins the order statistics on a known sample.
+func TestQuantilesExact(t *testing.T) {
+	if q := quantiles(nil); q != (Quantiles{}) {
+		t.Errorf("empty sample quantiles = %+v, want zero", q)
+	}
+	ms := make([]float64, 100)
+	for i := range ms {
+		ms[i] = float64(99 - i) // reversed: quantiles must sort
+	}
+	q := quantiles(ms)
+	if q.P50 != 49 || q.P95 != 94 || q.P99 != 98 || q.Max != 99 {
+		t.Errorf("quantiles = %+v, want p50 49, p95 94, p99 98, max 99", q)
+	}
+}
+
+// TestShedShareVacuous: no sheds means every assertion passes; with sheds
+// the share is the tenant's fraction.
+func TestShedShareVacuous(t *testing.T) {
+	r := &Report{}
+	if got := r.ShedShare("anyone"); got != 1 {
+		t.Errorf("ShedShare with no sheds = %g, want 1", got)
+	}
+	r = &Report{Shed: 10, Tenants: []TenantReport{{Name: "be", Shed: 9}, {Name: "int", Shed: 1}}}
+	if got := r.ShedShare("be"); got != 0.9 {
+		t.Errorf("ShedShare(be) = %g, want 0.9", got)
+	}
+	if got := r.ShedShare("absent"); got != 0 {
+		t.Errorf("ShedShare(absent) = %g, want 0", got)
+	}
+}

@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// TenantMix is one tenant's slice of the offered load.
+type TenantMix struct {
+	// Name is the tenant to bill submissions to (JobRequest.Tenant).
+	Name string `json:"name"`
+	// Share is this tenant's fraction of arrivals; shares are normalized
+	// over their sum, so 2:3:5 and 0.2:0.3:0.5 mean the same thing.
+	Share float64 `json:"share"`
+	// Experiment and Params form the submitted job body.
+	Experiment string          `json:"experiment"`
+	Params     json.RawMessage `json:"params,omitempty"`
+	// TimeoutMs bounds each submitted job; 0 uses the server default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// SLOMs is the tenant's queue-wait SLO target: the report marks the
+	// tenant attained when its observed p95 queue wait is ≤ SLOMs.
+	// 0 = no SLO asserted.
+	SLOMs float64 `json:"slo_ms,omitempty"`
+}
+
+// Mix is the loadgen input document: how long to offer load, under which
+// arrival process, split across which tenants.
+type Mix struct {
+	DurationS float64     `json:"duration_s"`
+	Arrival   ArrivalSpec `json:"arrival"`
+	Tenants   []TenantMix `json:"tenants"`
+}
+
+// Validate reports the first error in the mix document.
+func (m Mix) Validate() error {
+	if m.DurationS <= 0 {
+		return fmt.Errorf("loadgen: duration_s must be > 0")
+	}
+	if len(m.Tenants) == 0 {
+		return fmt.Errorf("loadgen: mix needs at least one tenant")
+	}
+	seen := make(map[string]bool, len(m.Tenants))
+	total := 0.0
+	for _, t := range m.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("loadgen: tenant with empty name")
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("loadgen: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.Share <= 0 {
+			return fmt.Errorf("loadgen: tenant %q: share must be > 0", t.Name)
+		}
+		if t.Experiment == "" {
+			return fmt.Errorf("loadgen: tenant %q: experiment is required", t.Name)
+		}
+		total += t.Share
+	}
+	if total <= 0 {
+		return fmt.Errorf("loadgen: tenant shares sum to 0")
+	}
+	if _, err := m.Arrival.Build(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ParseMix decodes and validates a mix document, rejecting unknown fields.
+func ParseMix(data []byte) (Mix, error) {
+	var m Mix
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return Mix{}, fmt.Errorf("loadgen: decoding mix: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Mix{}, err
+	}
+	return m, nil
+}
+
+// LoadMix reads and parses a mix file.
+func LoadMix(path string) (Mix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Mix{}, fmt.Errorf("loadgen: reading mix: %w", err)
+	}
+	return ParseMix(data)
+}
+
+// Arrival is one scheduled submission: when it fires and for which tenant.
+type Arrival struct {
+	At     time.Duration
+	Tenant *TenantMix
+}
+
+// Schedule precomputes the full run deterministically from the arrival
+// seed: arrival offsets from one rng stream, tenant attribution from a
+// second (seed+1), so changing the tenant mix does not perturb the arrival
+// times and vice versa.
+func (m Mix) Schedule() ([]Arrival, error) {
+	proc, err := m.Arrival.Build()
+	if err != nil {
+		return nil, err
+	}
+	d := time.Duration(m.DurationS * float64(time.Second))
+	times := proc.Arrivals(d, rand.New(rand.NewSource(m.Arrival.Seed)))
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+
+	total := 0.0
+	for _, t := range m.Tenants {
+		total += t.Share
+	}
+	pick := rand.New(rand.NewSource(m.Arrival.Seed + 1))
+	out := make([]Arrival, len(times))
+	for i, at := range times {
+		r := pick.Float64() * total
+		idx := len(m.Tenants) - 1 // fallback absorbs rounding at r≈total
+		acc := 0.0
+		for j := range m.Tenants {
+			acc += m.Tenants[j].Share
+			if r < acc {
+				idx = j
+				break
+			}
+		}
+		out[i] = Arrival{At: at, Tenant: &m.Tenants[idx]}
+	}
+	return out, nil
+}

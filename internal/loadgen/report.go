@@ -1,0 +1,109 @@
+package loadgen
+
+import "sort"
+
+// Schema identifies the report document format.
+const Schema = "womcpcm-loadgen-v1"
+
+// Quantiles are exact order statistics over one observed distribution,
+// in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// quantiles computes exact order statistics from the raw sample (sorted in
+// place). Zero value when no samples.
+func quantiles(ms []float64) Quantiles {
+	if len(ms) == 0 {
+		return Quantiles{}
+	}
+	sort.Float64s(ms)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ms)-1))
+		return ms[i]
+	}
+	return Quantiles{
+		P50: at(0.50), P90: at(0.90), P95: at(0.95), P99: at(0.99),
+		Max: ms[len(ms)-1],
+	}
+}
+
+// TenantReport is one tenant's share of the run.
+type TenantReport struct {
+	Name string `json:"name"`
+	// Offered counts scheduled arrivals; Admitted those the service
+	// accepted (202); Shed those rejected 429, broken down by the server's
+	// shed reason; SubmitErrors everything else that failed at submission
+	// (connection errors, 5xx).
+	Offered      int            `json:"offered"`
+	Admitted     int            `json:"admitted"`
+	Shed         int            `json:"shed"`
+	ShedReasons  map[string]int `json:"shed_reasons,omitempty"`
+	SubmitErrors int            `json:"submit_errors,omitempty"`
+	// Completed/Failed/Unresolved partition the admitted jobs: reached a
+	// successful terminal state, a failed/canceled one, or still pending
+	// when the drain timeout expired.
+	Completed  int `json:"completed"`
+	Failed     int `json:"failed,omitempty"`
+	Unresolved int `json:"unresolved,omitempty"`
+	// QueueWaitMs is submitted→started and LatencyMs submitted→finished,
+	// both from server-reported timestamps of completed jobs.
+	QueueWaitMs Quantiles `json:"queue_wait_ms"`
+	LatencyMs   Quantiles `json:"latency_ms"`
+	// SLOMs echoes the mix target; SLOAttained is p95 queue wait ≤ SLOMs
+	// (absent when the mix declares no SLO).
+	SLOMs       float64 `json:"slo_ms,omitempty"`
+	SLOAttained *bool   `json:"slo_attained,omitempty"`
+}
+
+// Report is the womcpcm-loadgen-v1 output document.
+type Report struct {
+	Schema    string      `json:"schema"`
+	BaseURL   string      `json:"base_url"`
+	DurationS float64     `json:"duration_s"`
+	Arrival   ArrivalSpec `json:"arrival"`
+
+	// Offered counts scheduled arrivals; OfferedPerS is Offered/Duration.
+	// AttainedPerS is completions per second — under overload it plateaus
+	// at service capacity while OfferedPerS keeps climbing; the gap is the
+	// shed (and failed) load.
+	Offered      int     `json:"offered"`
+	Admitted     int     `json:"admitted"`
+	Shed         int     `json:"shed"`
+	Completed    int     `json:"completed"`
+	Failed       int     `json:"failed,omitempty"`
+	Unresolved   int     `json:"unresolved,omitempty"`
+	OfferedPerS  float64 `json:"offered_per_s"`
+	AttainedPerS float64 `json:"attained_per_s"`
+
+	Tenants []TenantReport `json:"tenants"`
+}
+
+// ShedShare reports the named tenant's fraction of all sheds in the run;
+// vacuously 1 when nothing was shed (an un-overloaded run cannot fail a
+// shed-share assertion).
+func (r *Report) ShedShare(tenant string) float64 {
+	if r.Shed == 0 {
+		return 1
+	}
+	for _, t := range r.Tenants {
+		if t.Name == tenant {
+			return float64(t.Shed) / float64(r.Shed)
+		}
+	}
+	return 0
+}
+
+// Tenant returns the named tenant's report, nil when absent.
+func (r *Report) Tenant(name string) *TenantReport {
+	for i := range r.Tenants {
+		if r.Tenants[i].Name == name {
+			return &r.Tenants[i]
+		}
+	}
+	return nil
+}

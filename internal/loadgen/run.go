@@ -1,0 +1,284 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures one load-generation run.
+type Options struct {
+	// BaseURL is the womd instance under load, e.g. http://localhost:8080.
+	BaseURL string
+	// Mix is the validated input document (LoadMix).
+	Mix Mix
+	// Client issues the HTTP requests; nil uses a 10s-timeout default.
+	Client *http.Client
+	// PollInterval spaces job-status polls (default 25ms).
+	PollInterval time.Duration
+	// DrainTimeout bounds how long after the last arrival the run waits
+	// for admitted jobs to reach a terminal state (default 60s); jobs
+	// still pending then count as unresolved.
+	DrainTimeout time.Duration
+	// Logf receives one-line progress messages; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// outcome is one arrival's fate, filled in by its firing goroutine.
+type outcome struct {
+	tenant      string
+	admitted    bool
+	shedReason  string // non-empty = rejected 429
+	submitErr   bool   // transport failure or unexpected status
+	state       string // terminal job state, "" while unresolved
+	queueWaitMs float64
+	latencyMs   float64
+}
+
+// jobStatus is the slice of a JobView the driver reads. The server emits
+// RFC3339Nano timestamps, which encoding/json parses into time.Time.
+type jobStatus struct {
+	ID          string    `json:"id"`
+	State       string    `json:"state"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+}
+
+func terminal(state string) bool {
+	return state == "succeeded" || state == "failed" || state == "canceled"
+}
+
+// Run executes the mix against BaseURL: arrivals fire at their precomputed
+// offsets on the wall clock — never gated on earlier completions (open
+// loop) — and each is tracked to a terminal state by polling. Run returns
+// the aggregated report; ctx cancellation aborts the run with an error.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	mix := opts.Mix
+	schedule, err := mix.Schedule()
+	if err != nil {
+		return nil, err
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	poll := opts.PollInterval
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	drain := opts.DrainTimeout
+	if drain <= 0 {
+		drain = 60 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	base := strings.TrimRight(opts.BaseURL, "/")
+
+	logf("loadgen: %d arrivals over %.1fs (%s, %.1f/s offered) against %s",
+		len(schedule), mix.DurationS, orDefault(mix.Arrival.Process, "poisson"),
+		float64(len(schedule))/mix.DurationS, base)
+
+	results := make([]outcome, len(schedule))
+	// Pollers stop at the drain deadline; the firing schedule itself only
+	// stops on ctx cancellation.
+	deadline := time.Now().Add(time.Duration(mix.DurationS*float64(time.Second)) + drain)
+	runCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, a := range schedule {
+		if !sleepUntil(ctx, start.Add(a.At)) {
+			return nil, ctx.Err()
+		}
+		wg.Add(1)
+		go func(i int, a Arrival) {
+			defer wg.Done()
+			results[i] = fire(runCtx, client, base, a.Tenant, poll)
+		}(i, a)
+	}
+	logf("loadgen: all arrivals fired; draining up to %s", drain)
+	wg.Wait()
+
+	rep := buildReport(base, mix, results)
+	logf("loadgen: offered %d admitted %d shed %d completed %d unresolved %d",
+		rep.Offered, rep.Admitted, rep.Shed, rep.Completed, rep.Unresolved)
+	return rep, nil
+}
+
+// sleepUntil waits for the wall-clock instant t; false when ctx ended
+// first.
+func sleepUntil(ctx context.Context, t time.Time) bool {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// fire submits one job and tracks it to a terminal state.
+func fire(ctx context.Context, client *http.Client, base string, t *TenantMix, poll time.Duration) outcome {
+	out := outcome{tenant: t.Name}
+	body := map[string]any{"experiment": t.Experiment, "tenant": t.Name}
+	if len(t.Params) > 0 {
+		body["params"] = json.RawMessage(t.Params)
+	}
+	if t.TimeoutMs > 0 {
+		body["timeout_ms"] = t.TimeoutMs
+	}
+	buf, _ := json.Marshal(body)
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/v1/jobs", bytes.NewReader(buf))
+	if err != nil {
+		out.submitErr = true
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		out.submitErr = true
+		return out
+	}
+	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		// fall through to tracking
+	case http.StatusTooManyRequests:
+		var e struct {
+			Reason string `json:"reason"`
+		}
+		json.Unmarshal(respBody, &e) //nolint:errcheck // absent reason → "unknown"
+		out.shedReason = orDefault(e.Reason, "unknown")
+		return out
+	default:
+		out.submitErr = true
+		return out
+	}
+	var js jobStatus
+	if err := json.Unmarshal(respBody, &js); err != nil || js.ID == "" {
+		out.submitErr = true
+		return out
+	}
+	out.admitted = true
+
+	for !terminal(js.State) {
+		if !sleepUntil(ctx, time.Now().Add(poll)) {
+			return out // drain deadline hit: unresolved
+		}
+		req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/jobs/"+js.ID, nil)
+		if err != nil {
+			return out
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return out
+			}
+			continue // transient poll failure; the deadline bounds retries
+		}
+		pollBody, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if err := json.Unmarshal(pollBody, &js); err != nil {
+			continue
+		}
+	}
+	out.state = js.State
+	if !js.StartedAt.IsZero() {
+		out.queueWaitMs = js.StartedAt.Sub(js.SubmittedAt).Seconds() * 1e3
+	}
+	if !js.FinishedAt.IsZero() {
+		out.latencyMs = js.FinishedAt.Sub(js.SubmittedAt).Seconds() * 1e3
+	}
+	return out
+}
+
+// buildReport aggregates per-arrival outcomes into the report document.
+func buildReport(base string, mix Mix, results []outcome) *Report {
+	rep := &Report{
+		Schema:    Schema,
+		BaseURL:   base,
+		DurationS: mix.DurationS,
+		Arrival:   mix.Arrival,
+	}
+	type agg struct {
+		tr    TenantReport
+		waits []float64
+		lats  []float64
+	}
+	aggs := make(map[string]*agg, len(mix.Tenants))
+	for _, t := range mix.Tenants {
+		aggs[t.Name] = &agg{tr: TenantReport{Name: t.Name, SLOMs: t.SLOMs}}
+	}
+	for _, o := range results {
+		a := aggs[o.tenant]
+		a.tr.Offered++
+		switch {
+		case o.shedReason != "":
+			a.tr.Shed++
+			if a.tr.ShedReasons == nil {
+				a.tr.ShedReasons = make(map[string]int)
+			}
+			a.tr.ShedReasons[o.shedReason]++
+		case o.submitErr:
+			a.tr.SubmitErrors++
+		case o.admitted:
+			a.tr.Admitted++
+			switch o.state {
+			case "succeeded":
+				a.tr.Completed++
+				a.waits = append(a.waits, o.queueWaitMs)
+				a.lats = append(a.lats, o.latencyMs)
+			case "":
+				a.tr.Unresolved++
+			default: // failed, canceled
+				a.tr.Failed++
+			}
+		}
+	}
+	for _, t := range mix.Tenants {
+		a := aggs[t.Name]
+		a.tr.QueueWaitMs = quantiles(a.waits)
+		a.tr.LatencyMs = quantiles(a.lats)
+		if a.tr.SLOMs > 0 {
+			attained := a.tr.Completed > 0 && a.tr.QueueWaitMs.P95 <= a.tr.SLOMs
+			a.tr.SLOAttained = &attained
+		}
+		rep.Tenants = append(rep.Tenants, a.tr)
+		rep.Offered += a.tr.Offered
+		rep.Admitted += a.tr.Admitted
+		rep.Shed += a.tr.Shed
+		rep.Completed += a.tr.Completed
+		rep.Failed += a.tr.Failed
+		rep.Unresolved += a.tr.Unresolved
+	}
+	if mix.DurationS > 0 {
+		rep.OfferedPerS = float64(rep.Offered) / mix.DurationS
+		rep.AttainedPerS = float64(rep.Completed) / mix.DurationS
+	}
+	return rep
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

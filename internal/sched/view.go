@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+)
+
+// TenantView is one tenant's live state in GET /v1/tenants: its configured
+// class, queue occupancy, admission counters, and SLO attainment.
+type TenantView struct {
+	Name        string `json:"name"`
+	Weight      int    `json:"weight"`
+	Priority    int    `json:"priority"`
+	MaxInflight int    `json:"max_inflight,omitempty"`
+	DeadlineMs  int64  `json:"deadline_ms,omitempty"`
+	// ShedAtDepth is the total queued depth at which this tenant's
+	// submissions are shed (the graduated threshold).
+	ShedAtDepth int `json:"shed_at_depth"`
+	// Removed marks a tenant dropped by a config reload that is still
+	// draining queued or running work.
+	Removed bool `json:"removed,omitempty"`
+
+	Depth    int    `json:"depth"`
+	Inflight int    `json:"inflight"`
+	Admits   uint64 `json:"admits"`
+	Sheds    uint64 `json:"sheds"`
+	Dequeues uint64 `json:"dequeues"`
+	// ShedReasons breaks Sheds down by reason.
+	ShedReasons map[string]uint64 `json:"shed_reasons,omitempty"`
+
+	// SLOMet counts dequeued jobs that started within their deadline;
+	// SLOAttainment is SLOMet/Dequeues (1 when nothing has been dequeued —
+	// an SLO with no traffic is vacuously met).
+	SLOMet        uint64  `json:"slo_met"`
+	SLOAttainment float64 `json:"slo_attainment"`
+
+	// Queue-wait distribution observed at dequeue, milliseconds.
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP95Ms float64 `json:"queue_wait_p95_ms"`
+	QueueWaitMaxMs float64 `json:"queue_wait_max_ms"`
+}
+
+// Views snapshots every tenant in configuration order (removed tenants
+// last).
+func (s *Scheduler) Views() []TenantView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantView, 0, len(s.order))
+	for _, name := range s.order {
+		t := s.ten[name]
+		v := TenantView{
+			Name:        t.cls.Name,
+			Weight:      t.cls.Weight,
+			Priority:    t.cls.Priority,
+			MaxInflight: t.cls.MaxInflight,
+			DeadlineMs:  t.cls.DeadlineMs,
+			ShedAtDepth: t.shedAt,
+			Removed:     t.removed,
+			Depth:       t.items.Len(),
+			Inflight:    t.inflight,
+			Admits:      t.admits,
+			Sheds:       t.sheds,
+			Dequeues:    t.dequeues,
+			SLOMet:      t.sloMet,
+		}
+		if len(t.shedWhy) > 0 {
+			v.ShedReasons = make(map[string]uint64, len(t.shedWhy))
+			for k, n := range t.shedWhy {
+				v.ShedReasons[k] = n
+			}
+		}
+		if t.dequeues > 0 {
+			v.SLOAttainment = float64(t.sloMet) / float64(t.dequeues)
+		} else {
+			v.SLOAttainment = 1
+		}
+		snap := t.wait.Snapshot()
+		if snap.Count > 0 {
+			v.QueueWaitP50Ms = float64(t.wait.Quantile(0.5)) / 1e6
+			v.QueueWaitP95Ms = float64(t.wait.Quantile(0.95)) / 1e6
+			v.QueueWaitMaxMs = float64(t.wait.Quantile(1)) / 1e6
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// WriteProm renders the womd_tenant_* metric families in Prometheus text
+// exposition format — wired into GET /metrics via engine.WithPromAppender
+// when womd runs with -tenants.
+func (s *Scheduler) WriteProm(w io.Writer) {
+	views := s.Views()
+	if len(views) == 0 {
+		return
+	}
+	family := func(name, help, typ string, emit func(v TenantView)) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, v := range views {
+			emit(v)
+		}
+	}
+	family("womd_tenant_depth", "Queued jobs per tenant.", "gauge", func(v TenantView) {
+		fmt.Fprintf(w, "womd_tenant_depth{tenant=%q} %d\n", v.Name, v.Depth)
+	})
+	family("womd_tenant_inflight", "Executing jobs per tenant.", "gauge", func(v TenantView) {
+		fmt.Fprintf(w, "womd_tenant_inflight{tenant=%q} %d\n", v.Name, v.Inflight)
+	})
+	family("womd_tenant_admitted_total", "Jobs admitted per tenant.", "counter", func(v TenantView) {
+		fmt.Fprintf(w, "womd_tenant_admitted_total{tenant=%q} %d\n", v.Name, v.Admits)
+	})
+	family("womd_tenant_dequeued_total", "Jobs handed to workers per tenant.", "counter", func(v TenantView) {
+		fmt.Fprintf(w, "womd_tenant_dequeued_total{tenant=%q} %d\n", v.Name, v.Dequeues)
+	})
+	family("womd_tenant_slo_met_total", "Dequeued jobs that started within their deadline.", "counter", func(v TenantView) {
+		fmt.Fprintf(w, "womd_tenant_slo_met_total{tenant=%q} %d\n", v.Name, v.SLOMet)
+	})
+	family("womd_tenant_slo_attainment", "Fraction of dequeued jobs that met their deadline.", "gauge", func(v TenantView) {
+		fmt.Fprintf(w, "womd_tenant_slo_attainment{tenant=%q} %g\n", v.Name, v.SLOAttainment)
+	})
+	family("womd_tenant_shed_at_depth", "Total queued depth at which this tenant sheds.", "gauge", func(v TenantView) {
+		fmt.Fprintf(w, "womd_tenant_shed_at_depth{tenant=%q} %d\n", v.Name, v.ShedAtDepth)
+	})
+	// Shed counts carry a reason label; emit a zero "queue_full" sample for
+	// tenants with no sheds so every tenant has a series.
+	fmt.Fprintf(w, "# HELP womd_tenant_shed_total Jobs shed per tenant by reason.\n"+
+		"# TYPE womd_tenant_shed_total counter\n")
+	for _, v := range views {
+		if len(v.ShedReasons) == 0 {
+			fmt.Fprintf(w, "womd_tenant_shed_total{tenant=%q,reason=\"queue_full\"} 0\n", v.Name)
+			continue
+		}
+		for _, reason := range []string{"queue_full", "priority_shed", "tenant_queue_full"} {
+			if n, ok := v.ShedReasons[reason]; ok {
+				fmt.Fprintf(w, "womd_tenant_shed_total{tenant=%q,reason=%q} %d\n", v.Name, reason, n)
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP womd_tenant_queue_wait_p95_seconds Per-tenant p95 queue wait observed at dequeue.\n"+
+		"# TYPE womd_tenant_queue_wait_p95_seconds gauge\n")
+	for _, v := range views {
+		fmt.Fprintf(w, "womd_tenant_queue_wait_p95_seconds{tenant=%q} %g\n", v.Name, v.QueueWaitP95Ms/1e3)
+	}
+}

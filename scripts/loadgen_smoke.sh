@@ -1,0 +1,77 @@
+#!/usr/bin/env sh
+# loadgen_smoke.sh — end-to-end multi-tenant load check against a real womd.
+#
+# Builds womd and womtool, starts womd with the example tenant config,
+# drives a short open-loop Poisson run through `womtool loadgen` with the
+# interactive tenant's queue-wait SLO asserted, verifies the report schema,
+# and exercises the SIGHUP config hot-reload path. The report lands at
+# $1 (default ./loadgen-report.json) so CI can keep it as an artifact.
+#
+# Usage: scripts/loadgen_smoke.sh [report-path] [port]
+set -eu
+
+REPORT="${1:-loadgen-report.json}"
+PORT="${2:-18090}"
+URL="http://127.0.0.1:${PORT}"
+WORKDIR="$(mktemp -d)"
+WOMD_PID=""
+
+cleanup() {
+    [ -n "$WOMD_PID" ] && kill "$WOMD_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "FAIL: $*" >&2
+    echo "--- womd log ---" >&2
+    cat "$WORKDIR/womd.log" >&2 || true
+    exit 1
+}
+
+wait_for() {
+    url="$1"; pattern="$2"; what="$3"
+    i=0
+    while [ "$i" -lt 150 ]; do
+        if curl -fsS "$url" 2>/dev/null | grep -q "$pattern"; then
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    fail "$what (no match for '$pattern' at $url)"
+}
+
+echo "==> building womd and womtool"
+go build -o "$WORKDIR/womd" ./cmd/womd
+go build -o "$WORKDIR/womtool" ./cmd/womtool
+
+echo "==> starting womd on :$PORT with examples/multitenant/tenants.json"
+"$WORKDIR/womd" -addr ":$PORT" -tenants examples/multitenant/tenants.json \
+    >"$WORKDIR/womd.log" 2>&1 &
+WOMD_PID=$!
+wait_for "$URL/v1/experiments" '"fig5"' "womd never came up"
+wait_for "$URL/v1/tenants" '"interactive"' "tenant scheduler not active"
+
+echo "==> open-loop Poisson run (SLO asserted for the interactive tenant)"
+"$WORKDIR/womtool" loadgen -url "$URL" -mix examples/multitenant/smoke-mix.json \
+    -o "$REPORT" -assert-slo interactive \
+    || fail "loadgen run or SLO assertion failed"
+grep -q '"schema": *"womcpcm-loadgen-v1"' "$REPORT" \
+    || fail "report at $REPORT missing the womcpcm-loadgen-v1 schema"
+grep -q '"slo_attained": *true' "$REPORT" \
+    || fail "report does not record interactive SLO attainment"
+
+echo "==> tenant metrics exposed on /metrics"
+curl -fsS "$URL/metrics" | grep -q 'womd_tenant_admitted_total{tenant="interactive"}' \
+    || fail "womd_tenant_* families missing from /metrics"
+
+echo "==> SIGHUP hot-reload keeps the scheduler serving"
+kill -HUP "$WOMD_PID"
+sleep 0.3
+wait_for "$URL/v1/tenants" '"best-effort"' "scheduler unavailable after SIGHUP"
+grep -q 'tenant config reloaded' "$WORKDIR/womd.log" \
+    || fail "womd log missing the reload confirmation"
+
+echo "==> OK: loadgen report at $REPORT"
