@@ -31,6 +31,18 @@
 // started, and finished lines, so one grep reconstructs a request's whole
 // lifecycle. -debug additionally mounts net/http/pprof under /debug/pprof/.
 //
+// Distributed tracing is on by default: every job starts (or, given a
+// client traceparent header, continues) a W3C trace whose spans — admission,
+// queue wait, dispatch, worker execution, result store, SSE fan-out — land
+// in a bounded in-process buffer (-trace-spans capacity, -trace-sample head
+// sampling). GET /v1/jobs/{id}/trace serves a job's merged trace as Chrome
+// trace-event JSON (openable in Perfetto, rendered by `womtool spans`); in a
+// cluster the workers ship their spans back so the coordinator's endpoint
+// shows the whole cross-process timeline. A coordinator additionally
+// federates its workers' /metrics into womd_fleet_* families (instance
+// label per worker, -cluster-federate interval) and summarizes fleet load
+// on GET /v1/fleet.
+//
 // The daemon also runs distributed (-role): a coordinator keeps this whole
 // API but dispatches jobs to registered workers over the /cluster/v1/ RPC
 // surface (internal/cluster), and a worker joins a coordinator's fleet,
@@ -75,6 +87,7 @@ import (
 	"womcpcm/internal/perfmon"
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sched"
+	"womcpcm/internal/span"
 )
 
 func main() {
@@ -99,6 +112,9 @@ func main() {
 		deadFrac   = flag.Float64("deadline-fraction", 0.9, "profile a job that has consumed this fraction of its timeout")
 		monEvery   = flag.Duration("monitor-interval", 15*time.Second, "slow-job monitor pass interval")
 
+		traceSpans  = flag.Int("trace-spans", 4096, "span buffer capacity for distributed job tracing (0 disables tracing)")
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of traces recorded, decided once per trace at its head (0 records nothing; ids are still issued)")
+
 		role         = flag.String("role", "standalone", "process role: standalone, coordinator, or worker")
 		coordURL     = flag.String("coordinator", "", "coordinator base URL (worker role)")
 		advertise    = flag.String("advertise", "", "this worker's base URL as seen from the coordinator (worker role; default derived from -addr)")
@@ -108,6 +124,7 @@ func main() {
 		dispatchWait = flag.Duration("cluster-dispatch-wait", 2*time.Second, "how long a job waits for a worker to register before running locally")
 		rebalance    = flag.Duration("cluster-rebalance", 10*time.Second, "work-stealing rebalance pass interval")
 		stealMargin  = flag.Int("cluster-steal-margin", 2, "pending jobs above the fleet average before queued work is stolen back")
+		fedEvery     = flag.Duration("cluster-federate", 0, "fleet /metrics federation scrape interval (coordinator role; 0 = 2×heartbeat, negative disables)")
 	)
 	flag.Parse()
 
@@ -143,6 +160,31 @@ func main() {
 			"slow_fraction", *slowFrac, "deadline_fraction", *deadFrac)
 	}
 
+	// Distributed tracing: one span recorder per process, shared by the
+	// engine (job lifecycle spans), the coordinator (dispatch spans, worker
+	// span merging), and the worker agent (span shipping). The service name
+	// labels which process recorded each span in a merged trace.
+	var tracer *span.Recorder
+	if *traceSpans > 0 {
+		service := "womd"
+		switch *role {
+		case "coordinator":
+			service = "coordinator"
+		case "worker":
+			service = *clusterName
+			if service == "" {
+				service = "worker"
+			}
+		}
+		rate := *traceSample
+		if rate == 0 {
+			rate = -1 // flag 0 = record nothing (span.Config treats 0 as "everything")
+		}
+		tracer = span.New(span.Config{Service: service, Capacity: *traceSpans, SampleRate: rate})
+		logger.Info("tracing enabled", "service", service,
+			"buffer", *traceSpans, "sample", *traceSample)
+	}
+
 	// Cluster roles: the coordinator installs its dispatcher as the engine's
 	// Execute hook (built first, manager attached after); a worker runs a
 	// plain local engine plus the agent that joins the coordinator's fleet.
@@ -157,6 +199,8 @@ func main() {
 			Rebalance:    *rebalance,
 			StealMargin:  *stealMargin,
 			Logger:       logger,
+			Tracer:       tracer,
+			Federate:     *fedEvery,
 		})
 	default:
 		logger.Error("unknown -role; want standalone, coordinator, or worker", "role", *role)
@@ -176,6 +220,7 @@ func main() {
 		SlowFraction:     *slowFrac,
 		DeadlineFraction: *deadFrac,
 		MonitorInterval:  *monEvery,
+		Tracer:           tracer,
 	}
 	if coord != nil {
 		cfg.Execute = coord.Execute
@@ -251,6 +296,7 @@ func main() {
 			Capacity:    capacity,
 			Heartbeat:   *clusterBeat,
 			Logger:      logger,
+			Tracer:      tracer,
 		}, mgr)
 		if err := agent.Start(); err != nil {
 			// Not fatal: the heartbeat loop keeps retrying, so workers may
@@ -260,6 +306,9 @@ func main() {
 	}
 
 	opts := []engine.ServerOption{engine.WithLogger(logger)}
+	if tracer != nil {
+		opts = append(opts, engine.WithPromAppender(tracer.WriteProm))
+	}
 	if coord != nil {
 		opts = append(opts, engine.WithPromAppender(coord.WriteProm))
 	}
@@ -281,6 +330,7 @@ func main() {
 		mux := http.NewServeMux()
 		if coord != nil {
 			mux.Handle("/cluster/v1/", coord.Handler())
+			mux.HandleFunc("GET /v1/fleet", coord.HandleFleet)
 		} else {
 			mux.Handle("/cluster/v1/", agent.Handler())
 		}

@@ -18,6 +18,7 @@
 //	womtool bench -compare BENCH_1.json -tol 0.25  # diff against a pinned report
 //	womtool report series.json -o report.html      # render womsim -series output
 //	womtool loadgen -mix mix.json -o report.json   # open-loop load run against womd
+//	womtool spans trace.json -o trace.html         # render a womd job trace waterfall
 package main
 
 import (
@@ -52,13 +53,15 @@ func main() {
 		report(os.Args[2:])
 	case "loadgen":
 		loadgenCmd(os.Args[2:])
+	case "spans":
+		spansCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name] | bench [-tier short|full] [-compare BASELINE] | report <series.json> [-o report.html] | loadgen -mix MIX [-url URL] [-o REPORT]")
+	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name] | bench [-tier short|full] [-compare BASELINE] | report <series.json> [-o report.html] | loadgen -mix MIX [-url URL] [-o REPORT] | spans <trace.json> [-o spans.html]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html"
+	"os"
+	"sort"
+	"strings"
+
+	"womcpcm/internal/probe"
+)
+
+// spansCmd renders a distributed job trace — the Chrome trace-event JSON
+// served by GET /v1/jobs/{id}/trace — as a self-contained HTML waterfall:
+//
+//	curl -s localhost:8080/v1/jobs/j-000001/trace > trace.json
+//	womtool spans trace.json -o trace.html
+//
+// The same file opens in Perfetto (ui.perfetto.dev); the waterfall is the
+// dependency-free view for CI artifacts and quick looks.
+func spansCmd(args []string) {
+	fs := flag.NewFlagSet("spans", flag.ExitOnError)
+	out := fs.String("o", "spans.html", "output HTML file")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: womtool spans <trace.json> [-o spans.html]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	// Accept flags after the positional too (spans t.json -o out.html).
+	if err := fs.Parse(fs.Args()[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var tr probe.ChromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+
+	services := make(map[int]string) // pid → process_name metadata
+	var slices []probe.ChromeEvent
+	for _, ev := range tr.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			if name, ok := ev.Args["name"].(string); ok {
+				services[ev.Pid] = name
+			}
+		case ev.Ph == "X":
+			slices = append(slices, ev)
+		}
+	}
+	if len(slices) == 0 {
+		fatal(fmt.Errorf("%s: no spans to render (job sampled out, or not a trace-event file)", path))
+	}
+	sort.SliceStable(slices, func(i, j int) bool {
+		if slices[i].Ts != slices[j].Ts {
+			return slices[i].Ts < slices[j].Ts
+		}
+		return slices[i].Dur > slices[j].Dur // parents before children at a shared start
+	})
+	total := 0.0
+	for _, ev := range slices {
+		if end := ev.Ts + ev.Dur; end > total {
+			total = end
+		}
+	}
+	if total <= 0 {
+		total = 1
+	}
+
+	traceID := ""
+	if v, ok := slices[0].Args["trace_id"].(string); ok {
+		traceID = v
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<!doctype html><html><head><meta charset="utf-8">
+<title>womd trace %s</title>
+<style>
+body{font:13px/1.5 -apple-system,Segoe UI,sans-serif;margin:2em;color:#222}
+h1{font-size:1.2em} .meta{color:#666;margin-bottom:1em}
+.row{display:flex;align-items:center;height:22px}
+.label{flex:0 0 22em;white-space:nowrap;overflow:hidden;text-overflow:ellipsis;padding-right:.6em}
+.label .svc{color:#888;font-size:.85em}
+.lane{flex:1;position:relative;background:#f5f5f5;height:16px;border-radius:3px}
+.bar{position:absolute;top:0;height:16px;border-radius:3px;min-width:2px}
+.dur{margin-left:.5em;color:#555;font-variant-numeric:tabular-nums;flex:0 0 7em;text-align:right}
+.axis{display:flex;margin-left:22em;color:#999;font-size:.85em;justify-content:space-between}
+</style></head><body>
+<h1>womd job trace</h1>
+`, html.EscapeString(traceID))
+	fmt.Fprintf(&b, `<div class="meta">trace %s · %d spans · %d services · %s total</div>`+"\n",
+		html.EscapeString(traceID), len(slices), len(services), fmtMicros(total))
+	fmt.Fprintf(&b, `<div class="axis"><span>0</span><span>%s</span><span>%s</span></div>`+"\n",
+		fmtMicros(total/2), fmtMicros(total))
+	for _, ev := range slices {
+		svc := services[ev.Pid]
+		left := 100 * ev.Ts / total
+		width := 100 * ev.Dur / total
+		if width < 0.15 {
+			width = 0.15 // keep micro-spans visible
+		}
+		title, _ := json.Marshal(ev.Args)
+		fmt.Fprintf(&b,
+			`<div class="row"><div class="label">%s <span class="svc">%s</span></div>`+
+				`<div class="lane"><div class="bar" style="left:%.3f%%;width:%.3f%%;background:%s" title="%s"></div></div>`+
+				`<div class="dur">%s</div></div>`+"\n",
+			html.EscapeString(ev.Name), html.EscapeString(svc),
+			left, width, spanColor(ev.Pid, ev.Name),
+			html.EscapeString(string(title)), fmtMicros(ev.Dur))
+	}
+	b.WriteString("</body></html>\n")
+
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fatal(fmt.Errorf("writing %s: %w", *out, err))
+	}
+	fmt.Fprintf(os.Stderr, "womtool: waterfall written to %s (%d spans, %d services, %s)\n",
+		*out, len(slices), len(services), fmtMicros(total))
+}
+
+// spanColor assigns a stable hue per service with the span name nudging
+// lightness, so one service's spans read as one family.
+func spanColor(pid int, name string) string {
+	h := (pid * 137) % 360
+	l := 45 + int(fnvMod(name, 20))
+	return fmt.Sprintf("hsl(%d,65%%,%d%%)", h, l)
+}
+
+// fnvMod hashes s into [0, m) — enough spread for color variation.
+func fnvMod(s string, m uint64) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h % m
+}
+
+// fmtMicros prints a µs quantity in its most natural unit.
+func fmtMicros(us float64) string {
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%.2f s", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%.2f ms", us/1e3)
+	default:
+		return fmt.Sprintf("%.0f µs", us)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"womcpcm/internal/engine"
 	"womcpcm/internal/sim"
+	"womcpcm/internal/span"
 )
 
 // AgentConfig wires one worker into a coordinator's fleet.
@@ -34,6 +35,10 @@ type AgentConfig struct {
 	Client *http.Client
 	// Logger receives registration/heartbeat logs; nil discards them.
 	Logger *slog.Logger
+	// Tracer is the worker engine's span recorder. Dispatched jobs' spans
+	// are read from it and shipped back to the coordinator (on the done
+	// frame and via POST /cluster/v1/spans). Nil disables shipping.
+	Tracer *span.Recorder
 }
 
 // Agent is the worker side of the cluster: it registers with the
@@ -208,6 +213,12 @@ func (a *Agent) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: decoding dispatch: %w", err))
 		return
 	}
+	// The request id arrives in the body and as X-Request-ID; body wins
+	// (it is the coordinator's canonical copy), the header covers callers
+	// that only speak HTTP conventions.
+	if spec.RequestID == "" {
+		spec.RequestID = r.Header.Get("X-Request-ID")
+	}
 	req := engine.JobRequest{
 		Experiment:   spec.Experiment,
 		Params:       spec.Params,
@@ -225,8 +236,18 @@ func (a *Agent) handleDispatch(w http.ResponseWriter, r *http.Request) {
 		req.TraceID = localID
 	}
 	// The coordinator's request id rides into this worker's lifecycle logs,
-	// so one submission is traceable across dispatch and requeue hops.
-	job, err := a.mgr.Submit(engine.WithRequestID(context.Background(), spec.RequestID), req)
+	// so one submission is traceable across dispatch and requeue hops; the
+	// traceparent (header first, body as the proxy-proof copy) parents this
+	// worker's "job" span under the coordinator's dispatch span.
+	ctx := engine.WithRequestID(context.Background(), spec.RequestID)
+	tc, traced := span.FromRequest(r)
+	if !traced {
+		tc, traced = span.ParseTraceparent(spec.Traceparent)
+	}
+	if traced {
+		ctx = engine.WithTraceParent(ctx, tc)
+	}
+	job, err := a.mgr.Submit(ctx, req)
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
@@ -241,7 +262,44 @@ func (a *Agent) handleDispatch(w http.ResponseWriter, r *http.Request) {
 	a.log.Info("job accepted from coordinator", "job", job.ID(),
 		"coordinator_job", spec.JobID, "request_id", spec.RequestID,
 		"experiment", spec.Experiment)
+	if jtc := job.TraceContext(); a.cfg.Tracer != nil && jtc.Sampled {
+		a.wg.Add(1)
+		go a.shipSpans(job)
+	}
 	writeJSON(w, http.StatusOK, DispatchResponse{WorkerJobID: job.ID()})
+}
+
+// shipSpans waits for a dispatched job to settle, then pushes its recorded
+// spans to the coordinator — the fallback delivery path for runs whose
+// event stream broke before the done frame (which also carries the spans)
+// could land. The coordinator's ingest dedups by (trace id, span id), so
+// the usual double delivery is harmless.
+func (a *Agent) shipSpans(job *engine.Job) {
+	defer a.wg.Done()
+	sub, cancel := job.SubscribeStream()
+	defer cancel()
+	for {
+		select {
+		case <-a.stopCh:
+			return
+		case _, open := <-sub:
+			if open {
+				continue // live event; only the close matters here
+			}
+		}
+		break
+	}
+	spans := a.cfg.Tracer.Trace(job.TraceContext().TraceID)
+	if len(spans) == 0 {
+		return
+	}
+	ctx, cancelPost := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelPost()
+	err := postJSON(ctx, a.client, a.cfg.Coordinator+"/cluster/v1/spans",
+		SpanPush{WorkerID: a.ID(), Spans: spans}, nil)
+	if err != nil {
+		a.log.Warn("span shipping failed", "job", job.ID(), "error", err.Error())
+	}
 }
 
 // resolveTrace maps a coordinator trace id onto this worker's trace store,
@@ -332,6 +390,9 @@ func (a *Agent) handleEvents(w http.ResponseWriter, r *http.Request) {
 		d := DoneFrame{State: view.State, Error: view.Error, Result: res, Perf: view.Perf}
 		if jobErr != nil && d.Error == "" {
 			d.Error = jobErr.Error()
+		}
+		if tc := job.TraceContext(); tc.Sampled {
+			d.Spans = a.cfg.Tracer.Trace(tc.TraceID)
 		}
 		data, err := json.Marshal(d)
 		if err != nil {

@@ -18,6 +18,7 @@
 //	POST /cluster/v1/drain        worker announces shutdown (SIGTERM)
 //	GET  /cluster/v1/workers      fleet view (debugging, smoke tests)
 //	GET  /cluster/v1/traces/{id}  binary trace download for replay dispatch
+//	POST /cluster/v1/spans        worker ships job spans (DoneFrame fallback)
 //
 // Worker-side endpoints (served by Agent.Handler):
 //
@@ -43,6 +44,7 @@ import (
 
 	"womcpcm/internal/engine"
 	"womcpcm/internal/sim"
+	"womcpcm/internal/span"
 )
 
 // RegisterRequest is the POST /cluster/v1/register payload: the worker's
@@ -105,6 +107,11 @@ type DispatchRequest struct {
 	// tenant deadline from the client's original admission — a requeued
 	// or stolen job does not have its deadline restarted at each hop.
 	AdmittedAtMs int64 `json:"admitted_at_ms,omitempty"`
+	// Traceparent carries the coordinator job's W3C trace context so the
+	// worker's spans join the same distributed trace. Also sent as the
+	// traceparent HTTP header on the dispatch POST; the body copy survives
+	// header-stripping proxies.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // DispatchResponse acknowledges a dispatch with the worker-local job id all
@@ -140,6 +147,20 @@ type DoneFrame struct {
 	Error  string           `json:"error,omitempty"`
 	Result *sim.Result      `json:"result,omitempty"`
 	Perf   *engine.PerfView `json:"perf,omitempty"`
+	// Spans are the worker-side spans of the job's distributed trace,
+	// merged into the coordinator's span buffer on settle. Empty when the
+	// worker has no tracer or the trace was sampled out.
+	Spans []span.Span `json:"spans,omitempty"`
+}
+
+// SpanPush is the POST /cluster/v1/spans payload: the fallback path for
+// shipping worker spans when the done frame could not carry them (stream
+// broke after the run finished, spans recorded after the frame was built).
+// The coordinator merges them into its buffer keyed by trace id, so the
+// push is idempotent.
+type SpanPush struct {
+	WorkerID string      `json:"worker_id,omitempty"`
+	Spans    []span.Span `json:"spans"`
 }
 
 // CancelResponse answers POST /cluster/v1/jobs/{id}/cancel. For

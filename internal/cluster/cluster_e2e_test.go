@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 	"womcpcm/internal/engine"
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sim"
+	"womcpcm/internal/span"
 	"womcpcm/internal/trace"
 )
 
@@ -61,6 +63,15 @@ func newTestCluster(t *testing.T, ccfg Config, ecfg engine.Config) *testCluster 
 	if ccfg.EvictAfter == 0 {
 		ccfg.EvictAfter = 600 * time.Millisecond
 	}
+	// Tracing mirrors womd's coordinator wiring: one recorder shared by the
+	// public engine (root job spans) and the coordinator (dispatch spans,
+	// ingest of worker spans). Fixed seed for reproducible ids.
+	if ccfg.Tracer == nil {
+		ccfg.Tracer = span.New(span.Config{Service: "coordinator", Seed: 42})
+	}
+	if ecfg.Tracer == nil {
+		ecfg.Tracer = ccfg.Tracer
+	}
 	coord := NewCoordinator(ccfg)
 	if ecfg.Workers == 0 {
 		ecfg.Workers = 4
@@ -77,6 +88,7 @@ func newTestCluster(t *testing.T, ccfg Config, ecfg engine.Config) *testCluster 
 	coord.Start()
 	mux := http.NewServeMux()
 	mux.Handle("/cluster/v1/", coord.Handler())
+	mux.HandleFunc("GET /v1/fleet", coord.HandleFleet)
 	mux.Handle("/", engine.NewServer(mgr, engine.WithPromAppender(coord.WriteProm)))
 	ts := httptest.NewServer(mux)
 	t.Cleanup(func() {
@@ -101,7 +113,11 @@ type testWorker struct {
 // registration to land.
 func (tc *testCluster) addWorker(name string) *testWorker {
 	tc.t.Helper()
-	mgr := engine.New(engine.Config{Workers: 2, QueueDepth: 16})
+	// Each worker gets its own recorder, seeded from its name so two
+	// workers never issue colliding span ids (same seed ⇒ same id
+	// sequence, and Ingest dedups by id).
+	wrec := span.New(span.Config{Service: name, Seed: fnvSeed(name)})
+	mgr := engine.New(engine.Config{Workers: 2, QueueDepth: 16, Tracer: wrec})
 	mux := http.NewServeMux()
 	ts := httptest.NewServer(mux)
 	agent := NewAgent(AgentConfig{
@@ -110,8 +126,11 @@ func (tc *testCluster) addWorker(name string) *testWorker {
 		Name:        name,
 		Capacity:    2,
 		Heartbeat:   100 * time.Millisecond,
+		Tracer:      wrec,
 	}, mgr)
 	mux.Handle("/cluster/v1/", agent.Handler())
+	// The worker's own engine API — federation scrapes its /metrics.
+	mux.Handle("/", engine.NewServer(mgr, engine.WithPromAppender(wrec.WriteProm)))
 	before := tc.coord.liveWorkers()
 	if err := agent.Start(); err != nil {
 		ts.Close()
@@ -419,7 +438,9 @@ func TestClusterCancelPropagation(t *testing.T) {
 		Experiment: "replay",
 		Params:     sim.Params{Ranks: 2, Banks: 4, Parallelism: 1},
 		TraceID:    tid,
-		TimeoutMs:  300,
+		// Well under the replay's runtime even on a fast machine — at
+		// 300ms the 3M-record replay occasionally finished first.
+		TimeoutMs: 50,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -520,6 +541,17 @@ func readAll(t *testing.T, resp *http.Response) string {
 		t.Fatal(err)
 	}
 	return buf.String()
+}
+
+// fnvSeed derives a per-worker recorder seed from the worker's name.
+func fnvSeed(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name)) //nolint:errcheck // fnv never errors
+	s := h.Sum64()
+	if s == 0 {
+		s = 1
+	}
+	return s
 }
 
 // grepLines filters s to lines containing substr, for focused failure

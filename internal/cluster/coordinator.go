@@ -14,6 +14,7 @@ import (
 	"womcpcm/internal/engine"
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sim"
+	"womcpcm/internal/span"
 	"womcpcm/internal/trace"
 )
 
@@ -38,6 +39,13 @@ type Config struct {
 	Logger *slog.Logger
 	// Client performs worker RPCs (default http.DefaultClient).
 	Client *http.Client
+	// Tracer records coordinator-side dispatch spans and merges worker
+	// spans shipped back after each run. Nil disables tracing.
+	Tracer *span.Recorder
+	// Federate spaces fleet-metrics scrape passes, which build the
+	// womd_fleet_* federated families from each worker's /metrics (default
+	// 2 × Heartbeat; negative disables federation).
+	Federate time.Duration
 	// now is the test clock hook.
 	now func() time.Time
 }
@@ -51,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Rebalance <= 0 {
 		c.Rebalance = 2 * c.Heartbeat
+	}
+	if c.Federate == 0 {
+		c.Federate = 2 * c.Heartbeat
 	}
 	if c.StealMargin <= 0 {
 		c.StealMargin = 2
@@ -97,6 +108,9 @@ type workerState struct {
 	draining   bool
 	queueDepth int64
 	running    int64
+	completed  uint64
+	failed     uint64
+	simEvents  uint64
 	// assignments tracks in-flight dispatches (coordinator job id → state)
 	// so eviction and stealing can reach the goroutines streaming them.
 	assignments map[string]*assignment
@@ -121,6 +135,8 @@ type Coordinator struct {
 	log         *slog.Logger
 	client      *http.Client
 	metrics     *clusterMetrics
+	tracer      *span.Recorder
+	fed         federated
 	ring        *ring
 	fingerprint string
 
@@ -143,6 +159,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		log:         cfg.Logger,
 		client:      cfg.Client,
 		metrics:     newClusterMetrics(),
+		tracer:      cfg.Tracer,
 		ring:        newRing(),
 		fingerprint: sim.RegistryFingerprint(),
 		workers:     make(map[string]*workerState),
@@ -160,11 +177,18 @@ func (c *Coordinator) AttachManager(m *engine.Manager) {
 	c.mu.Unlock()
 }
 
-// Start launches the eviction and rebalance loops.
+// Start launches the eviction, rebalance, and metrics-federation loops.
 func (c *Coordinator) Start() {
-	c.wg.Add(2)
+	n := 2
+	if c.cfg.Federate > 0 {
+		n++
+	}
+	c.wg.Add(n)
 	go c.evictLoop()
 	go c.rebalanceLoop()
+	if c.cfg.Federate > 0 {
+		go c.federateLoop()
+	}
 }
 
 // Stop halts the maintenance loops. In-flight dispatches are not
@@ -182,6 +206,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /cluster/v1/drain", c.handleDrain)
 	mux.HandleFunc("GET /cluster/v1/workers", c.handleWorkers)
 	mux.HandleFunc("GET /cluster/v1/traces/{id}", c.handleTrace)
+	mux.HandleFunc("POST /cluster/v1/spans", c.handleSpans)
 	return mux
 }
 
@@ -242,6 +267,9 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		ws.lastBeat = c.now()
 		ws.queueDepth = req.QueueDepth
 		ws.running = req.Running
+		ws.completed = req.Completed
+		ws.failed = req.Failed
+		ws.simEvents = req.SimEvents
 		if req.Draining && !ws.draining {
 			c.drainLocked(ws)
 		}
@@ -339,6 +367,22 @@ func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
 		bw.Write(rec)
 	}
 	bw.Flush() //nolint:errcheck // worker retries a broken download
+}
+
+// handleSpans ingests spans a worker ships directly — the fallback
+// delivery path for runs whose event stream broke before the done frame
+// landed. The recorder dedups by (trace id, span id), so double delivery
+// against the done-frame path is harmless.
+func (c *Coordinator) handleSpans(w http.ResponseWriter, r *http.Request) {
+	var req SpanPush
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("cluster: decoding spans: %w", err))
+		return
+	}
+	n := c.tracer.Ingest(req.Spans)
+	writeJSON(w, http.StatusOK, struct {
+		Ingested int `json:"ingested"`
+	}{n})
 }
 
 // evictLoop removes workers whose heartbeats went silent and requeues their
@@ -552,7 +596,7 @@ func (c *Coordinator) Execute(ctx context.Context, job *engine.Job) (*sim.Result
 			}
 			return nil, engine.ErrExecuteLocally
 		}
-		res, err, v := c.runOn(ctx, ws, job)
+		res, err, v := c.runOn(ctx, ws, job, attempt)
 		switch v {
 		case vDone:
 			return res, err
@@ -605,7 +649,28 @@ const (
 
 // runOn dispatches job to ws and consumes its event stream until a terminal
 // outcome, a worker failure, or a steal.
-func (c *Coordinator) runOn(ctx context.Context, ws *workerState, job *engine.Job) (*sim.Result, error, verdict) {
+func (c *Coordinator) runOn(ctx context.Context, ws *workerState, job *engine.Job, attempt int) (res *sim.Result, jobErr error, v verdict) {
+	// The dispatch leg of the job's trace: one span per attempt, carrying
+	// the target worker and how the attempt ended. The worker's own "job"
+	// span parents under it via the traceparent on the dispatch RPC, so the
+	// merged trace shows the remote run nested inside this hop.
+	dsp := c.tracer.StartSpan(job.TraceContext(), "dispatch")
+	dsp.SetStr("worker", ws.id)
+	dsp.SetInt("attempt", int64(attempt))
+	defer func() {
+		switch {
+		case v == vSteal:
+			dsp.SetStr("outcome", "steal")
+		case v == vRequeue:
+			dsp.SetStr("outcome", "requeue")
+		case jobErr != nil:
+			dsp.SetStr("outcome", "error")
+			dsp.SetStr("error", jobErr.Error())
+		default:
+			dsp.SetStr("outcome", "ok")
+		}
+		dsp.End()
+	}()
 	spec := DispatchRequest{
 		JobID:      job.ID(),
 		RequestID:  job.RequestID(),
@@ -619,9 +684,17 @@ func (c *Coordinator) runOn(ctx context.Context, ws *workerState, job *engine.Jo
 	if at := job.SubmittedAt(); !at.IsZero() {
 		spec.AdmittedAtMs = at.UnixMilli()
 	}
+	hdr := make(http.Header)
+	if tc := dsp.Context(); tc.Valid() {
+		spec.Traceparent = tc.Traceparent()
+		hdr.Set(span.Header, spec.Traceparent)
+	}
+	if spec.RequestID != "" {
+		hdr.Set("X-Request-ID", spec.RequestID)
+	}
 	var ack DispatchResponse
 	dctx, dcancel := context.WithTimeout(context.Background(), dispatchTimeout)
-	err := c.postJSON(dctx, ws.addr+"/cluster/v1/jobs", spec, &ack)
+	err := postJSONHeaders(dctx, c.client, ws.addr+"/cluster/v1/jobs", hdr, spec, &ack)
 	dcancel()
 	if err != nil {
 		c.metrics.CountDispatch(ws.id, outcomeError)
@@ -772,6 +845,10 @@ func (c *Coordinator) settle(job *engine.Job, d DoneFrame) (*sim.Result, error, 
 	if d.Perf != nil {
 		job.SetRemotePerf(*d.Perf)
 	}
+	// Worker spans ride the done frame; merging is idempotent, so the
+	// push-based fallback (POST /cluster/v1/spans) delivering the same
+	// spans again is harmless.
+	c.tracer.Ingest(d.Spans)
 	switch d.State {
 	case engine.StateSucceeded:
 		if d.Result == nil {
@@ -809,6 +886,12 @@ func (c *Coordinator) postJSON(ctx context.Context, url string, in, out any) err
 }
 
 func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	return postJSONHeaders(ctx, client, url, nil, in, out)
+}
+
+// postJSONHeaders is postJSON with extra request headers — the dispatch
+// RPC rides traceparent and X-Request-ID alongside the JSON body.
+func postJSONHeaders(ctx context.Context, client *http.Client, url string, hdr http.Header, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("cluster: encoding %s: %w", url, err)
@@ -816,6 +899,11 @@ func postJSON(ctx context.Context, client *http.Client, url string, in, out any)
 	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
 	if err != nil {
 		return err
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)

@@ -1,0 +1,331 @@
+package cluster
+
+// Fleet metrics federation: the coordinator periodically scrapes each
+// registered worker's GET /metrics, keeps the womd_* families, renames
+// them womd_fleet_* and stamps every sample with an instance="<worker id>"
+// label, then re-exposes the merged result on its own /metrics (appended
+// by Coordinator.WriteProm) plus a summarized JSON view on GET /v1/fleet.
+// The rename keeps the coordinator's own womd_* families collision-free,
+// and the strict exposition rule (one TYPE header per family, never
+// without samples) holds because each federated family is emitted once
+// with the samples of every instance under it.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// scrapeTimeout bounds one worker /metrics fetch; a wedged worker must not
+// stall the whole federation pass for long.
+const scrapeTimeout = 5 * time.Second
+
+// scrapeBodyLimit caps one scrape response. A worker exposition is a few
+// KiB; anything near the cap is a misconfigured endpoint, not metrics.
+const scrapeBodyLimit = 4 << 20
+
+// fleetFamily is one merged metric family across instances. Immutable once
+// installed into federated.families — a pass builds a fresh map and swaps
+// it in, so readers can render outside the lock.
+type fleetFamily struct {
+	help    string
+	typ     string
+	samples []string // fully rendered lines, instance label applied
+}
+
+// federated holds the result of the coordinator's last scrape pass.
+type federated struct {
+	mu        sync.Mutex
+	families  map[string]*fleetFamily
+	instances int       // workers scraped successfully in the last pass
+	errors    uint64    // cumulative failed scrapes
+	last      time.Time // when the last pass finished (zero: none yet)
+}
+
+// federateLoop runs scrape passes every cfg.Federate until stopped.
+func (c *Coordinator) federateLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.Federate)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			c.FederateOnce(context.Background())
+		}
+	}
+}
+
+// FederateOnce performs one scrape pass over the registered fleet and
+// swaps the merged families in. Exported so tests (and debugging) can
+// force a pass deterministically instead of waiting on the loop.
+func (c *Coordinator) FederateOnce(ctx context.Context) {
+	type target struct{ id, addr string }
+	c.mu.Lock()
+	targets := make([]target, 0, len(c.workers))
+	for _, ws := range c.workers {
+		targets = append(targets, target{id: ws.id, addr: ws.addr})
+	}
+	c.mu.Unlock()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
+
+	fams := make(map[string]*fleetFamily)
+	up := 0
+	var errs uint64
+	for _, t := range targets {
+		body, err := c.scrapeWorker(ctx, t.addr)
+		if err != nil {
+			errs++
+			c.log.Warn("fleet metrics scrape failed", "worker", t.id, "error", err.Error())
+			continue
+		}
+		up++
+		mergeFleetFamilies(fams, body, t.id)
+	}
+	c.fed.mu.Lock()
+	c.fed.families = fams
+	c.fed.instances = up
+	c.fed.errors += errs
+	c.fed.last = c.now()
+	c.fed.mu.Unlock()
+}
+
+// scrapeWorker fetches one worker's Prometheus exposition text.
+func (c *Coordinator) scrapeWorker(ctx context.Context, addr string) (string, error) {
+	sctx, cancel := context.WithTimeout(ctx, scrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, "GET", addr+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		return "", fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, scrapeBodyLimit))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// fleetName maps a worker family name into the federated namespace.
+// Non-womd families are dropped, and already-federated ones too — scraping
+// another coordinator must not compound the prefix.
+func fleetName(name string) (string, bool) {
+	if !strings.HasPrefix(name, "womd_") || strings.HasPrefix(name, "womd_fleet_") {
+		return "", false
+	}
+	return "womd_fleet_" + name[len("womd_"):], true
+}
+
+// mergeFleetFamilies folds one instance's exposition into fams. The parse
+// leans on the repo's own exposition convention (HELP then TYPE headers,
+// immediately followed by the family's samples): samples are attributed to
+// the most recent header, which also covers histogram series whose sample
+// names extend the family name (_bucket, _sum, _count).
+func mergeFleetFamilies(fams map[string]*fleetFamily, body, instance string) {
+	var cur *fleetFamily
+	var curBase string // original womd_* name of cur
+	header := func(name string) *fleetFamily {
+		fn, ok := fleetName(name)
+		if !ok {
+			cur, curBase = nil, ""
+			return nil
+		}
+		fam := fams[fn]
+		if fam == nil {
+			fam = &fleetFamily{}
+			fams[fn] = fam
+		}
+		cur, curBase = fam, name
+		return fam
+	}
+	for _, line := range strings.Split(body, "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			name, help, _ := strings.Cut(line[len("# HELP "):], " ")
+			if fam := header(name); fam != nil && fam.help == "" {
+				fam.help = help
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			name, typ, _ := strings.Cut(line[len("# TYPE "):], " ")
+			if fam := header(name); fam != nil && fam.typ == "" {
+				fam.typ = typ
+			}
+		case line == "" || strings.HasPrefix(line, "#"):
+			// comment or blank: family context unchanged
+		default:
+			if cur == nil {
+				continue // family was skipped; skip its samples too
+			}
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			if !strings.HasPrefix(name, curBase) {
+				continue // stray sample with no preceding header
+			}
+			cur.samples = append(cur.samples, fleetSampleLine(line, name, instance))
+		}
+	}
+}
+
+// fleetSampleLine renames one sample line into the womd_fleet_ namespace
+// and appends the instance label. The closing brace is located from the
+// right: label values may contain '}', but the value after the label set
+// never does.
+func fleetSampleLine(line, name, instance string) string {
+	fleet := "womd_fleet_" + name[len("womd_"):]
+	rest := line[len(name):]
+	if strings.HasPrefix(rest, "{") {
+		i := strings.LastIndex(rest, "}")
+		if i < 0 {
+			return fleet + rest // malformed; pass through renamed
+		}
+		return fleet + rest[:i] + `,instance="` + instance + `"` + rest[i:]
+	}
+	return fleet + `{instance="` + instance + `"}` + rest
+}
+
+// writeFederated renders the merged fleet families plus the federation
+// meta-metrics. Families that gathered no samples are skipped so a TYPE
+// header never appears bare.
+func (c *Coordinator) writeFederated(w io.Writer) {
+	c.fed.mu.Lock()
+	instances, errors, last := c.fed.instances, c.fed.errors, c.fed.last
+	names := make([]string, 0, len(c.fed.families))
+	fams := make([]*fleetFamily, 0, len(c.fed.families))
+	for name, fam := range c.fed.families {
+		if len(fam.samples) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, c.fed.families[name])
+	}
+	c.fed.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP womd_fleet_instances Workers scraped successfully in the last federation pass.\n"+
+		"# TYPE womd_fleet_instances gauge\nwomd_fleet_instances %d\n", instances)
+	fmt.Fprintf(w, "# HELP womd_fleet_scrape_errors_total Failed worker /metrics scrapes.\n"+
+		"# TYPE womd_fleet_scrape_errors_total counter\nwomd_fleet_scrape_errors_total %d\n", errors)
+	if !last.IsZero() {
+		fmt.Fprintf(w, "# HELP womd_fleet_scrape_age_seconds Time since the last federation pass.\n"+
+			"# TYPE womd_fleet_scrape_age_seconds gauge\nwomd_fleet_scrape_age_seconds %g\n",
+			c.now().Sub(last).Seconds())
+	}
+	for i, name := range names {
+		fam := fams[i]
+		if fam.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, fam.help)
+		}
+		if fam.typ != "" {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, fam.typ)
+		}
+		for _, s := range fam.samples {
+			fmt.Fprintln(w, s)
+		}
+	}
+}
+
+// FleetWorkerView is one worker in GET /v1/fleet: identity plus the load
+// figures from its most recent heartbeat.
+type FleetWorkerView struct {
+	ID             string `json:"id"`
+	Name           string `json:"name"`
+	Addr           string `json:"addr"`
+	Capacity       int    `json:"capacity"`
+	HeartbeatAgeMs int64  `json:"heartbeat_age_ms"`
+	Draining       bool   `json:"draining,omitempty"`
+	QueueDepth     int64  `json:"queue_depth"`
+	Running        int64  `json:"running"`
+	Completed      uint64 `json:"completed"`
+	Failed         uint64 `json:"failed"`
+	SimEvents      uint64 `json:"sim_events"`
+	Outstanding    int    `json:"outstanding"`
+}
+
+// FleetTotals sums the per-worker load figures.
+type FleetTotals struct {
+	Workers    int    `json:"workers"`
+	QueueDepth int64  `json:"queue_depth"`
+	Running    int64  `json:"running"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	SimEvents  uint64 `json:"sim_events"`
+}
+
+// FleetFederation reports the scrape loop's health.
+type FleetFederation struct {
+	Instances    int    `json:"instances"`
+	ScrapeErrors uint64 `json:"scrape_errors"`
+	// LastScrapeAgeMs is -1 until the first pass completes.
+	LastScrapeAgeMs int64 `json:"last_scrape_age_ms"`
+}
+
+// FleetView is the GET /v1/fleet payload.
+type FleetView struct {
+	Workers    []FleetWorkerView `json:"workers"`
+	Totals     FleetTotals       `json:"totals"`
+	Federation FleetFederation   `json:"federation"`
+}
+
+// HandleFleet serves GET /v1/fleet: the operator-facing fleet summary —
+// per-worker load, fleet totals, federation health. Mounted on the
+// coordinator's public API mux by cmd/womd.
+func (c *Coordinator) HandleFleet(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	workers := make([]FleetWorkerView, 0, len(c.workers))
+	for _, ws := range c.workers {
+		workers = append(workers, FleetWorkerView{
+			ID:             ws.id,
+			Name:           ws.name,
+			Addr:           ws.addr,
+			Capacity:       ws.capacity,
+			HeartbeatAgeMs: c.now().Sub(ws.lastBeat).Milliseconds(),
+			Draining:       ws.draining,
+			QueueDepth:     ws.queueDepth,
+			Running:        ws.running,
+			Completed:      ws.completed,
+			Failed:         ws.failed,
+			SimEvents:      ws.simEvents,
+			Outstanding:    len(ws.assignments),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(workers, func(i, j int) bool { return workers[i].ID < workers[j].ID })
+
+	view := FleetView{Workers: workers}
+	for _, wv := range workers {
+		view.Totals.Workers++
+		view.Totals.QueueDepth += wv.QueueDepth
+		view.Totals.Running += wv.Running
+		view.Totals.Completed += wv.Completed
+		view.Totals.Failed += wv.Failed
+		view.Totals.SimEvents += wv.SimEvents
+	}
+	c.fed.mu.Lock()
+	view.Federation = FleetFederation{
+		Instances:       c.fed.instances,
+		ScrapeErrors:    c.fed.errors,
+		LastScrapeAgeMs: -1,
+	}
+	if !c.fed.last.IsZero() {
+		view.Federation.LastScrapeAgeMs = c.now().Sub(c.fed.last).Milliseconds()
+	}
+	c.fed.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}

@@ -116,4 +116,5 @@ func (c *Coordinator) WriteProm(w io.Writer) {
 		"# TYPE womd_cluster_steals_total counter\nwomd_cluster_steals_total %d\n", m.Steals.Load())
 	fmt.Fprintf(w, "# HELP womd_cluster_evictions_total Workers evicted on heartbeat timeout.\n"+
 		"# TYPE womd_cluster_evictions_total counter\nwomd_cluster_evictions_total %d\n", m.Evictions.Load())
+	c.writeFederated(w)
 }

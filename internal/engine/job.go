@@ -15,6 +15,7 @@ import (
 	"womcpcm/internal/perfmon"
 	"womcpcm/internal/probe"
 	"womcpcm/internal/sim"
+	"womcpcm/internal/span"
 )
 
 // State is a job's lifecycle position.
@@ -74,6 +75,18 @@ type Job struct {
 	// tenant on the default FIFO. Written only before the job is visible
 	// to workers (Submit/Enqueue), so reads need no lock.
 	tenant string
+
+	// trace is the root "job" span's position in the job's distributed
+	// trace: the parent for every lifecycle child span (queue_wait,
+	// dispatch, execute, store, sse_stream) and the source of the
+	// traceparent a coordinator forwards to a worker. rootSpan is that
+	// span's live handle, ended exactly once (endTrace) when the job
+	// settles; traceEnqueued marks when the job entered the queue, the
+	// retroactive queue_wait span's left edge. All three are written only
+	// before the job is visible (Submit, under m.mu), like tenant.
+	trace         span.Context
+	rootSpan      *span.Active
+	traceEnqueued time.Time
 
 	// startedCh closes when the job transitions Queued → Running; set only
 	// for jobs that will actually execute (queue leaders). Cluster workers
@@ -157,6 +170,24 @@ func (j *Job) Timeout() time.Duration { return j.timeout }
 // coordinator forwards it in the dispatch so the worker bills the same
 // class.
 func (j *Job) TenantName() string { return j.tenant }
+
+// TraceContext returns the job's position in its distributed trace — the
+// root "job" span every lifecycle child parents under. Zero (invalid) when
+// tracing is off.
+func (j *Job) TraceContext() span.Context { return j.trace }
+
+// endTrace closes the job's root span with its terminal state. Idempotent
+// (span.Active.End latches) and nil-safe, so every settle path may call it.
+func (j *Job) endTrace() {
+	if j.rootSpan == nil {
+		return
+	}
+	j.rootSpan.SetStr("state", string(j.State()))
+	if w := j.workerID(); w != "" {
+		j.rootSpan.SetStr("worker", w)
+	}
+	j.rootSpan.End()
+}
 
 // closedCh is the Started answer for jobs that never pass through the queue.
 var closedCh = func() chan struct{} {
@@ -489,7 +520,10 @@ type JobView struct {
 	// jobs executed in-process.
 	Worker string `json:"worker,omitempty"`
 	// Tenant is the scheduling class the job was admitted under.
-	Tenant      string `json:"tenant,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	// Traceparent is the job's distributed-trace position in W3C form;
+	// its trace id keys GET /v1/jobs/{id}/trace. Empty when tracing is off.
+	Traceparent string `json:"traceparent,omitempty"`
 	SubmittedAt string `json:"submitted_at"`
 	StartedAt   string `json:"started_at,omitempty"`
 	FinishedAt  string `json:"finished_at,omitempty"`
@@ -512,6 +546,7 @@ func (j *Job) View() JobView {
 		DedupOf:     j.dedupOf,
 		Worker:      j.worker,
 		Tenant:      j.tenant,
+		Traceparent: j.trace.Traceparent(),
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 	}
 	if j.err != nil {

@@ -16,6 +16,7 @@ import (
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sched"
 	"womcpcm/internal/sim"
+	"womcpcm/internal/span"
 	"womcpcm/internal/telemetry"
 )
 
@@ -86,6 +87,12 @@ type Config struct {
 	Execute ExecuteFunc
 	// ProfileCPUDuration is how long a capture samples CPU (default 500ms).
 	ProfileCPUDuration time.Duration
+	// Tracer records the job lifecycle as distributed-trace spans
+	// (internal/span): a root "job" span per submission with admission,
+	// queue-wait, execute/dispatch, store, and SSE children, propagated
+	// across cluster hops via W3C traceparent. nil disables tracing — every
+	// instrumentation site is a nil-safe no-op.
+	Tracer *span.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +142,8 @@ var (
 	ErrNotFound = errors.New("engine: not found")
 	// ErrNoTenants rejects tenant routes when womd runs without -tenants.
 	ErrNoTenants = errors.New("engine: tenant scheduling not configured (start womd with -tenants)")
+	// ErrNoTracer rejects trace routes when tracing is disabled.
+	ErrNoTracer = errors.New("engine: tracing not configured (start womd with -trace-spans > 0)")
 )
 
 // Manager owns the job queue, the worker pool, the trace store, and the
@@ -217,6 +226,9 @@ func (m *Manager) Store() *resultstore.Store { return m.store }
 // Profiles exposes the slow-job profile store; nil when profiling is off.
 func (m *Manager) Profiles() *perfmon.ProfileStore { return m.cfg.Profiles }
 
+// Tracer exposes the span recorder; nil when tracing is off.
+func (m *Manager) Tracer() *span.Recorder { return m.cfg.Tracer }
+
 // TenantViews snapshots per-tenant scheduling state when the manager runs
 // on a tenant-aware queue; ErrNoTenants otherwise (the default FIFO).
 func (m *Manager) TenantViews() ([]sched.TenantView, error) {
@@ -232,6 +244,7 @@ func (m *Manager) TenantViews() ([]sched.TenantView, error) {
 // request id for the job's lifecycle logs (WithRequestID); it does not bound
 // the job's execution — that is the job timeout's role.
 func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
+	submitStart := time.Now()
 	exp, err := sim.LookupExperiment(req.Experiment)
 	if err != nil {
 		return nil, err
@@ -279,19 +292,43 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 		}
 	}
 
+	// The job's root "job" span. A submission carrying a propagated
+	// traceparent (cluster dispatch) continues that trace — the worker's
+	// root parents under the coordinator's dispatch span — otherwise a
+	// fresh trace starts here. Every reject path below ends the span with
+	// the error attached; settled jobs end it via endTrace.
+	var root *span.Active
+	if parent, ok := TraceParentFrom(ctx); ok {
+		root = m.cfg.Tracer.StartSpan(parent, "job")
+	} else {
+		root = m.cfg.Tracer.StartTrace("job")
+	}
+	root.SetStr("experiment", exp.Name)
+	if reqID != "" {
+		root.SetStr("request_id", reqID)
+	}
+	if req.Tenant != "" {
+		root.SetStr("tenant", req.Tenant)
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
 		m.metrics.Rejected.Add(1)
+		root.SetStr("error", ErrDraining.Error())
+		root.End()
 		return nil, ErrDraining
 	}
 	if len(m.jobs) >= m.cfg.MaxJobs {
 		m.metrics.Rejected.Add(1)
+		root.SetStr("error", ErrTooManyJobs.Error())
+		root.End()
 		return nil, ErrTooManyJobs
 	}
 	if key != "" {
 		// Cache hit: the job is born succeeded, never touching the queue —
 		// a disk read instead of minutes of simulation.
+		getStart := time.Now()
 		if entry, ok := m.store.Get(key); ok {
 			m.metrics.CacheHits.Add(1)
 			now := time.Now()
@@ -300,10 +337,18 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 				id: fmt.Sprintf("j-%06d", m.seq), seq: m.seq,
 				exp: exp, req: req, params: params, timeout: timeout,
 				key: key, cached: true, reqID: reqID, tenant: req.Tenant,
+				trace: root.Context(),
 				state: StateSucceeded, result: entry.Result,
 				submitted: now, started: now, finished: now,
 			}
 			m.jobs[job.id] = job
+			m.cfg.Tracer.Record(root.Context(), "store_hit", getStart, now,
+				span.Attrs{"key": key})
+			m.cfg.Tracer.Record(root.Context(), "admission", submitStart, now, nil)
+			root.SetStr("job", job.id)
+			root.SetBool("cached", true)
+			root.SetStr("state", string(StateSucceeded))
+			root.End()
 			m.log.Info("job served from cache", "job", job.id,
 				"experiment", exp.Name, "request_id", reqID, "key", key)
 			return job, nil
@@ -318,41 +363,62 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 				id: fmt.Sprintf("j-%06d", m.seq), seq: m.seq,
 				exp: exp, req: req, params: params, timeout: timeout,
 				key: key, dedupOf: fl.leader.id, reqID: reqID, tenant: req.Tenant,
+				trace: root.Context(), rootSpan: root,
 				state: StateQueued, submitted: admitted,
 				hub: newStreamHub(m.metrics),
 			}
 			fl.waiters = append(fl.waiters, job)
 			m.jobs[job.id] = job
+			m.cfg.Tracer.Record(root.Context(), "admission", submitStart, time.Now(), nil)
+			root.SetStr("job", job.id)
+			root.SetStr("dedup_of", fl.leader.id)
 			m.log.Info("job deduped", "job", job.id, "experiment", exp.Name,
 				"request_id", reqID, "leader", fl.leader.id)
 			return job, nil
 		}
 	}
 	m.seq++
+	// enq is both the admission span's right edge and the queue_wait
+	// span's left edge (see recordQueueWait), set before Enqueue makes the
+	// job visible to workers.
+	enq := time.Now()
 	job := &Job{
-		id:        fmt.Sprintf("j-%06d", m.seq),
-		seq:       m.seq,
-		exp:       exp,
-		req:       req,
-		params:    params,
-		timeout:   timeout,
-		key:       key,
-		reqID:     reqID,
-		tenant:    req.Tenant,
-		state:     StateQueued,
-		submitted: admitted,
-		hub:       newStreamHub(m.metrics),
-		startedCh: make(chan struct{}),
+		id:            fmt.Sprintf("j-%06d", m.seq),
+		seq:           m.seq,
+		exp:           exp,
+		req:           req,
+		params:        params,
+		timeout:       timeout,
+		key:           key,
+		reqID:         reqID,
+		tenant:        req.Tenant,
+		trace:         root.Context(),
+		rootSpan:      root,
+		traceEnqueued: enq,
+		state:         StateQueued,
+		submitted:     admitted,
+		hub:           newStreamHub(m.metrics),
+		startedCh:     make(chan struct{}),
 	}
 	if err := m.queue.Enqueue(job); err != nil {
 		m.seq-- // id not spent
 		m.metrics.Rejected.Add(1)
+		// Stamp shed rejections with the trace id so the 429 body can be
+		// joined back to this trace (errors.As exposes the pointer).
+		var se *sched.ShedError
+		if errors.As(err, &se) {
+			se.TraceID = root.Context().TraceID
+		}
+		root.SetStr("error", err.Error())
+		root.End()
 		return nil, err
 	}
 	m.jobs[job.id] = job
 	if key != "" {
 		m.inflight[key] = &flight{leader: job}
 	}
+	m.cfg.Tracer.Record(root.Context(), "admission", submitStart, enq, nil)
+	root.SetStr("job", job.id)
 	m.metrics.Queued.Add(1)
 	m.metrics.QueueDepth.Add(1)
 	m.log.Info("job queued", "job", job.id, "experiment", exp.Name,
@@ -471,24 +537,28 @@ func (m *Manager) runJob(job *Job) {
 	defer cancel()
 	if !job.markRunning(cancel) {
 		m.metrics.Canceled.Add(1)
+		m.recordQueueWait(job)
 		m.settleFlight(job, StateCanceled, nil, context.Canceled)
+		job.endTrace()
 		m.log.Info("job canceled before start", "job", job.id,
 			"experiment", job.exp.Name, "request_id", job.reqID)
 		return
 	}
 	m.metrics.Running.Add(1)
 	m.metrics.ObserveQueueWait(time.Since(job.submittedAt()))
+	m.recordQueueWait(job)
 	m.log.Info("job started", "job", job.id, "experiment", job.exp.Name,
 		"request_id", job.reqID)
 	start := time.Now()
 	var (
 		res    *sim.Result
 		err    error
-		span   *perfmon.Span
+		pspan  *perfmon.Span
 		remote bool
 	)
 	// A configured Execute hook (cluster coordinator) gets the job first; it
-	// declines with ErrExecuteLocally when no worker can take it.
+	// declines with ErrExecuteLocally when no worker can take it. The
+	// dispatch-side trace span is the hook's own (cluster's runOn).
 	if m.cfg.Execute != nil {
 		res, err = m.cfg.Execute(ctx, job)
 		if errors.Is(err, ErrExecuteLocally) {
@@ -497,23 +567,31 @@ func (m *Manager) runJob(job *Job) {
 			remote = true
 		}
 	}
+	var execSpan *span.Active
 	if !remote {
 		// Host-time accounting brackets the local run. A nil span
 		// (DisablePerf) makes every perf touchpoint below a single pointer
 		// check — the probe contract, pinned by BenchmarkSpanDisabled.
 		if !m.cfg.DisablePerf {
-			span = perfmon.Begin()
-			job.span.Store(span)
+			pspan = perfmon.Begin()
+			job.span.Store(pspan)
 		}
+		execSpan = m.cfg.Tracer.StartSpan(job.trace, "execute")
 		res, err = job.exp.Run(m.jobContext(ctx, job), job.params)
 	}
 	m.metrics.Running.Add(-1)
 	wall := time.Since(start)
 	m.metrics.ObserveWall(job.exp.Name, wall)
-	if span != nil {
-		rec := span.End()
+	if pspan != nil {
+		rec := pspan.End()
 		job.setPerf(rec)
 		m.metrics.ObservePerf(job.exp.Name, rec)
+		// Link the execute span to the perfmon record: the same sim-event
+		// and host-cost figures the perf block reports, on the waterfall.
+		execSpan.SetInt("sim_events", rec.SimEvents)
+		execSpan.SetFloat("events_per_sec", rec.EventsPerSec)
+		execSpan.SetInt("cpu_ns", rec.CPUNs)
+		execSpan.SetInt("alloc_bytes", int64(rec.AllocBytes))
 	} else if remote {
 		// A remote job's accounting was measured on the worker and installed
 		// via SetRemotePerf; fold it into the fleet-facing histograms here.
@@ -522,6 +600,7 @@ func (m *Manager) runJob(job *Job) {
 			m.metrics.AddWriteClasses(classArray(job.classCounts()))
 		}
 	}
+	execSpan.End()
 	switch {
 	case err == nil:
 		m.metrics.Completed.Add(1)
@@ -542,6 +621,7 @@ func (m *Manager) runJob(job *Job) {
 		job.finish(StateFailed, nil, err)
 		m.settleFlight(job, StateFailed, nil, err)
 	}
+	job.endTrace()
 	attrs := []any{"job", job.id, "experiment", job.exp.Name,
 		"request_id", job.reqID, "state", string(job.State()),
 		"duration_ms", wall.Milliseconds()}
@@ -554,6 +634,20 @@ func (m *Manager) runJob(job *Job) {
 	} else {
 		m.log.Info("job finished", attrs...)
 	}
+}
+
+// recordQueueWait backfills the job's queue_wait span now that a worker
+// picked it up — the interval [enqueue, dequeue] is only known after the
+// fact, so it is recorded retroactively (span.Recorder.Record).
+func (m *Manager) recordQueueWait(job *Job) {
+	if job.traceEnqueued.IsZero() {
+		return
+	}
+	var attrs span.Attrs
+	if job.tenant != "" {
+		attrs = span.Attrs{"tenant": job.tenant}
+	}
+	m.cfg.Tracer.Record(job.trace, "queue_wait", job.traceEnqueued, time.Now(), attrs)
 }
 
 // jobContext decorates a running job's context with the live feeds: the
@@ -586,14 +680,19 @@ func (m *Manager) storeResult(job *Job, res *sim.Result, wall time.Duration) {
 	if m.store == nil || job.key == "" {
 		return
 	}
+	sp := m.cfg.Tracer.StartSpan(job.trace, "store")
+	sp.SetStr("key", job.key)
+	defer sp.End()
 	doc, err := json.Marshal(job.params)
 	if err != nil {
 		m.metrics.StoreErrors.Add(1)
+		sp.SetStr("outcome", "error")
 		return
 	}
 	canon, err := resultstore.CanonicalJSON(doc)
 	if err != nil {
 		m.metrics.StoreErrors.Add(1)
+		sp.SetStr("outcome", "error")
 		return
 	}
 	if err := m.store.Put(resultstore.Entry{
@@ -605,7 +704,10 @@ func (m *Manager) storeResult(job *Job, res *sim.Result, wall time.Duration) {
 		WallNs:     wall.Nanoseconds(),
 	}); err != nil {
 		m.metrics.StoreErrors.Add(1)
+		sp.SetStr("outcome", "error")
+		return
 	}
+	sp.SetStr("outcome", "ok")
 }
 
 // settleFlight resolves every submission deduped onto job with its outcome
@@ -636,6 +738,7 @@ func (m *Manager) settleFlight(job *Job, state State, res *sim.Result, err error
 		case StateCanceled:
 			m.metrics.Canceled.Add(1)
 		}
+		w.endTrace()
 		w.hub.close()
 	}
 }

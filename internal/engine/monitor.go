@@ -130,7 +130,7 @@ func (m *Manager) monitorPass(last map[string]int64, interval time.Duration) {
 		if !job.profiled.CompareAndSwap(false, true) {
 			continue // already captured once
 		}
-		caps, err := m.cfg.Profiles.Capture(job.id, reason, m.cfg.ProfileCPUDuration)
+		caps, err := m.cfg.Profiles.Capture(job.id, job.trace.TraceID, reason, m.cfg.ProfileCPUDuration)
 		if err != nil {
 			// ErrBusy or I/O trouble: release the latch so a later pass can
 			// retry while the job is still running.

@@ -18,6 +18,7 @@ import (
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sched"
 	"womcpcm/internal/sim"
+	"womcpcm/internal/span"
 )
 
 // Server is the HTTP/JSON face of a Manager. Routes (see DESIGN.md for the
@@ -29,6 +30,7 @@ import (
 //	GET    /v1/jobs/{id}/result result of a succeeded job (202 while pending)
 //	GET    /v1/jobs/{id}/progress records processed / total (replay jobs)
 //	GET    /v1/jobs/{id}/stream   live SSE: telemetry windows + progress
+//	GET    /v1/jobs/{id}/trace    distributed trace, Chrome trace-event JSON
 //	GET    /v1/jobs/{id}/profiles        pprof captures for a slow job
 //	GET    /v1/jobs/{id}/profiles/{file} one capture, pprof binary body
 //	DELETE /v1/jobs/{id}        cancel a pending job / delete a finished one
@@ -118,6 +120,7 @@ func NewServer(m *Manager, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.getResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.getProgress)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.streamJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.getJobTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profiles", s.listProfiles)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/profiles/{file}", s.getProfile)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.deleteJob)
@@ -157,7 +160,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		id = newRequestID()
 	}
 	w.Header().Set("X-Request-ID", id)
-	r = r.WithContext(WithRequestID(r.Context(), id))
+	ctx := WithRequestID(r.Context(), id)
+	// A W3C traceparent header joins this request to the caller's trace:
+	// Submit parents the job's root span under it instead of starting a
+	// fresh trace (cluster dispatch propagation).
+	if tc, ok := span.FromRequest(r); ok {
+		ctx = WithTraceParent(ctx, tc)
+	}
+	r = r.WithContext(ctx)
 
 	start := time.Now()
 	iw := &jsonErrorWriter{ResponseWriter: w}
@@ -254,7 +264,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusInsufficientStorage
 	case errors.Is(err, ErrNotFound), errors.Is(err, resultstore.ErrNoBaseline):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrNoStore), errors.Is(err, ErrNoProfiles), errors.Is(err, ErrNoTenants):
+	case errors.Is(err, ErrNoStore), errors.Is(err, ErrNoProfiles),
+		errors.Is(err, ErrNoTenants), errors.Is(err, ErrNoTracer):
 		status = http.StatusNotImplemented
 	}
 	var se *sched.ShedError
@@ -271,6 +282,9 @@ func writeError(w http.ResponseWriter, err error) {
 		}
 		if se.Tenant != "" {
 			body["tenant"] = se.Tenant
+		}
+		if se.TraceID != "" {
+			body["trace_id"] = se.TraceID
 		}
 		writeJSON(w, status, body)
 		return
@@ -335,6 +349,39 @@ func (s *Server) getResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusConflict, view)
 	}
+}
+
+// getJobTrace serves GET /v1/jobs/{id}/trace: the job's distributed trace
+// as Chrome trace-event JSON, directly loadable in Perfetto and rendered
+// to an HTML waterfall by `womtool spans`. On a cluster coordinator the
+// trace includes the worker-side spans shipped back over the dispatch
+// stream, so one document answers "where did this job's time go" across
+// processes. 404 for a job whose trace was sampled out (or predates the
+// span buffer's eviction horizon), 501 when tracing is off.
+func (s *Server) getJobTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, fmt.Errorf("%w: job %q", ErrNotFound, r.PathValue("id")))
+		return
+	}
+	rec := s.m.Tracer()
+	if rec == nil {
+		writeError(w, ErrNoTracer)
+		return
+	}
+	tc := job.TraceContext()
+	if !tc.Valid() {
+		writeError(w, fmt.Errorf("%w: job %q has no trace", ErrNotFound, job.ID()))
+		return
+	}
+	spans := rec.Trace(tc.TraceID)
+	if len(spans) == 0 {
+		writeError(w, fmt.Errorf("%w: trace %s has no buffered spans (sampled out or evicted)",
+			ErrNotFound, tc.TraceID))
+		return
+	}
+	w.Header().Set("X-Trace-ID", tc.TraceID)
+	writeJSON(w, http.StatusOK, span.ChromeTraceOf(spans))
 }
 
 // getProgress reports a job's completion gauge. The fraction is monotone

@@ -172,12 +172,21 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request) {
 	}
 	sub, cancelSub := job.hub.subscribe()
 	defer cancelSub()
+	// The fan-out leg of the job's trace: how long this subscriber held
+	// the stream open and how many events it was sent.
+	sse := s.m.Tracer().StartSpan(job.TraceContext(), "sse_stream")
+	var sseEvents int64
+	defer func() {
+		sse.SetInt("events", sseEvents)
+		sse.End()
+	}()
 	// Initial snapshot: a client connecting mid-job sees the current
 	// position without waiting for the next report.
 	if data, err := json.Marshal(job.Progress()); err == nil {
 		if !writeEvent("progress", data) {
 			return
 		}
+		sseEvents++
 	}
 	heartbeat := time.NewTicker(s.heartbeat)
 	defer heartbeat.Stop()
@@ -194,11 +203,13 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request) {
 				// Terminal state: the buffered tail drained, report the
 				// outcome and end the stream.
 				sendDone()
+				sseEvents++
 				return
 			}
 			if !writeEvent(ev.Name, ev.Data) {
 				return
 			}
+			sseEvents++
 		}
 	}
 }

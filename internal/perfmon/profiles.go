@@ -23,6 +23,9 @@ const DefaultCPUProfileDuration = 500 * time.Millisecond
 type Capture struct {
 	// JobID is the job the capture was taken for.
 	JobID string `json:"job_id"`
+	// TraceID is the job's distributed-trace id (internal/span), so a
+	// profile can be joined back to its trace; empty when tracing is off.
+	TraceID string `json:"trace_id,omitempty"`
 	// Reason says why ("slow: 0.12x of fleet median", "deadline").
 	Reason string `json:"reason"`
 	// Kind is "cpu" or "heap".
@@ -67,9 +70,11 @@ func (ps *ProfileStore) Dir() string { return ps.dir }
 
 // Capture records a CPU profile (sampling for cpuDur, ≤ 0 selecting the
 // default) and a heap profile for jobID, returning the stored captures.
-// If another capture is in flight the call returns ErrBusy without
-// blocking the caller for the sampling duration.
-func (ps *ProfileStore) Capture(jobID, reason string, cpuDur time.Duration) ([]Capture, error) {
+// traceID, when non-empty, stamps the captures with the job's trace so
+// they join back to its distributed trace. If another capture is in
+// flight the call returns ErrBusy without blocking the caller for the
+// sampling duration.
+func (ps *ProfileStore) Capture(jobID, traceID, reason string, cpuDur time.Duration) ([]Capture, error) {
 	if cpuDur <= 0 {
 		cpuDur = DefaultCPUProfileDuration
 	}
@@ -90,13 +95,13 @@ func (ps *ProfileStore) Capture(jobID, reason string, cpuDur time.Duration) ([]C
 
 	var out []Capture
 	cpuFile := fmt.Sprintf("%s-%d-cpu.pprof", sanitizeID(jobID), seq)
-	if c, err := ps.captureCPU(jobID, reason, cpuFile, cpuDur); err == nil {
+	if c, err := ps.captureCPU(jobID, traceID, reason, cpuFile, cpuDur); err == nil {
 		out = append(out, c)
 	} else {
 		return nil, err
 	}
 	heapFile := fmt.Sprintf("%s-%d-heap.pprof", sanitizeID(jobID), seq)
-	if c, err := ps.captureHeap(jobID, reason, heapFile); err == nil {
+	if c, err := ps.captureHeap(jobID, traceID, reason, heapFile); err == nil {
 		out = append(out, c)
 	} else {
 		return out, err
@@ -107,7 +112,7 @@ func (ps *ProfileStore) Capture(jobID, reason string, cpuDur time.Duration) ([]C
 // ErrBusy reports a capture attempt while another is sampling.
 var ErrBusy = fmt.Errorf("perfmon: a profile capture is already in flight")
 
-func (ps *ProfileStore) captureCPU(jobID, reason, name string, dur time.Duration) (Capture, error) {
+func (ps *ProfileStore) captureCPU(jobID, traceID, reason, name string, dur time.Duration) (Capture, error) {
 	f, err := os.Create(filepath.Join(ps.dir, name))
 	if err != nil {
 		return Capture{}, fmt.Errorf("perfmon: cpu profile: %w", err)
@@ -119,10 +124,10 @@ func (ps *ProfileStore) captureCPU(jobID, reason, name string, dur time.Duration
 	}
 	time.Sleep(dur)
 	pprof.StopCPUProfile()
-	return ps.finish(f, jobID, reason, "cpu", name)
+	return ps.finish(f, jobID, traceID, reason, "cpu", name)
 }
 
-func (ps *ProfileStore) captureHeap(jobID, reason, name string) (Capture, error) {
+func (ps *ProfileStore) captureHeap(jobID, traceID, reason, name string) (Capture, error) {
 	f, err := os.Create(filepath.Join(ps.dir, name))
 	if err != nil {
 		return Capture{}, fmt.Errorf("perfmon: heap profile: %w", err)
@@ -134,12 +139,12 @@ func (ps *ProfileStore) captureHeap(jobID, reason, name string) (Capture, error)
 		os.Remove(f.Name())
 		return Capture{}, fmt.Errorf("perfmon: heap profile: %w", err)
 	}
-	return ps.finish(f, jobID, reason, "heap", name)
+	return ps.finish(f, jobID, traceID, reason, "heap", name)
 }
 
 // finish closes the profile file, registers the capture, and evicts past
 // the bound.
-func (ps *ProfileStore) finish(f *os.File, jobID, reason, kind, name string) (Capture, error) {
+func (ps *ProfileStore) finish(f *os.File, jobID, traceID, reason, kind, name string) (Capture, error) {
 	info, statErr := f.Stat()
 	if err := f.Close(); err != nil {
 		return Capture{}, fmt.Errorf("perfmon: %s profile: %w", kind, err)
@@ -148,7 +153,7 @@ func (ps *ProfileStore) finish(f *os.File, jobID, reason, kind, name string) (Ca
 	if statErr == nil {
 		size = info.Size()
 	}
-	c := Capture{JobID: jobID, Reason: reason, Kind: kind, File: name, Size: size, CreatedAt: time.Now()}
+	c := Capture{JobID: jobID, TraceID: traceID, Reason: reason, Kind: kind, File: name, Size: size, CreatedAt: time.Now()}
 	ps.mu.Lock()
 	ps.captures = append(ps.captures, c)
 	var evict []string

@@ -19,7 +19,7 @@ func testStore(t *testing.T, max int) *ProfileStore {
 
 func TestProfileCaptureListOpen(t *testing.T) {
 	ps := testStore(t, 0)
-	caps, err := ps.Capture("job-1", "deadline", 10*time.Millisecond)
+	caps, err := ps.Capture("job-1", "0123456789abcdef0123456789abcdef", "deadline", 10*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,6 +31,9 @@ func TestProfileCaptureListOpen(t *testing.T) {
 		kinds[c.Kind] = true
 		if c.JobID != "job-1" || c.Reason != "deadline" || c.File == "" {
 			t.Errorf("bad capture: %+v", c)
+		}
+		if c.TraceID != "0123456789abcdef0123456789abcdef" {
+			t.Errorf("capture lost trace id: %+v", c)
 		}
 		if c.Size == 0 {
 			t.Errorf("%s profile is empty", c.Kind)
@@ -63,7 +66,7 @@ func TestProfileCaptureListOpen(t *testing.T) {
 
 func TestProfileOpenRejectsUnknownNames(t *testing.T) {
 	ps := testStore(t, 0)
-	if _, err := ps.Capture("job", "slow", 5*time.Millisecond); err != nil {
+	if _, err := ps.Capture("job", "", "slow", 5*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"../profiles_test.go", "/etc/passwd", "nope.pprof", ""} {
@@ -75,11 +78,11 @@ func TestProfileOpenRejectsUnknownNames(t *testing.T) {
 
 func TestProfileEviction(t *testing.T) {
 	ps := testStore(t, 2) // holds one cpu+heap pair
-	first, err := ps.Capture("old", "slow", 5*time.Millisecond)
+	first, err := ps.Capture("old", "", "slow", 5*time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ps.Capture("new", "slow", 5*time.Millisecond); err != nil {
+	if _, err := ps.Capture("new", "", "slow", 5*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	if n := ps.Len(); n != 2 {

@@ -32,6 +32,10 @@ type ShedError struct {
 	Tenant     string
 	Reason     string
 	RetryAfter time.Duration
+	// TraceID is the shed submission's distributed-trace id, filled in by
+	// the engine (which owns tracing) so a 429 body can be joined back to
+	// its trace. Not part of Error() — purely machine-readable annotation.
+	TraceID string
 }
 
 func (e *ShedError) Error() string {

@@ -5,7 +5,13 @@
 # small fig5 job through the coordinator's public API, and asserts that it
 # completes AND that it executed on the worker (the job view carries a
 # worker id). Exercises the same wire path as production: register,
-# heartbeat, dispatch, event stream, result.
+# heartbeat, dispatch, event stream, result. Then checks the
+# observability planes over the same processes: the merged distributed
+# trace (coordinator + worker spans on /v1/jobs/{id}/trace, rendered by
+# womtool spans) and fleet metrics federation (worker families on the
+# coordinator's /metrics as womd_fleet_*, /v1/fleet summary). Leaves
+# cluster-trace.json and cluster-trace.html in the working directory for
+# CI to keep as artifacts.
 #
 # Usage: scripts/cluster_smoke.sh [coordinator-port] [worker-port]
 set -eu
@@ -86,3 +92,37 @@ curl -fsS "$COORD/metrics" | grep -q 'womd_cluster_dispatch_total{worker="w-001"
 
 worker_id=$(echo "$view" | sed -n 's/.*"worker": *"\([^"]*\)".*/\1/p' | head -n 1)
 echo "==> OK: job $job_id executed on worker $worker_id"
+
+echo "==> fetching the merged distributed trace"
+# Worker spans arrive on the done frame (or the POST fallback just
+# after); wait until the worker's service shows up in the trace, then
+# keep the document for the CI artifact.
+wait_for "$COORD/v1/jobs/$job_id/trace" '"smoke-worker"' \
+    "worker spans never reached the coordinator's trace buffer"
+curl -fsS "$COORD/v1/jobs/$job_id/trace" > cluster-trace.json \
+    || fail "trace endpoint did not serve the merged trace"
+for span_name in '"job"' '"dispatch"' '"execute"' '"queue_wait"'; do
+    grep -q "$span_name" cluster-trace.json \
+        || fail "merged trace missing a $span_name span"
+done
+
+echo "==> rendering the trace waterfall with womtool spans"
+go run ./cmd/womtool spans cluster-trace.json -o cluster-trace.html \
+    || fail "womtool spans could not render the trace"
+grep -q 'womd job trace' cluster-trace.html \
+    || fail "rendered waterfall looks empty"
+
+echo "==> checking fleet metrics federation"
+# The federation loop runs every 2x heartbeat (1s here); wait for a pass
+# that saw the worker's completed job.
+wait_for "$COORD/metrics" "womd_fleet_jobs_completed_total{instance=\"$worker_id\"} 1" \
+    "worker metrics never federated onto the coordinator"
+# Buffer the bodies: grep -q hanging up mid-transfer makes curl noisy.
+prom=$(curl -fsS "$COORD/metrics") || fail "coordinator /metrics unreadable"
+echo "$prom" | grep -q 'womd_fleet_instances 1' \
+    || fail "womd_fleet_instances does not count the worker"
+fleet=$(curl -fsS "$COORD/v1/fleet") || fail "/v1/fleet unreadable"
+echo "$fleet" | grep -q '"completed": *1' \
+    || fail "/v1/fleet does not report the completed job"
+
+echo "==> OK: merged trace + federated fleet metrics verified"
