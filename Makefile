@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet fmt-check race fuzz bench bench-probe bench-suite bench-compare cluster-smoke cluster-demo loadgen-smoke verify clean
+.PHONY: all build test vet fmt-check race fuzz bench bench-probe bench-suite bench-compare cluster-smoke cluster-demo loadgen-smoke alerts-smoke verify clean
 
 all: verify
 
@@ -54,6 +54,13 @@ cluster-smoke:
 # The womcpcm-loadgen-v1 report lands at ./loadgen-report.json.
 loadgen-smoke:
 	scripts/loadgen_smoke.sh
+
+# End-to-end alerting check: standalone womd with an aggressive rules
+# file, queue saturated with slow jobs, /readyz 503 + firing queue-hot
+# alert + womd_alert_* families asserted. The firing alert list lands at
+# ./alerts-smoke.json.
+alerts-smoke:
+	scripts/alerts_smoke.sh
 
 # Interactive cluster on localhost: coordinator on :8080, two workers on
 # :8081/:8082. Submit jobs to http://127.0.0.1:8080/v1/jobs and watch

@@ -43,6 +43,18 @@
 // label per worker, -cluster-federate interval) and summarizes fleet load
 // on GET /v1/fleet.
 //
+// An SLO/health alerting engine (-alerts, on by default) continuously
+// evaluates error-budget burn-rate rules over the scheduler's windowed
+// attainment, plus structural rules: queue saturation, shed rate, stale
+// worker heartbeats, federation scrape failures, and slow-job capture
+// frequency. Alerts move pending → firing → resolved with flap damping,
+// carry exemplar trace ids linking into /v1/jobs/{id}/trace, and surface
+// on GET /v1/alerts and as womd_alert_* families on /metrics; -alert-rules
+// FILE replaces the built-in rules and is hot-reloaded on SIGHUP without
+// losing firing state. GET /readyz reports routing readiness — 503 while
+// draining or queue-saturated — and in a cluster each worker's readiness
+// rides its heartbeats so the coordinator routes around not-ready workers.
+//
 // The daemon also runs distributed (-role): a coordinator keeps this whole
 // API but dispatches jobs to registered workers over the /cluster/v1/ RPC
 // surface (internal/cluster), and a worker joins a coordinator's fleet,
@@ -84,6 +96,7 @@ import (
 
 	"womcpcm/internal/cluster"
 	"womcpcm/internal/engine"
+	"womcpcm/internal/health"
 	"womcpcm/internal/perfmon"
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sched"
@@ -114,6 +127,9 @@ func main() {
 
 		traceSpans  = flag.Int("trace-spans", 4096, "span buffer capacity for distributed job tracing (0 disables tracing)")
 		traceSample = flag.Float64("trace-sample", 1.0, "fraction of traces recorded, decided once per trace at its head (0 records nothing; ids are still issued)")
+
+		alerts     = flag.Bool("alerts", true, "run the SLO/health alerting engine (GET /v1/alerts, womd_alert_* metrics)")
+		alertRules = flag.String("alert-rules", "", "alert rules config (JSON); empty = built-in defaults, hot-reloaded on SIGHUP")
 
 		role         = flag.String("role", "standalone", "process role: standalone, coordinator, or worker")
 		coordURL     = flag.String("coordinator", "", "coordinator base URL (worker role)")
@@ -225,6 +241,14 @@ func main() {
 	if coord != nil {
 		cfg.Execute = coord.Execute
 	}
+	// Alerting exemplars must be wired before the engine is built so job
+	// settles feed them; the health engine itself comes after the
+	// coordinator and scheduler exist, since its signals read both.
+	var exemplars *health.Exemplars
+	if *alerts {
+		exemplars = health.NewExemplars()
+		cfg.Exemplars = exemplars
+	}
 	// Multi-tenant SLO scheduling: replace the FIFO queue with the
 	// weighted-fair scheduler and hot-reload its config on SIGHUP.
 	var scheduler *sched.Scheduler
@@ -305,7 +329,98 @@ func main() {
 		}
 	}
 
+	// SLO/health alerting: continuous rule evaluation over whichever signal
+	// planes this process has (engine queue always; scheduler tenants,
+	// fleet heartbeats, and federation when configured). GET /v1/alerts
+	// serves the alert set, womd_alert_* families land on /metrics, and
+	// SIGHUP re-reads -alert-rules without dropping firing state.
+	var alertEngine *health.Engine
+	if *alerts {
+		rules := health.DefaultRules()
+		if *alertRules != "" {
+			var err error
+			rules, err = health.LoadRules(*alertRules)
+			if err != nil {
+				logger.Error("loading alert rules", "path", *alertRules, "error", err)
+				os.Exit(1)
+			}
+		}
+		sig := health.Signals{
+			Queue: func() (health.QueueStat, bool) {
+				r := mgr.Readiness(0)
+				return health.QueueStat{
+					Depth:    r.QueueDepth,
+					Cap:      r.QueueCap,
+					Rejected: mgr.Metrics().Rejected.Load(),
+					Draining: r.Draining,
+				}, true
+			},
+			SlowCaptures: func() (uint64, bool) {
+				return mgr.Metrics().ProfilesCaptured.Load(), true
+			},
+		}
+		if scheduler != nil {
+			sig.Tenants = func() []health.TenantStat {
+				views := scheduler.Views()
+				out := make([]health.TenantStat, 0, len(views))
+				for _, v := range views {
+					out = append(out, health.TenantStat{
+						Name: v.Name, Depth: v.Depth,
+						Sheds: v.Sheds, DeadlineMs: v.DeadlineMs,
+					})
+				}
+				return out
+			}
+			sig.TenantSLO = scheduler.WindowSLO
+		}
+		if coord != nil {
+			sig.Workers = coord.HealthWorkers
+			sig.ScrapeErrors = func() (uint64, bool) { return coord.FederationErrors(), true }
+		}
+		var err error
+		alertEngine, err = health.NewEngine(health.Config{
+			Rules:     rules,
+			Signals:   sig,
+			Exemplars: exemplars,
+			Logger:    logger,
+		})
+		if err != nil {
+			logger.Error("building alert engine", "error", err)
+			os.Exit(1)
+		}
+		alertEngine.Start()
+		defer alertEngine.Stop()
+		logger.Info("alerting enabled", "rules", len(rules.Rules),
+			"interval", rules.Interval().String(), "rules_path", *alertRules)
+		if *alertRules != "" {
+			hup := make(chan os.Signal, 1)
+			signal.Notify(hup, syscall.SIGHUP)
+			go func() {
+				for range hup {
+					rules, err := health.LoadRules(*alertRules)
+					if err != nil {
+						logger.Error("alert rules reload failed; keeping previous rules",
+							"path", *alertRules, "error", err)
+						continue
+					}
+					if err := alertEngine.Reload(rules); err != nil {
+						logger.Error("alert rules reload rejected; keeping previous rules",
+							"path", *alertRules, "error", err)
+						continue
+					}
+					logger.Info("alert rules reloaded", "path", *alertRules,
+						"rules", len(rules.Rules))
+				}
+			}()
+		}
+	}
+
 	opts := []engine.ServerOption{engine.WithLogger(logger)}
+	if alertEngine != nil {
+		opts = append(opts,
+			engine.WithAlerts(alertEngine),
+			engine.WithPromAppender(alertEngine.WriteProm))
+	}
 	if tracer != nil {
 		opts = append(opts, engine.WithPromAppender(tracer.WriteProm))
 	}

@@ -19,6 +19,7 @@
 //	womtool report series.json -o report.html      # render womsim -series output
 //	womtool loadgen -mix mix.json -o report.json   # open-loop load run against womd
 //	womtool spans trace.json -o trace.html         # render a womd job trace waterfall
+//	womtool top -url http://localhost:8080         # live ops dashboard: alerts, fleet, tenants
 package main
 
 import (
@@ -55,13 +56,15 @@ func main() {
 		loadgenCmd(os.Args[2:])
 	case "spans":
 		spansCmd(os.Args[2:])
+	case "top":
+		topCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name] | bench [-tier short|full] [-compare BASELINE] | report <series.json> [-o report.html] | loadgen -mix MIX [-url URL] [-o REPORT] | spans <trace.json> [-o spans.html]")
+	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name] | bench [-tier short|full] [-compare BASELINE] | report <series.json> [-o report.html] | loadgen -mix MIX [-url URL] [-o REPORT] | spans <trace.json> [-o spans.html] | top [-url URL] [-interval D] [-once] [-html FILE]")
 	os.Exit(2)
 }
 

@@ -176,6 +176,10 @@ func (a *Agent) heartbeatLoop() {
 			Failed:     m.Failed.Load(),
 			SimEvents:  m.SimEvents.Load(),
 			Draining:   a.draining.Load(),
+			// Readiness rides every heartbeat so a saturated worker is routed
+			// around within one interval and re-admitted as soon as it drains
+			// below the threshold — no extra RPC, no separate probe loop.
+			NotReady: !a.mgr.Readiness(0).Ready,
 		}, nil)
 		cancel()
 		var re *rpcError

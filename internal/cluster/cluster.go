@@ -77,6 +77,11 @@ type HeartbeatRequest struct {
 	Failed     uint64 `json:"failed"`
 	SimEvents  uint64 `json:"sim_events"`
 	Draining   bool   `json:"draining,omitempty"`
+	// NotReady marks a worker whose readiness probe fails (queue saturated)
+	// without it draining: the coordinator keeps it in the fleet but routes
+	// around it until a later heartbeat clears the flag. The zero value
+	// means ready, so workers predating the field stay routable.
+	NotReady bool `json:"not_ready,omitempty"`
 }
 
 // DrainRequest announces a worker's shutdown (POST /cluster/v1/drain): the
@@ -181,6 +186,9 @@ type WorkerView struct {
 	// HeartbeatAgeMs is the time since the last heartbeat (or registration).
 	HeartbeatAgeMs int64 `json:"heartbeat_age_ms"`
 	Draining       bool  `json:"draining,omitempty"`
+	// Ready reports routing eligibility: not draining and the worker's last
+	// heartbeat did not flag its readiness probe.
+	Ready bool `json:"ready"`
 	// QueueDepth and Running echo the worker's last load report.
 	QueueDepth int64 `json:"queue_depth"`
 	Running    int64 `json:"running"`

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"womcpcm/internal/engine"
+	"womcpcm/internal/health"
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sim"
 	"womcpcm/internal/span"
@@ -106,6 +107,7 @@ type workerState struct {
 
 	lastBeat   time.Time
 	draining   bool
+	notReady   bool // readiness probe failing per the last heartbeat
 	queueDepth int64
 	running    int64
 	completed  uint64
@@ -270,6 +272,10 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		ws.completed = req.Completed
 		ws.failed = req.Failed
 		ws.simEvents = req.SimEvents
+		if req.NotReady != ws.notReady {
+			ws.notReady = req.NotReady
+			c.log.Info("worker readiness changed", "worker", ws.id, "ready", !req.NotReady)
+		}
 		if req.Draining && !ws.draining {
 			c.drainLocked(ws)
 		}
@@ -328,6 +334,7 @@ func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
 			ID: ws.id, Name: ws.name, Addr: ws.addr, Capacity: ws.capacity,
 			HeartbeatAgeMs: c.now().Sub(ws.lastBeat).Milliseconds(),
 			Draining:       ws.draining,
+			Ready:          !ws.draining && !ws.notReady,
 			QueueDepth:     ws.queueDepth,
 			Running:        ws.running,
 			Outstanding:    len(ws.assignments),
@@ -501,8 +508,38 @@ func (c *Coordinator) Owner(key string) string {
 	defer c.mu.Unlock()
 	return c.ring.Pick(key, func(m string) bool {
 		ws := c.workers[m]
-		return ws == nil || ws.draining
+		return ws == nil || ws.draining || ws.notReady
 	})
+}
+
+// HealthWorkers snapshots the fleet for the alerting engine
+// (health.Signals.Workers): identity, heartbeat age, and eligibility, so
+// heartbeat_stale rules fire on silent workers without re-deriving the
+// coordinator's bookkeeping.
+func (c *Coordinator) HealthWorkers() []health.WorkerStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	stats := make([]health.WorkerStat, 0, len(c.workers))
+	for _, ws := range c.workers {
+		stats = append(stats, health.WorkerStat{
+			ID:           ws.id,
+			Name:         ws.name,
+			HeartbeatAge: now.Sub(ws.lastBeat),
+			Draining:     ws.draining,
+			Ready:        !ws.draining && !ws.notReady,
+		})
+	}
+	return stats
+}
+
+// FederationErrors reports the cumulative failed-scrape count
+// (health.Signals.ScrapeErrors): the scrape_errors rule alerts on its
+// growth rate.
+func (c *Coordinator) FederationErrors() uint64 {
+	c.fed.mu.Lock()
+	defer c.fed.mu.Unlock()
+	return c.fed.errors
 }
 
 // liveWorkers reports how many non-draining workers are registered.
@@ -526,7 +563,7 @@ func (c *Coordinator) pickWorker(key string, firstAttempt bool, exclude map[stri
 	if firstAttempt {
 		id := c.ring.Pick(key, func(m string) bool {
 			ws := c.workers[m]
-			return ws == nil || ws.draining || exclude[m]
+			return ws == nil || ws.draining || ws.notReady || exclude[m]
 		})
 		if id != "" {
 			return c.workers[id]
@@ -535,7 +572,7 @@ func (c *Coordinator) pickWorker(key string, firstAttempt bool, exclude map[stri
 	}
 	var best *workerState
 	for _, ws := range c.workers {
-		if ws.draining || exclude[ws.id] {
+		if ws.draining || ws.notReady || exclude[ws.id] {
 			continue
 		}
 		if best == nil || len(ws.assignments) < len(best.assignments) {

@@ -250,6 +250,7 @@ type FleetWorkerView struct {
 	Capacity       int    `json:"capacity"`
 	HeartbeatAgeMs int64  `json:"heartbeat_age_ms"`
 	Draining       bool   `json:"draining,omitempty"`
+	Ready          bool   `json:"ready"`
 	QueueDepth     int64  `json:"queue_depth"`
 	Running        int64  `json:"running"`
 	Completed      uint64 `json:"completed"`
@@ -297,6 +298,7 @@ func (c *Coordinator) HandleFleet(w http.ResponseWriter, r *http.Request) {
 			Capacity:       ws.capacity,
 			HeartbeatAgeMs: c.now().Sub(ws.lastBeat).Milliseconds(),
 			Draining:       ws.draining,
+			Ready:          !ws.draining && !ws.notReady,
 			QueueDepth:     ws.queueDepth,
 			Running:        ws.running,
 			Completed:      ws.completed,

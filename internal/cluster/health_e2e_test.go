@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"womcpcm/internal/engine"
+	"womcpcm/internal/health"
+	"womcpcm/internal/sim"
+)
+
+// TestWorkerDeathFiresFleetAlert is the fleet-health acceptance e2e: with
+// two workers registered, killing the one that served a job fires the
+// heartbeat_stale alert for it — annotated with that job's exemplar trace,
+// resolvable through the coordinator's trace API — and the alert resolves
+// once a replacement re-registers under the same name and the dead
+// incarnation is evicted.
+func TestWorkerDeathFiresFleetAlert(t *testing.T) {
+	ex := health.NewExemplars()
+	tc := newTestCluster(t, Config{}, engine.Config{Exemplars: ex})
+	workers := map[string]*testWorker{
+		"alpha": tc.addWorker("alpha"),
+		"beta":  tc.addWorker("beta"),
+	}
+
+	he, err := health.NewEngine(health.Config{
+		Rules: health.RulesConfig{Rules: []health.Rule{{
+			Name:      "fleet-health",
+			Kind:      health.KindHeartbeatStale,
+			Threshold: 0.3, // seconds of heartbeat silence; beats are 100ms
+		}}},
+		Signals:   health.Signals{Workers: tc.coord.HealthWorkers},
+		Exemplars: ex,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One job through the fleet seeds the worker exemplar and tells us which
+	// worker to kill.
+	tid := tc.putTrace("health-e2e", replayTrace(2000))
+	job, err := tc.mgr.Submit(context.Background(), engine.JobRequest{
+		Experiment: "replay",
+		Params:     sim.Params{Ranks: 2, Banks: 4, Parallelism: 1},
+		TraceID:    tid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for job.State() != engine.StateSucceeded {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	victimID := job.View().Worker
+	if victimID == "" {
+		t.Fatal("job ran locally; no worker to kill")
+	}
+	victim := ""
+	for _, ws := range tc.coord.HealthWorkers() {
+		if ws.ID == victimID {
+			victim = ws.Name
+		}
+	}
+	if victim == "" {
+		t.Fatalf("worker %s not in fleet view", victimID)
+	}
+
+	waitAlert := func(state health.State) health.AlertView {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			he.EvalOnce()
+			for _, a := range he.Alerts() {
+				if a.Rule == "fleet-health" && a.Subject == victim && a.State == state {
+					return a
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no %s fleet-health alert for %s (alerts: %+v)",
+					state, victim, he.Alerts())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	workers[victim].kill()
+	fired := waitAlert(health.StateFiring)
+	if fired.Annotations["exemplar_job"] != job.ID() {
+		t.Fatalf("exemplar_job = %q, want %q (annotations %v)",
+			fired.Annotations["exemplar_job"], job.ID(), fired.Annotations)
+	}
+	if fired.Annotations["exemplar_trace"] == "" {
+		t.Fatalf("firing alert has no exemplar trace: %v", fired.Annotations)
+	}
+	// The annotation must link to a resolvable trace on the coordinator.
+	resp, err := http.Get(tc.ts.URL + fired.Annotations["trace_url"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d, want 200", fired.Annotations["trace_url"], resp.StatusCode)
+	}
+
+	// A replacement registering under the same name becomes the subject's
+	// healthy incarnation once the dead one ages out of the fleet.
+	tc.addWorker(victim)
+	resolved := waitAlert(health.StateResolved)
+	if resolved.ID != fired.ID {
+		t.Fatalf("resolved alert %s is not the fired alert %s", resolved.ID, fired.ID)
+	}
+	if resolved.ResolvedAt == nil {
+		t.Fatal("resolved alert missing ResolvedAt")
+	}
+}
+
+// TestNotReadyRouting pins readiness-aware worker eligibility: a worker
+// whose heartbeat flags NotReady keeps its registration but stops being
+// routable — for both the ring owner and the least-loaded fallback — and
+// comes back the moment a heartbeat clears the flag.
+func TestNotReadyRouting(t *testing.T) {
+	c := NewCoordinator(Config{})
+	for _, name := range []string{"a", "b"} {
+		c.mu.Lock()
+		c.seq++
+		ws := &workerState{
+			id:          "w-" + name,
+			name:        name,
+			addr:        "http://" + name,
+			lastBeat:    time.Now(),
+			assignments: make(map[string]*assignment),
+		}
+		c.workers[ws.id] = ws
+		c.ring.Add(ws.id)
+		c.mu.Unlock()
+	}
+
+	const key = "routing-key"
+	owner := c.Owner(key)
+	if owner == "" {
+		t.Fatal("no owner with two live workers")
+	}
+	c.mu.Lock()
+	c.workers[owner].notReady = true
+	c.mu.Unlock()
+	if got := c.Owner(key); got == owner || got == "" {
+		t.Fatalf("owner after notReady = %q, want the other worker", got)
+	}
+	if ws := c.pickWorker(key, false, nil); ws == nil || ws.id == owner {
+		t.Fatalf("least-loaded pick = %+v, want the ready worker", ws)
+	}
+	c.mu.Lock()
+	for _, ws := range c.workers {
+		ws.notReady = true
+	}
+	c.mu.Unlock()
+	if got := c.Owner(key); got != "" {
+		t.Fatalf("owner with whole fleet not ready = %q, want none", got)
+	}
+	if ws := c.pickWorker(key, false, nil); ws != nil {
+		t.Fatalf("pick with whole fleet not ready = %+v, want nil", ws)
+	}
+	c.mu.Lock()
+	c.workers[owner].notReady = false
+	c.mu.Unlock()
+	if got := c.Owner(key); got != owner {
+		t.Fatalf("owner after recovery = %q, want %q", got, owner)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"womcpcm/internal/health"
 	"womcpcm/internal/perfmon"
 	"womcpcm/internal/probe"
 	"womcpcm/internal/resultstore"
@@ -87,6 +88,12 @@ type Config struct {
 	Execute ExecuteFunc
 	// ProfileCPUDuration is how long a capture samples CPU (default 500ms).
 	ProfileCPUDuration time.Duration
+	// Exemplars, when set, records the latest job/trace per subject
+	// (service, tenant, worker, shed, slow) as each job settles, so alert
+	// annotations (internal/health) can point at a concrete trace. nil —
+	// the -alerts=false path — costs one pointer check per job, pinned by
+	// TestObserveExemplarDisabledZeroAlloc.
+	Exemplars *health.Exemplars
 	// Tracer records the job lifecycle as distributed-trace spans
 	// (internal/span): a root "job" span per submission with admission,
 	// queue-wait, execute/dispatch, store, and SSE children, propagated
@@ -144,6 +151,8 @@ var (
 	ErrNoTenants = errors.New("engine: tenant scheduling not configured (start womd with -tenants)")
 	// ErrNoTracer rejects trace routes when tracing is disabled.
 	ErrNoTracer = errors.New("engine: tracing not configured (start womd with -trace-spans > 0)")
+	// ErrNoAlerts rejects alert routes when alerting is disabled.
+	ErrNoAlerts = errors.New("engine: alerting not configured (start womd with -alerts)")
 )
 
 // Manager owns the job queue, the worker pool, the trace store, and the
@@ -236,6 +245,52 @@ func (m *Manager) TenantViews() ([]sched.TenantView, error) {
 		return tq.Views(), nil
 	}
 	return nil, ErrNoTenants
+}
+
+// QueueStats reports the pending queue's occupancy and admission bound
+// (capacity 0 = unbounded) — the saturation signal for readiness and
+// alerting.
+func (m *Manager) QueueStats() (depth, capacity int) {
+	return m.queue.Depth(), m.queue.Cap()
+}
+
+// DefaultReadySaturation is the queue-occupancy fraction at which
+// readiness flips to not-ready: past it, new work is likely to be shed,
+// so load balancers and the cluster coordinator should route elsewhere
+// while the process keeps serving what it already holds.
+const DefaultReadySaturation = 0.9
+
+// Readiness is the GET /readyz body: distinct from liveness (/healthz),
+// which stays truthful even while draining.
+type Readiness struct {
+	Ready bool `json:"ready"`
+	// Reason says why Ready is false ("draining", "queue saturated ...").
+	Reason     string `json:"reason,omitempty"`
+	Draining   bool   `json:"draining"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap,omitempty"`
+}
+
+// Readiness reports whether this process should receive new work: false
+// while draining or when the queue is at or past saturation×capacity.
+// saturation ≤ 0 selects DefaultReadySaturation.
+func (m *Manager) Readiness(saturation float64) Readiness {
+	if saturation <= 0 {
+		saturation = DefaultReadySaturation
+	}
+	m.mu.Lock()
+	draining := m.draining
+	m.mu.Unlock()
+	depth, capacity := m.QueueStats()
+	r := Readiness{Ready: true, Draining: draining, QueueDepth: depth, QueueCap: capacity}
+	switch {
+	case draining:
+		r.Ready, r.Reason = false, "draining"
+	case capacity > 0 && float64(depth) >= saturation*float64(capacity):
+		r.Ready, r.Reason = false,
+			fmt.Sprintf("queue saturated (%d of %d)", depth, capacity)
+	}
+	return r
 }
 
 // Submit validates the request, resolves its trace reference, and enqueues
@@ -408,6 +463,12 @@ func (m *Manager) Submit(ctx context.Context, req JobRequest) (*Job, error) {
 		var se *sched.ShedError
 		if errors.As(err, &se) {
 			se.TraceID = root.Context().TraceID
+			if ex := m.cfg.Exemplars; ex != nil {
+				ex.Observe("shed", "", se.TraceID)
+				if se.Tenant != "" {
+					ex.Observe("shed:tenant:"+se.Tenant, "", se.TraceID)
+				}
+			}
 		}
 		root.SetStr("error", err.Error())
 		root.End()
@@ -622,6 +683,7 @@ func (m *Manager) runJob(job *Job) {
 		m.settleFlight(job, StateFailed, nil, err)
 	}
 	job.endTrace()
+	m.observeExemplar(job)
 	attrs := []any{"job", job.id, "experiment", job.exp.Name,
 		"request_id", job.reqID, "state", string(job.State()),
 		"duration_ms", wall.Milliseconds()}
@@ -633,6 +695,26 @@ func (m *Manager) runJob(job *Job) {
 		m.log.Warn("job finished", attrs...)
 	} else {
 		m.log.Info("job finished", attrs...)
+	}
+}
+
+// observeExemplar feeds the alerting plane's per-subject exemplar store
+// as a job settles, so a firing alert can point at a concrete recent
+// trace. With alerting off (nil Exemplars) this is one pointer check on
+// the job hot path — the -alerts=false contract, pinned by
+// TestObserveExemplarDisabledZeroAlloc.
+func (m *Manager) observeExemplar(job *Job) {
+	ex := m.cfg.Exemplars
+	if ex == nil {
+		return
+	}
+	tid := job.trace.TraceID
+	ex.Observe("service", job.id, tid)
+	if job.tenant != "" {
+		ex.Observe("tenant:"+job.tenant, job.id, tid)
+	}
+	if w := job.workerID(); w != "" {
+		ex.Observe("worker:"+w, job.id, tid)
 	}
 }
 

@@ -140,6 +140,11 @@ func (m *Manager) monitorPass(last map[string]int64, interval time.Duration) {
 			continue
 		}
 		m.metrics.ProfilesCaptured.Add(uint64(len(caps)))
+		// The slow job itself is the exemplar a slow_jobs alert should
+		// point at, not whichever job settled last.
+		if ex := m.cfg.Exemplars; ex != nil {
+			ex.Observe("slow", job.id, job.trace.TraceID)
+		}
 		m.log.Info("slow-job profiles captured", "job", job.id,
 			"reason", reason, "profiles", len(caps))
 	}

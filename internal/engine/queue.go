@@ -27,6 +27,9 @@ type Queue interface {
 	Done(*Job)
 	// Depth reports jobs currently queued.
 	Depth() int
+	// Cap reports the queue's admission bound (0 = unbounded/unknown) —
+	// the denominator for readiness and saturation alerting.
+	Cap() int
 	// Close stops admissions and lets queued jobs drain.
 	Close()
 }
@@ -91,6 +94,8 @@ func (q *fifoQueue) Done(*Job) {}
 
 func (q *fifoQueue) Depth() int { return len(q.ch) }
 
+func (q *fifoQueue) Cap() int { return cap(q.ch) }
+
 // Close is safe against concurrent Enqueue because the manager serializes
 // both under its admission lock and never enqueues after draining is set.
 func (q *fifoQueue) Close() { close(q.ch) }
@@ -144,6 +149,8 @@ func (q *tenantQueue) Dequeue() (*Job, bool) {
 func (q *tenantQueue) Done(j *Job) { q.s.Done(j.tenant) }
 
 func (q *tenantQueue) Depth() int { return q.s.Depth() }
+
+func (q *tenantQueue) Cap() int { return q.s.MaxDepth() }
 
 func (q *tenantQueue) Close() { q.s.Close() }
 

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"womcpcm/internal/health"
 	"womcpcm/internal/perfmon"
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sched"
@@ -45,9 +46,12 @@ import (
 //	GET    /v1/baselines        list pinned baselines
 //	GET    /v1/baselines/{name} one baseline, full metrics
 //	GET    /v1/compare          ?baseline=name&tolerance=0.02 regression report
+//	GET    /v1/alerts           SLO/burn-rate alerts (womd -alerts)
+//	GET    /v1/alerts/{id}      one alert, active or recently resolved
 //	GET    /metrics             Prometheus text format
 //	GET    /metrics.json        JSON metrics snapshot
 //	GET    /healthz             liveness probe
+//	GET    /readyz              readiness: 503 while draining or saturated
 type Server struct {
 	m         *Manager
 	mux       *http.ServeMux
@@ -56,6 +60,8 @@ type Server struct {
 	heartbeat time.Duration
 	poller    *perfmon.Poller
 	promExtra []func(io.Writer)
+	alerts    *health.Engine
+	readySat  float64
 }
 
 // ServerOption configures NewServer.
@@ -107,6 +113,27 @@ func WithPromAppender(f func(io.Writer)) ServerOption {
 	}
 }
 
+// WithAlerts serves h's alert set on GET /v1/alerts. Without it the
+// alert routes refuse with 501 (ErrNoAlerts), matching the other
+// optional planes.
+func WithAlerts(h *health.Engine) ServerOption {
+	return func(s *Server) {
+		if h != nil {
+			s.alerts = h
+		}
+	}
+}
+
+// WithReadySaturation overrides the queue-occupancy fraction at which
+// GET /readyz flips to 503 (default DefaultReadySaturation).
+func WithReadySaturation(frac float64) ServerOption {
+	return func(s *Server) {
+		if frac > 0 {
+			s.readySat = frac
+		}
+	}
+}
+
 // NewServer wires the routes over m.
 func NewServer(m *Manager, opts ...ServerOption) *Server {
 	s := &Server{m: m, mux: http.NewServeMux(), log: slog.New(slog.DiscardHandler),
@@ -135,9 +162,12 @@ func NewServer(m *Manager, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/baselines", s.listBaselines)
 	s.mux.HandleFunc("GET /v1/baselines/{name}", s.getBaseline)
 	s.mux.HandleFunc("GET /v1/compare", s.compareBaseline)
+	s.mux.HandleFunc("GET /v1/alerts", s.listAlerts)
+	s.mux.HandleFunc("GET /v1/alerts/{id}", s.getAlert)
 	s.mux.HandleFunc("GET /metrics", s.promMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.jsonMetrics)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /readyz", s.readyz)
 	if s.debug {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -265,7 +295,8 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrNotFound), errors.Is(err, resultstore.ErrNoBaseline):
 		status = http.StatusNotFound
 	case errors.Is(err, ErrNoStore), errors.Is(err, ErrNoProfiles),
-		errors.Is(err, ErrNoTenants), errors.Is(err, ErrNoTracer):
+		errors.Is(err, ErrNoTenants), errors.Is(err, ErrNoTracer),
+		errors.Is(err, ErrNoAlerts):
 		status = http.StatusNotImplemented
 	}
 	var se *sched.ShedError
@@ -698,4 +729,48 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 		JobsRunning:   met.Running.Load(),
 		QueueDepth:    met.QueueDepth.Load(),
 	})
+}
+
+// readyz is readiness, split from /healthz's liveness: a draining or
+// saturated process is still alive (do not restart it) but should stop
+// receiving new work (503). Load balancers poll this; the cluster agent
+// reports the same verdict in its heartbeats so the coordinator routes
+// around not-ready workers.
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	rd := s.m.Readiness(s.readySat)
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
+}
+
+func (s *Server) listAlerts(w http.ResponseWriter, _ *http.Request) {
+	if s.alerts == nil {
+		writeError(w, ErrNoAlerts)
+		return
+	}
+	views := s.alerts.Alerts()
+	counts := map[health.State]int{}
+	for _, v := range views {
+		counts[v.State]++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"alerts": views,
+		"counts": counts,
+	})
+}
+
+func (s *Server) getAlert(w http.ResponseWriter, r *http.Request) {
+	if s.alerts == nil {
+		writeError(w, ErrNoAlerts)
+		return
+	}
+	id := r.PathValue("id")
+	v, ok := s.alerts.Alert(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: alert %q", ErrNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }

@@ -1,0 +1,179 @@
+package health_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"womcpcm/internal/engine"
+	"womcpcm/internal/health"
+	"womcpcm/internal/loadgen"
+	"womcpcm/internal/sched"
+	"womcpcm/internal/sim"
+	"womcpcm/internal/span"
+)
+
+// TestMMPPOverloadFiresFastBurnAlert is the burn-rate acceptance e2e: an
+// MMPP burst of interactive jobs whose queue wait blows the tenant deadline
+// fires the fast-burn alert (served over /v1/alerts, annotated with an
+// exemplar trace resolvable via the jobs API), and a calm recovery phase
+// that refills the error budget resolves it.
+//
+// Timing is deterministic: each burst arrival back-dates its admission
+// past the deadline — the queue wait an open-loop overload would have
+// produced — so attainment does not depend on scheduler timing.
+func TestMMPPOverloadFiresFastBurnAlert(t *testing.T) {
+	s := sched.New(sched.Config{
+		MaxDepth: 4096,
+		Tenants: []sched.TenantClass{
+			{Name: "interactive", Weight: 4, DeadlineMs: 50},
+			{Name: "batch", Weight: 1},
+		},
+	})
+	ex := health.NewExemplars()
+	mgr := engine.New(engine.Config{
+		Workers:   2,
+		Queue:     engine.NewTenantQueue(s),
+		Exemplars: ex,
+		Tracer:    span.New(span.Config{Service: "burn-e2e", Seed: 11}),
+		Execute: func(ctx context.Context, job *engine.Job) (*sim.Result, error) {
+			return &sim.Result{}, nil // execution cost is not under test
+		},
+	})
+	defer mgr.Shutdown(context.Background()) //nolint:errcheck
+
+	he, err := health.NewEngine(health.Config{
+		Rules: health.RulesConfig{Rules: []health.Rule{{
+			Name:      "interactive-slo",
+			Kind:      health.KindBurnRate,
+			Tenant:    "interactive",
+			Objective: 0.5,
+			FastBurn:  1.5,
+			SlowBurn:  50, // keep the slow pair quiet; the fast pair is under test
+		}}},
+		Signals: health.Signals{
+			Tenants: func() []health.TenantStat {
+				views := s.Views()
+				out := make([]health.TenantStat, 0, len(views))
+				for _, v := range views {
+					out = append(out, health.TenantStat{
+						Name: v.Name, Depth: v.Depth,
+						Sheds: v.Sheds, DeadlineMs: v.DeadlineMs,
+					})
+				}
+				return out
+			},
+			TenantSLO: s.WindowSLO,
+		},
+		Exemplars: ex,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(engine.NewServer(mgr, engine.WithAlerts(he)))
+	defer ts.Close()
+
+	submit := func(i int, admitted time.Time) {
+		t.Helper()
+		_, err := mgr.Submit(context.Background(), engine.JobRequest{
+			Experiment: "fig5",
+			Params: sim.Params{
+				Requests: 20000, Seed: int64(1000 + i),
+				Bench: []string{"qsort"}, Ranks: 4,
+			},
+			Tenant:       "interactive",
+			AdmittedAtMs: admitted.UnixMilli(),
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	drain := func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Depth() > 0 || mgr.Metrics().Running.Load() > 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("queue never drained (depth %d)", s.Depth())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	fetchAlert := func(state health.State) *health.AlertView {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/alerts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Alerts []health.AlertView `json:"alerts"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range body.Alerts {
+			if a.Rule == "interactive-slo-fast" && a.Subject == "interactive" && a.State == state {
+				return &body.Alerts[i]
+			}
+		}
+		return nil
+	}
+
+	// Overload: an MMPP2 burst's arrivals all miss the 50ms queue-wait
+	// deadline. The seeded process makes the schedule reproducible; the
+	// top-up loop guards against a draw landing in the calm state.
+	rng := rand.New(rand.NewSource(7))
+	process := loadgen.MMPP2{RatePerS: 2, BurstRatePerS: 80, MeanCalmS: 0.02, MeanBurstS: 5}
+	burst := process.Arrivals(time.Second, rng)
+	for len(burst) < 20 {
+		burst = append(burst, process.Arrivals(time.Second, rng)...)
+	}
+	backDated := time.Now().Add(-10 * time.Second)
+	for i := range burst {
+		submit(i, backDated)
+	}
+	drain()
+	he.EvalOnce()
+	fired := fetchAlert(health.StateFiring)
+	if fired == nil {
+		t.Fatalf("no firing interactive-slo-fast alert after %d missed deadlines", len(burst))
+	}
+	if fired.Annotations["exemplar_trace"] == "" || fired.Annotations["trace_url"] == "" {
+		t.Fatalf("firing alert lacks exemplar annotations: %v", fired.Annotations)
+	}
+	resp, err := http.Get(ts.URL + fired.Annotations["trace_url"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d, want 200", fired.Annotations["trace_url"], resp.StatusCode)
+	}
+
+	// Recovery: calm-rate arrivals admitted on time refill the budget —
+	// 5× the misses puts windowed attainment at ~0.83, well above the
+	// 1 − objective·FastBurn = 0.25 floor the rule needs.
+	calm := loadgen.Poisson{RatePerS: 300}.Arrivals(time.Second, rng)
+	for len(calm) < 5*len(burst) {
+		calm = append(calm, loadgen.Poisson{RatePerS: 300}.Arrivals(time.Second, rng)...)
+	}
+	for i := range calm {
+		submit(len(burst)+i, time.Now())
+	}
+	drain()
+	he.EvalOnce()
+	resolved := fetchAlert(health.StateResolved)
+	if resolved == nil {
+		t.Fatalf("alert did not resolve after %d on-time dequeues", len(calm))
+	}
+	if resolved.ID != fired.ID {
+		t.Fatalf("resolved alert %s is not the fired alert %s", resolved.ID, fired.ID)
+	}
+	if resolved.Annotations["exemplar_trace"] == "" {
+		t.Fatalf("resolved alert lost its exemplar: %v", resolved.Annotations)
+	}
+}

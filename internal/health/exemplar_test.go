@@ -1,0 +1,56 @@
+package health
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExemplars(t *testing.T) {
+	ex := NewExemplars()
+	if _, ok := ex.Get("service"); ok {
+		t.Fatal("empty store returned an exemplar")
+	}
+	ex.Observe("service", "j-0001", "aaaa")
+	ex.Observe("service", "j-0002", "bbbb")
+	got, ok := ex.Get("service")
+	if !ok || got.JobID != "j-0002" || got.TraceID != "bbbb" {
+		t.Fatalf("Get = %+v ok=%v, want latest j-0002", got, ok)
+	}
+	if got.At.IsZero() || time.Since(got.At) > time.Minute {
+		t.Fatalf("exemplar timestamp not set: %v", got.At)
+	}
+}
+
+// TestNilExemplarsZeroAlloc pins the -alerts=false contract: with no
+// Exemplars configured, the engine's per-job observe call is one nil
+// check and allocates nothing.
+func TestNilExemplarsZeroAlloc(t *testing.T) {
+	var ex *Exemplars
+	allocs := testing.AllocsPerRun(1000, func() {
+		ex.Observe("tenant:interactive", "j-0001", "aaaa")
+		if _, ok := ex.Get("tenant:interactive"); ok {
+			t.Fatal("nil store returned an exemplar")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil Exemplars allocated %g per op, want 0", allocs)
+	}
+}
+
+// BenchmarkExemplarsDisabled is the hot-path number -alerts=false is
+// pinned to: compare against BenchmarkExemplarsEnabled.
+func BenchmarkExemplarsDisabled(b *testing.B) {
+	var ex *Exemplars
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ex.Observe("tenant:interactive", "j-0001", "aaaa")
+	}
+}
+
+func BenchmarkExemplarsEnabled(b *testing.B) {
+	ex := NewExemplars()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ex.Observe("tenant:interactive", "j-0001", "aaaa")
+	}
+}

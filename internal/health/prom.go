@@ -1,0 +1,64 @@
+package health
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteProm renders the womd_alert_* families in Prometheus text
+// exposition format — wired into GET /metrics via engine.WithPromAppender
+// when womd runs with -alerts. No-op on a nil engine, so the appender can
+// be registered unconditionally.
+func (e *Engine) WriteProm(w io.Writer) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	var pending, firing int
+	type firingAlert struct{ rule, subject string }
+	var live []firingAlert
+	for _, a := range e.active {
+		if a.state == StateFiring {
+			firing++
+			live = append(live, firingAlert{a.rule, a.subject})
+		} else {
+			pending++
+		}
+	}
+	evals, pendingT, firedT, resolvedT, flapsT :=
+		e.evals, e.pendingTotal, e.firedTotal, e.resolvedTotal, e.flapsTotal
+	e.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP womd_alerts Active alerts by lifecycle state.\n"+
+		"# TYPE womd_alerts gauge\n"+
+		"womd_alerts{state=\"pending\"} %d\n"+
+		"womd_alerts{state=\"firing\"} %d\n", pending, firing)
+	fmt.Fprintf(w, "# HELP womd_alert_transitions_total Alert lifecycle transitions since start.\n"+
+		"# TYPE womd_alert_transitions_total counter\n"+
+		"womd_alert_transitions_total{state=\"pending\"} %d\n"+
+		"womd_alert_transitions_total{state=\"firing\"} %d\n"+
+		"womd_alert_transitions_total{state=\"resolved\"} %d\n", pendingT, firedT, resolvedT)
+	fmt.Fprintf(w, "# HELP womd_alert_evaluations_total Rule evaluation passes.\n"+
+		"# TYPE womd_alert_evaluations_total counter\n"+
+		"womd_alert_evaluations_total %d\n", evals)
+	fmt.Fprintf(w, "# HELP womd_alert_flaps_total Pending alerts that cleared before firing.\n"+
+		"# TYPE womd_alert_flaps_total counter\n"+
+		"womd_alert_flaps_total %d\n", flapsT)
+	// Per-alert series only when something is firing: the exposition test
+	// requires every HELP/TYPE header to have at least one sample.
+	if len(live) == 0 {
+		return
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].rule != live[j].rule {
+			return live[i].rule < live[j].rule
+		}
+		return live[i].subject < live[j].subject
+	})
+	fmt.Fprintf(w, "# HELP womd_alert_firing One series per firing alert.\n"+
+		"# TYPE womd_alert_firing gauge\n")
+	for _, a := range live {
+		fmt.Fprintf(w, "womd_alert_firing{rule=%q,subject=%q} 1\n", a.rule, a.subject)
+	}
+}

@@ -111,6 +111,7 @@ type tenantState struct {
 	sheds    uint64
 	dequeues uint64
 	sloMet   uint64
+	slo      *sloRing // windowed attainment, the burn-rate input
 	shedWhy  map[string]uint64
 	wait     stats.Latency // queue-wait distribution, observed at dequeue
 }
@@ -147,6 +148,7 @@ func New(cfg Config) *Scheduler {
 			cls:     cls,
 			stride:  strideScale / uint64(cls.Weight),
 			shedAt:  thresholds[cls.Name],
+			slo:     newSLORing(),
 			shedWhy: make(map[string]uint64),
 		}
 		s.order = append(s.order, cls.Name)
@@ -243,9 +245,11 @@ func (s *Scheduler) Dequeue() (Item, bool) {
 			t.dequeues++
 			now := s.now()
 			t.wait.Observe(now.Sub(q.item.AdmittedAt).Nanoseconds())
-			if q.deadline.IsZero() || !now.After(q.deadline) {
+			met := q.deadline.IsZero() || !now.After(q.deadline)
+			if met {
 				t.sloMet++
 			}
+			t.slo.observe(now.Unix(), met)
 			s.drain.Observe(now)
 			// Another item may be immediately runnable by a second worker.
 			s.cond.Signal()
@@ -356,6 +360,7 @@ func (s *Scheduler) Reload(cfg Config) error {
 			cls:     cls,
 			stride:  strideScale / uint64(cls.Weight),
 			shedAt:  thresholds[cls.Name],
+			slo:     newSLORing(),
 			shedWhy: make(map[string]uint64),
 		}
 	}

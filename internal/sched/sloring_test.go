@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSLORingWindowSums(t *testing.T) {
+	r := newSLORing()
+	base := int64(1_000_000)
+	// Three seconds of traffic: 2/2 met, 1/3 met, 0/1 met.
+	r.observe(base, true)
+	r.observe(base, true)
+	r.observe(base+1, true)
+	r.observe(base+1, false)
+	r.observe(base+1, false)
+	r.observe(base+2, false)
+
+	met, total := r.window(base+2, 3)
+	if met != 3 || total != 6 {
+		t.Fatalf("window(3s) = %d/%d, want 3/6", met, total)
+	}
+	// Trailing single second only sees the miss.
+	met, total = r.window(base+2, 1)
+	if met != 0 || total != 1 {
+		t.Fatalf("window(1s) = %d/%d, want 0/1", met, total)
+	}
+	// A window ending later slides the old seconds out.
+	met, total = r.window(base+4, 2)
+	if met != 0 || total != 0 {
+		t.Fatalf("aged window = %d/%d, want 0/0", met, total)
+	}
+	if got := r.attainment(base+2, 3); got != 0.5 {
+		t.Fatalf("attainment = %g, want 0.5", got)
+	}
+	if got := r.attainment(base+100, 3); got != 1 {
+		t.Fatalf("empty-window attainment = %g, want vacuous 1", got)
+	}
+}
+
+func TestSLORingLapOverwrite(t *testing.T) {
+	r := newSLORing()
+	base := int64(5_000)
+	r.observe(base, false)
+	// One full lap later the same bucket index holds a different second;
+	// the stale sample must not leak into sums for either second.
+	lap := base + int64(sloRingSeconds)
+	r.observe(lap, true)
+	if met, total := r.window(lap, 1); met != 1 || total != 1 {
+		t.Fatalf("post-lap window = %d/%d, want 1/1", met, total)
+	}
+	if _, total := r.window(base, 1); total != 0 {
+		t.Fatalf("pre-lap second still answers with %d samples after overwrite", total)
+	}
+	// Window longer than the ring is clamped, not wrapped.
+	if met, total := r.window(lap, 10*sloRingSeconds); met != 1 || total != 1 {
+		t.Fatalf("clamped window = %d/%d, want 1/1", met, total)
+	}
+}
+
+// TestWindowedAttainment drives the scheduler with a fake clock and checks
+// that the windowed view recovers where the lifetime ratio flatlines.
+func TestWindowedAttainment(t *testing.T) {
+	s := New(Config{
+		MaxDepth: 100,
+		Tenants: []TenantClass{
+			{Name: "interactive", Weight: 4, DeadlineMs: 50},
+		},
+	})
+	now := time.Unix(10_000, 0)
+	s.now = func() time.Time { return now }
+
+	// Phase 1: four misses (admitted far in the past, deadline long gone).
+	for i := 0; i < 4; i++ {
+		if _, err := s.Enqueue(Item{Tenant: "interactive", AdmittedAt: now.Add(-10 * time.Second)}); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+		s.Done("interactive")
+	}
+	met, total, ok := s.WindowSLO("interactive", time.Minute)
+	if !ok || met != 0 || total != 4 {
+		t.Fatalf("overload WindowSLO = %d/%d ok=%v, want 0/4 true", met, total, ok)
+	}
+
+	// Phase 2: two minutes later, four fresh dequeues all meet the SLO.
+	now = now.Add(2 * time.Minute)
+	for i := 0; i < 4; i++ {
+		if _, err := s.Enqueue(Item{Tenant: "interactive"}); err != nil {
+			t.Fatalf("enqueue: %v", err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Dequeue(); !ok {
+			t.Fatal("dequeue failed")
+		}
+		s.Done("interactive")
+	}
+
+	views := s.Views()
+	if len(views) != 1 {
+		t.Fatalf("views = %d, want 1", len(views))
+	}
+	v := views[0]
+	if v.SLOAttainment != 0.5 {
+		t.Fatalf("lifetime attainment = %g, want 0.5", v.SLOAttainment)
+	}
+	// The 1m window only sees the recovered phase; 5m still sees both.
+	if v.SLOAttainment1m != 1 {
+		t.Fatalf("1m attainment = %g, want 1", v.SLOAttainment1m)
+	}
+	if v.SLOAttainment5m != 0.5 {
+		t.Fatalf("5m attainment = %g, want 0.5", v.SLOAttainment5m)
+	}
+
+	if _, _, ok := s.WindowSLO("nope", time.Minute); ok {
+		t.Fatal("WindowSLO ok for unknown tenant")
+	}
+	if got := s.MaxDepth(); got != 100 {
+		t.Fatalf("MaxDepth = %d, want 100", got)
+	}
+}

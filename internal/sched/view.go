@@ -34,6 +34,14 @@ type TenantView struct {
 	SLOMet        uint64  `json:"slo_met"`
 	SLOAttainment float64 `json:"slo_attainment"`
 
+	// Windowed attainment over the trailing 1m/5m/30m of dequeues — the
+	// recent signal the lifetime ratio above flattens out of, and the
+	// burn-rate input for internal/health. 1 when the window saw no
+	// dequeues.
+	SLOAttainment1m  float64 `json:"slo_attainment_1m"`
+	SLOAttainment5m  float64 `json:"slo_attainment_5m"`
+	SLOAttainment30m float64 `json:"slo_attainment_30m"`
+
 	// Queue-wait distribution observed at dequeue, milliseconds.
 	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
 	QueueWaitP95Ms float64 `json:"queue_wait_p95_ms"`
@@ -45,6 +53,7 @@ type TenantView struct {
 func (s *Scheduler) Views() []TenantView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	nowSec := s.now().Unix()
 	out := make([]TenantView, 0, len(s.order))
 	for _, name := range s.order {
 		t := s.ten[name]
@@ -74,6 +83,9 @@ func (s *Scheduler) Views() []TenantView {
 		} else {
 			v.SLOAttainment = 1
 		}
+		v.SLOAttainment1m = t.slo.attainment(nowSec, 60)
+		v.SLOAttainment5m = t.slo.attainment(nowSec, 300)
+		v.SLOAttainment30m = t.slo.attainment(nowSec, 1800)
 		snap := t.wait.Snapshot()
 		if snap.Count > 0 {
 			v.QueueWaitP50Ms = float64(t.wait.Quantile(0.5)) / 1e6
@@ -119,6 +131,11 @@ func (s *Scheduler) WriteProm(w io.Writer) {
 	})
 	family("womd_tenant_shed_at_depth", "Total queued depth at which this tenant sheds.", "gauge", func(v TenantView) {
 		fmt.Fprintf(w, "womd_tenant_shed_at_depth{tenant=%q} %d\n", v.Name, v.ShedAtDepth)
+	})
+	family("womd_tenant_slo_attainment_window", "Fraction of dequeues meeting their deadline over a trailing window.", "gauge", func(v TenantView) {
+		fmt.Fprintf(w, "womd_tenant_slo_attainment_window{tenant=%q,window=\"1m\"} %g\n", v.Name, v.SLOAttainment1m)
+		fmt.Fprintf(w, "womd_tenant_slo_attainment_window{tenant=%q,window=\"5m\"} %g\n", v.Name, v.SLOAttainment5m)
+		fmt.Fprintf(w, "womd_tenant_slo_attainment_window{tenant=%q,window=\"30m\"} %g\n", v.Name, v.SLOAttainment30m)
 	})
 	// Shed counts carry a reason label; emit a zero "queue_full" sample for
 	// tenants with no sheds so every tenant has a series.

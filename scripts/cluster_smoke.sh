@@ -8,10 +8,13 @@
 # heartbeat, dispatch, event stream, result. Then checks the
 # observability planes over the same processes: the merged distributed
 # trace (coordinator + worker spans on /v1/jobs/{id}/trace, rendered by
-# womtool spans) and fleet metrics federation (worker families on the
-# coordinator's /metrics as womd_fleet_*, /v1/fleet summary). Leaves
-# cluster-trace.json and cluster-trace.html in the working directory for
-# CI to keep as artifacts.
+# womtool spans), fleet metrics federation (worker families on the
+# coordinator's /metrics as womd_fleet_*, /v1/fleet summary), readiness
+# probes (/readyz on both roles), and the alerting plane (/v1/alerts
+# quiet on a healthy cluster, womd_alert_* on /metrics, one `womtool top`
+# frame). Leaves cluster-trace.json, cluster-trace.html, and
+# cluster-alerts.json in the working directory for CI to keep as
+# artifacts.
 #
 # Usage: scripts/cluster_smoke.sh [coordinator-port] [worker-port]
 set -eu
@@ -125,4 +128,34 @@ fleet=$(curl -fsS "$COORD/v1/fleet") || fail "/v1/fleet unreadable"
 echo "$fleet" | grep -q '"completed": *1' \
     || fail "/v1/fleet does not report the completed job"
 
-echo "==> OK: merged trace + federated fleet metrics verified"
+echo "==> checking readiness probes"
+# Idle processes must be ready on both roles; /healthz keeps answering 200
+# alongside (liveness and readiness are distinct probes).
+curl -fsS "$COORD/readyz" | grep -q '"ready": *true' \
+    || fail "coordinator /readyz not ready while idle"
+curl -fsS "$WORKER/readyz" | grep -q '"ready": *true' \
+    || fail "worker /readyz not ready while idle"
+echo "$fleet" | grep -q '"ready": *true' \
+    || fail "/v1/fleet does not report the worker ready"
+
+echo "==> checking the alerting plane"
+# Alerting is on by default; a healthy idle cluster serves an alert list
+# with nothing firing, and the womd_alert_* families are on /metrics.
+alerts=$(curl -fsS "$COORD/v1/alerts") || fail "/v1/alerts unreadable"
+printf '%s\n' "$alerts" > cluster-alerts.json
+echo "$alerts" | grep -q '"alerts":' \
+    || fail "/v1/alerts body missing the alert list: $alerts"
+echo "$alerts" | grep -q '"state": *"firing"' \
+    && fail "healthy cluster has a firing alert: $alerts"
+echo "$prom" | grep -q 'womd_alerts{state="firing"} 0' \
+    || fail "womd_alerts firing gauge missing from /metrics"
+echo "$prom" | grep -q 'womd_alert_evaluations_total' \
+    || fail "womd_alert_evaluations_total missing from /metrics"
+
+echo "==> rendering one ops-dashboard frame with womtool top"
+go run ./cmd/womtool top -url "$COORD" -once > "$WORKDIR/top.txt" \
+    || fail "womtool top could not render a frame"
+grep -q 'ALERTS' "$WORKDIR/top.txt" || fail "top frame missing the alerts section"
+grep -q 'FLEET' "$WORKDIR/top.txt" || fail "top frame missing the fleet section"
+
+echo "==> OK: merged trace + federated fleet metrics + readiness + alerts verified"
