@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test vet fmt-check race fuzz bench bench-probe bench-suite bench-compare cluster-smoke cluster-demo loadgen-smoke alerts-smoke verify clean
+.PHONY: all build test vet fmt-check race fuzz bench bench-probe bench-suite bench-compare cluster-smoke cluster-demo loadgen-smoke alerts-smoke history-smoke verify clean
 
 all: verify
 
@@ -61,6 +61,13 @@ loadgen-smoke:
 # ./alerts-smoke.json.
 alerts-smoke:
 	scripts/alerts_smoke.sh
+
+# End-to-end metric-history check: womd with a persistent -history-dir,
+# query_range + series + alert journal asserted, restart continuity with
+# the journaled alert reinstalled, and a womtool graph dashboard rendered
+# to ./history-smoke.html.
+history-smoke:
+	scripts/history_smoke.sh
 
 # Interactive cluster on localhost: coordinator on :8080, two workers on
 # :8081/:8082. Submit jobs to http://127.0.0.1:8080/v1/jobs and watch

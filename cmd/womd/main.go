@@ -55,6 +55,20 @@
 // draining or queue-saturated — and in a cluster each worker's readiness
 // rides its heartbeats so the coordinator routes around not-ready workers.
 //
+// Metric history is on by default (-history): an embedded TSDB self-scrapes
+// the process's full /metrics exposition every -history-scrape interval
+// into Gorilla-compressed chunks, downsamples them through retention tiers
+// (-history-retention, default raw 5s for 1h, 1m buckets for 24h, 10m for
+// 7d) that preserve min/max/sum/count and reset-aware counter increase,
+// and serves range queries on GET /v1/query_range (+ /v1/series
+// discovery). With -history-dir DIR sealed chunks, aggregate buckets, and
+// every alert lifecycle transition persist to a CRC32-framed segment log:
+// after a restart, dashboards keep their past, GET /v1/alerts/history
+// still shows the journal, burn-rate windows are backfilled from the
+// persisted counters, and journaled firing alerts are reinstalled instead
+// of silently dropped. `womtool graph` and `womtool top` render this
+// history as inline-SVG dashboards and sparklines.
+//
 // The daemon also runs distributed (-role): a coordinator keeps this whole
 // API but dispatches jobs to registered workers over the /cluster/v1/ RPC
 // surface (internal/cluster), and a worker joins a coordinator's fleet,
@@ -83,6 +97,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"log/slog"
@@ -101,6 +116,7 @@ import (
 	"womcpcm/internal/resultstore"
 	"womcpcm/internal/sched"
 	"womcpcm/internal/span"
+	"womcpcm/internal/tsdb"
 )
 
 func main() {
@@ -130,6 +146,11 @@ func main() {
 
 		alerts     = flag.Bool("alerts", true, "run the SLO/health alerting engine (GET /v1/alerts, womd_alert_* metrics)")
 		alertRules = flag.String("alert-rules", "", "alert rules config (JSON); empty = built-in defaults, hot-reloaded on SIGHUP")
+
+		history       = flag.Bool("history", true, "run the embedded metrics history store (GET /v1/query_range, /v1/series, /v1/alerts/history)")
+		historyDir    = flag.String("history-dir", "", "history segment-log directory; empty keeps history in memory only (lost on restart)")
+		historyScrape = flag.Duration("history-scrape", 5*time.Second, "history self-scrape interval")
+		historyRet    = flag.String("history-retention", "", `history retention tiers as step=retention pairs, e.g. "raw=1h,1m=24h,10m=168h" (empty = built-in defaults)`)
 
 		role         = flag.String("role", "standalone", "process role: standalone, coordinator, or worker")
 		coordURL     = flag.String("coordinator", "", "coordinator base URL (worker role)")
@@ -174,6 +195,35 @@ func main() {
 		}
 		logger.Info("slow-job profiling enabled", "dir", *profileDir,
 			"slow_fraction", *slowFrac, "deadline_fraction", *deadFrac)
+	}
+
+	// Embedded metrics history: a self-scraped TSDB with retention tiers
+	// plus the persisted alert-transition journal. Opened before the engine
+	// so the job hot path can thread its (possibly nil) pointer through.
+	var histDB *tsdb.DB
+	if *history {
+		var tiers []tsdb.TierSpec
+		if *historyRet != "" {
+			var err error
+			if tiers, err = tsdb.ParseTiers(*historyRet); err != nil {
+				logger.Error("parsing -history-retention", "spec", *historyRet, "error", err)
+				os.Exit(2)
+			}
+		}
+		var err error
+		histDB, err = tsdb.Open(tsdb.Options{
+			Dir:            *historyDir,
+			ScrapeInterval: *historyScrape,
+			Tiers:          tiers,
+			Logger:         logger,
+		})
+		if err != nil {
+			logger.Error("opening metrics history", "dir", *historyDir, "error", err)
+			os.Exit(1)
+		}
+		defer histDB.Close()
+		logger.Info("metrics history enabled", "dir", *historyDir,
+			"scrape", historyScrape.String(), "retention", *historyRet)
 	}
 
 	// Distributed tracing: one span recorder per process, shared by the
@@ -237,6 +287,7 @@ func main() {
 		DeadlineFraction: *deadFrac,
 		MonitorInterval:  *monEvery,
 		Tracer:           tracer,
+		History:          histDB,
 	}
 	if coord != nil {
 		cfg.Execute = coord.Execute
@@ -377,16 +428,49 @@ func main() {
 			sig.Workers = coord.HealthWorkers
 			sig.ScrapeErrors = func() (uint64, bool) { return coord.FederationErrors(), true }
 		}
-		var err error
-		alertEngine, err = health.NewEngine(health.Config{
+		hcfg := health.Config{
 			Rules:     rules,
 			Signals:   sig,
 			Exemplars: exemplars,
 			Logger:    logger,
-		})
+		}
+		if histDB != nil {
+			// Journal every lifecycle transition so alert state survives a
+			// restart (GET /v1/alerts/history).
+			hcfg.OnTransition = func(at time.Time, to, key string, v health.AlertView) {
+				b, err := json.Marshal(v)
+				if err != nil {
+					return
+				}
+				histDB.AppendAlertTransition(at, to, key, b)
+			}
+		}
+		var err error
+		alertEngine, err = health.NewEngine(hcfg)
 		if err != nil {
 			logger.Error("building alert engine", "error", err)
 			os.Exit(1)
+		}
+		if histDB != nil {
+			// Warm the burn-rate windows from persisted counter history and
+			// reinstall journaled active alerts before the first evaluation
+			// pass, so a restart neither drops firing incidents nor waits a
+			// full SLO window to notice them again.
+			if scheduler != nil {
+				backfillSLO(scheduler, histDB, logger)
+			}
+			if active := histDB.ActiveAlerts(); len(active) > 0 {
+				views := make([]health.AlertView, 0, len(active))
+				for _, tr := range active {
+					var v health.AlertView
+					if err := json.Unmarshal(tr.Alert, &v); err == nil {
+						views = append(views, v)
+					}
+				}
+				n := alertEngine.Restore(views)
+				logger.Info("alert state restored from history",
+					"journaled", len(active), "restored", n)
+			}
 		}
 		alertEngine.Start()
 		defer alertEngine.Stop()
@@ -430,6 +514,11 @@ func main() {
 	if scheduler != nil {
 		opts = append(opts, engine.WithPromAppender(scheduler.WriteProm))
 	}
+	if histDB != nil {
+		opts = append(opts,
+			engine.WithHistory(histDB),
+			engine.WithPromAppender(histDB.WriteProm))
+	}
 	if *debug {
 		opts = append(opts, engine.WithDebug())
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
@@ -440,7 +529,13 @@ func main() {
 		defer poller.Stop()
 		opts = append(opts, engine.WithRuntimeMetrics(poller))
 	}
-	var httpHandler http.Handler = engine.NewServer(mgr, opts...)
+	apiServer := engine.NewServer(mgr, opts...)
+	// The scrape source is the server's own full exposition — service
+	// counters plus every registered appender (cluster, fleet federation,
+	// alerts, the history store's own gauges) — so everything /metrics
+	// shows is also everything history records.
+	histDB.Start(apiServer.WriteProm)
+	var httpHandler http.Handler = apiServer
 	if coord != nil || agent != nil {
 		mux := http.NewServeMux()
 		if coord != nil {
@@ -510,6 +605,11 @@ func main() {
 		"jobs_canceled", after.JobsCanceled-before.JobsCanceled,
 		"uptime_s", int64(after.UptimeSeconds))
 	if drainErr != nil {
+		// os.Exit skips the deferred close; an aborted drain must not
+		// also cost the metric history its unflushed tail.
+		if err := histDB.Close(); err != nil {
+			logger.Warn("history close", "error", err)
+		}
 		if errors.Is(drainErr, context.DeadlineExceeded) {
 			logger.Error("drain budget exceeded; running jobs aborted")
 			os.Exit(1)
@@ -518,4 +618,55 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Info("drained cleanly")
+}
+
+// backfillSLO warms the scheduler's per-tenant SLO rings from persisted
+// counter history: the per-scrape increases of womd_tenant_slo_met_total
+// and womd_tenant_dequeued_total over the ring horizon become seeded
+// window buckets, so burn-rate rules evaluate real attainment on the
+// first pass after a restart instead of a vacuous empty window.
+func backfillSLO(s *sched.Scheduler, db *tsdb.DB, logger *slog.Logger) {
+	const horizon = 34 * time.Minute // ≥ the ring's 2048-second reach
+	now := time.Now()
+	from, to := now.Add(-horizon).UnixMilli(), now.UnixMilli()
+	seeded := 0
+	for _, info := range db.Series("womd_tenant_slo_met_total") {
+		tenant := info.Labels["tenant"]
+		if tenant == "" {
+			continue
+		}
+		match := map[string]string{"tenant": tenant}
+		met := counterDeltas(db.RawSamples("womd_tenant_slo_met_total", match, from, to))
+		total := counterDeltas(db.RawSamples("womd_tenant_dequeued_total", match, from, to))
+		for sec, tot := range total {
+			m := met[sec]
+			if m > tot {
+				m = tot
+			}
+			if s.SeedSLO(tenant, sec, m, tot) {
+				seeded++
+			}
+		}
+	}
+	if seeded > 0 {
+		logger.Info("slo windows backfilled from history", "buckets", seeded)
+	}
+}
+
+// counterDeltas turns raw cumulative-counter samples into per-second
+// increases attributed to the later sample's second; a reset contributes
+// the post-reset value, mirroring the history store's own Inc rule.
+func counterDeltas(pts []tsdb.Point) map[int64]uint64 {
+	out := make(map[int64]uint64, len(pts))
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].V - pts[i-1].V
+		if d < 0 {
+			d = pts[i].V
+		}
+		if d <= 0 {
+			continue
+		}
+		out[pts[i].T/1000] += uint64(d + 0.5)
+	}
+	return out
 }

@@ -20,6 +20,7 @@
 //	womtool loadgen -mix mix.json -o report.json   # open-loop load run against womd
 //	womtool spans trace.json -o trace.html         # render a womd job trace waterfall
 //	womtool top -url http://localhost:8080         # live ops dashboard: alerts, fleet, tenants
+//	womtool graph -url http://localhost:8080 -o graphs.html  # metric-history dashboard (inline SVG)
 package main
 
 import (
@@ -58,13 +59,15 @@ func main() {
 		spansCmd(os.Args[2:])
 	case "top":
 		topCmd(os.Args[2:])
+	case "graph":
+		graphCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name] | bench [-tier short|full] [-compare BASELINE] | report <series.json> [-o report.html] | loadgen -mix MIX [-url URL] [-o REPORT] | spans <trace.json> [-o spans.html] | top [-url URL] [-interval D] [-once] [-html FILE]")
+	fmt.Fprintln(os.Stderr, "usage: womtool table | verify | encode <2-bit values...> | bound <k...> | search <dataBits> <wits> | regress [-dir DIR] [-tol F] pin|report|list [name] | bench [-tier short|full] [-compare BASELINE] | report <series.json> [-o report.html] | loadgen -mix MIX [-url URL] [-o REPORT] | spans <trace.json> [-o spans.html] | top [-url URL] [-interval D] [-once] [-html FILE] | graph [-url URL] [-metrics M[:agg],...] [-window D] [-o FILE]")
 	os.Exit(2)
 }
 

@@ -30,13 +30,25 @@ type topSnapshot struct {
 	AlertsOn bool // /v1/alerts answered; a healthy empty list still counts
 	Alerts   []health.AlertView
 	Counts   map[health.State]int
+	Sparks   []sparkline // metric-history sparklines; nil without -history
 	Errs     []string
+}
+
+// sparkline is one history-fed trend row: label plus the queried points,
+// oldest first.
+type sparkline struct {
+	Label  string
+	Unit   string
+	Points []float64
 }
 
 // topCmd drives `womtool top`: a live ops dashboard over GET /v1/fleet,
 // /v1/tenants, /v1/alerts, and /readyz — firing alerts first, then fleet
-// and tenant load. -once prints a single frame (scripts, smoke tests);
-// -html re-renders a self-refreshing HTML snapshot instead.
+// and tenant load, then ten-minute sparklines from the target's metric
+// history when it runs with -history. -once prints a single frame and
+// exits 2 if any alert is firing, so smoke tests and cron wrappers can
+// gate on the exit code; -html re-renders a self-refreshing HTML
+// snapshot instead.
 func topCmd(args []string) {
 	fs := flag.NewFlagSet("top", flag.ExitOnError)
 	url := fs.String("url", "http://localhost:8080", "base URL of the womd instance to watch")
@@ -62,7 +74,13 @@ func topCmd(args []string) {
 			fmt.Print("\x1b[2J\x1b[H") // clear + home, a fresh frame each poll
 			renderTop(os.Stdout, snap)
 		}
-		if *once || (*frames > 0 && i+1 >= *frames) {
+		if *once {
+			if snap.Counts[health.StateFiring] > 0 {
+				os.Exit(2)
+			}
+			return
+		}
+		if *frames > 0 && i+1 >= *frames {
 			return
 		}
 		time.Sleep(*interval)
@@ -129,7 +147,81 @@ func pollTop(client *http.Client, base string) topSnapshot {
 		snap.Alerts = alerts.Alerts
 		snap.Counts = alerts.Counts
 	}
+	snap.Sparks = pollSparks(client, base, snap.At)
 	return snap
+}
+
+// sparkQueries is the trend set `womtool top` asks the metric history
+// for: throughput and failures as rates, load as averages.
+var sparkQueries = []struct {
+	label, metric, agg, unit string
+}{
+	{"jobs/s", "womd_jobs_completed_total", "rate", "jobs/s"},
+	{"fails/s", "womd_jobs_failed_total", "rate", "jobs/s"},
+	{"queue", "womd_queue_depth", "avg", "jobs"},
+	{"running", "womd_jobs_running", "avg", "jobs"},
+}
+
+// pollSparks fetches ten minutes of history at 30s resolution for the
+// sparkline rows. A target without -history (501) yields nil and the
+// section renders as absent; labeled series are summed into one trend.
+func pollSparks(client *http.Client, base string, now time.Time) []sparkline {
+	var out []sparkline
+	for _, q := range sparkQueries {
+		u := fmt.Sprintf("%s/v1/query_range?metric=%s&agg=%s&start=%d&end=%d&step=30s",
+			base, q.metric, q.agg, now.Add(-10*time.Minute).Unix(), now.Unix())
+		var body struct {
+			Series []struct {
+				Points []struct {
+					T int64   `json:"t"`
+					V float64 `json:"v"`
+				} `json:"points"`
+			} `json:"series"`
+		}
+		var discard []string
+		if !topGet(client, u, &body, &discard) || len(body.Series) == 0 {
+			continue
+		}
+		byT := map[int64]float64{}
+		var ts []int64
+		for _, s := range body.Series {
+			for _, p := range s.Points {
+				if _, seen := byT[p.T]; !seen {
+					ts = append(ts, p.T)
+				}
+				byT[p.T] += p.V
+			}
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		pts := make([]float64, len(ts))
+		for i, t := range ts {
+			pts[i] = byT[t]
+		}
+		out = append(out, sparkline{Label: q.label, Unit: q.unit, Points: pts})
+	}
+	return out
+}
+
+// sparkBars renders points as a unicode block-bar strip scaled to the
+// strip's own max.
+func sparkBars(points []float64) string {
+	const bars = "▁▂▃▄▅▆▇█"
+	max := 0.0
+	for _, v := range points {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range points {
+		if max <= 0 || v <= 0 {
+			b.WriteRune('▁')
+			continue
+		}
+		idx := int(v / max * 7.999)
+		b.WriteRune(rune([]rune(bars)[idx]))
+	}
+	return b.String()
 }
 
 func topAge(at, now time.Time) string {
@@ -204,6 +296,17 @@ func renderTop(w io.Writer, snap topSnapshot) {
 			fmt.Fprintf(w, "  %-14s depth %-4d inflight %-3d sheds %-5d slo 1m %.3f  5m %.3f  30m %.3f\n",
 				v.Name, v.Depth, v.Inflight, v.Sheds,
 				v.SLOAttainment1m, v.SLOAttainment5m, v.SLOAttainment30m)
+		}
+	}
+
+	if len(snap.Sparks) > 0 {
+		fmt.Fprintln(w, "\nHISTORY (10m)")
+		for _, s := range snap.Sparks {
+			last := 0.0
+			if len(s.Points) > 0 {
+				last = s.Points[len(s.Points)-1]
+			}
+			fmt.Fprintf(w, "  %-9s %s  %.3g %s\n", s.Label, sparkBars(s.Points), last, s.Unit)
 		}
 	}
 

@@ -19,6 +19,7 @@ import (
 	"womcpcm/internal/sim"
 	"womcpcm/internal/span"
 	"womcpcm/internal/telemetry"
+	"womcpcm/internal/tsdb"
 )
 
 // Config sizes the manager. Zero values select production defaults.
@@ -100,6 +101,11 @@ type Config struct {
 	// across cluster hops via W3C traceparent. nil disables tracing — every
 	// instrumentation site is a nil-safe no-op.
 	Tracer *span.Recorder
+	// History, when set, records each finished job's wall time into the
+	// embedded metrics history (internal/tsdb) alongside the self-scraped
+	// families. nil — the -history=false path — costs one pointer check
+	// per job, pinned by TestObserveHistoryDisabledZeroAlloc.
+	History *tsdb.DB
 }
 
 func (c Config) withDefaults() Config {
@@ -643,6 +649,9 @@ func (m *Manager) runJob(job *Job) {
 	m.metrics.Running.Add(-1)
 	wall := time.Since(start)
 	m.metrics.ObserveWall(job.exp.Name, wall)
+	// Nil-safe: with -history=false this is one pointer check, zero
+	// allocations (TestObserveHistoryDisabledZeroAlloc).
+	m.cfg.History.ObserveJob(job.exp.Name, wall.Seconds())
 	if pspan != nil {
 		rec := pspan.End()
 		job.setPerf(rec)

@@ -20,6 +20,7 @@ import (
 	"womcpcm/internal/sched"
 	"womcpcm/internal/sim"
 	"womcpcm/internal/span"
+	"womcpcm/internal/tsdb"
 )
 
 // Server is the HTTP/JSON face of a Manager. Routes (see DESIGN.md for the
@@ -61,6 +62,7 @@ type Server struct {
 	poller    *perfmon.Poller
 	promExtra []func(io.Writer)
 	alerts    *health.Engine
+	history   *tsdb.DB
 	readySat  float64
 }
 
@@ -163,7 +165,10 @@ func NewServer(m *Manager, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/baselines/{name}", s.getBaseline)
 	s.mux.HandleFunc("GET /v1/compare", s.compareBaseline)
 	s.mux.HandleFunc("GET /v1/alerts", s.listAlerts)
+	s.mux.HandleFunc("GET /v1/alerts/history", s.alertHistory)
 	s.mux.HandleFunc("GET /v1/alerts/{id}", s.getAlert)
+	s.mux.HandleFunc("GET /v1/query_range", s.queryRange)
+	s.mux.HandleFunc("GET /v1/series", s.listSeries)
 	s.mux.HandleFunc("GET /metrics", s.promMetrics)
 	s.mux.HandleFunc("GET /metrics.json", s.jsonMetrics)
 	s.mux.HandleFunc("GET /healthz", s.healthz)
@@ -270,9 +275,12 @@ func (w *jsonErrorWriter) finish() {
 	writeJSON(w.ResponseWriter, w.status, map[string]string{"error": msg})
 }
 
-// writeJSON emits v with the given status.
+// writeJSON emits v with the given status. Every JSON response on this
+// API is live operational state — never cacheable — so the no-store
+// directive rides the shared helper instead of per-handler discipline.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -296,7 +304,7 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, ErrNoStore), errors.Is(err, ErrNoProfiles),
 		errors.Is(err, ErrNoTenants), errors.Is(err, ErrNoTracer),
-		errors.Is(err, ErrNoAlerts):
+		errors.Is(err, ErrNoAlerts), errors.Is(err, ErrNoHistory):
 		status = http.StatusNotImplemented
 	}
 	var se *sched.ShedError
@@ -672,6 +680,16 @@ func (s *Server) compareBaseline(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) promMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteProm(w)
+}
+
+// WriteProm writes the full Prometheus exposition GET /metrics serves:
+// service counters, store gauge, per-job progress, runtime metrics, and
+// every registered appender (cluster families, federated fleet families,
+// the history store's own gauges). The history self-scrape gathers from
+// here, so everything /metrics exposes is also everything history
+// records.
+func (s *Server) WriteProm(w io.Writer) {
 	s.m.Metrics().WriteProm(w)
 	if store := s.m.Store(); store != nil {
 		fmt.Fprintf(w, "# HELP womd_store_results Distinct results held by the result store.\n"+

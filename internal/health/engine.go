@@ -68,6 +68,14 @@ type Config struct {
 	Exemplars *Exemplars
 	// Logger receives state transitions; nil discards.
 	Logger *slog.Logger
+	// OnTransition, when non-nil, observes every alert lifecycle
+	// transition — to is "pending", "firing", "flapped", or "resolved" —
+	// as it happens; womd points it at the history store's alert journal
+	// so transitions survive a restart. key is the alert's stable
+	// rule+subject identity (the Restore dedup key). Called with the
+	// engine's lock held: keep it fast and never call back into the
+	// engine.
+	OnTransition func(at time.Time, to string, key string, view AlertView)
 	// MaxResolved bounds the resolved-alert history; default 64.
 	MaxResolved int
 	// Now is the clock, a test hook; nil means time.Now.
@@ -262,6 +270,77 @@ func (e *Engine) Reload(rc RulesConfig) error {
 	}
 	e.rules = rc.Rules
 	return nil
+}
+
+// Restore reinstalls pending and firing alerts journaled by a previous
+// process, so a restart does not silently drop active incidents while
+// the evaluator rebuilds its windows. Views whose rule no longer exists
+// in the current rule set are skipped, as are keys already active. The
+// id sequence continues past the largest restored id so new alerts never
+// collide with journaled ones. Restored alerts carry a restored=true
+// annotation and behave exactly like live ones: the next evaluation pass
+// either sustains them (condition still true, e.g. from backfilled SLO
+// windows) or walks them through flap/keep-firing damping. Returns the
+// number restored. No-op on nil.
+func (e *Engine) Restore(views []AlertView) int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	byName := make(map[string]*Rule, len(e.rules))
+	for i := range e.rules {
+		byName[e.rules[i].Name] = &e.rules[i]
+	}
+	restored := 0
+	for _, v := range views {
+		if v.State != StatePending && v.State != StateFiring {
+			continue
+		}
+		base := v.RuleBase
+		if base == "" {
+			base = v.Rule
+		}
+		r, ok := byName[base]
+		if !ok {
+			e.log.Info("alert not restored: rule gone", "alert", v.ID, "rule", v.Rule)
+			continue
+		}
+		key := v.Rule + "\x00" + v.Subject
+		if _, exists := e.active[key]; exists {
+			continue
+		}
+		a := &alert{
+			id:        v.ID,
+			rule:      v.Rule,
+			ruleBase:  base,
+			subject:   v.Subject,
+			severity:  v.Severity,
+			state:     v.State,
+			value:     v.Value,
+			threshold: v.Threshold,
+			startedAt: v.StartedAt,
+			lastTrue:  now, // damping restarts from the restore instant
+			keep:      r.keepDur(),
+		}
+		if v.FiredAt != nil {
+			a.firedAt = *v.FiredAt
+		}
+		for k, val := range v.Annotations {
+			a.annotate(k, val)
+		}
+		a.annotate("restored", "true")
+		e.active[key] = a
+		var n uint64
+		if _, err := fmt.Sscanf(v.ID, "al-%d", &n); err == nil && n > e.seq {
+			e.seq = n
+		}
+		restored++
+		e.log.Info("alert restored", "alert", a.id, "rule", a.rule,
+			"subject", a.subject, "state", a.state)
+	}
+	return restored
 }
 
 func (a *alert) annotate(k, v string) {
@@ -542,6 +621,7 @@ func (e *Engine) applyLocked(now time.Time, violations []violation) {
 			e.active[key] = a
 			e.pendingTotal++
 			e.log.Info("alert pending", "alert", a.id, "rule", a.rule, "subject", a.subject)
+			e.notifyLocked(now, "pending", key, a)
 		}
 		a.value = v.value
 		a.threshold = v.threshold
@@ -557,6 +637,7 @@ func (e *Engine) applyLocked(now time.Time, violations []violation) {
 			e.firedTotal++
 			e.log.Warn("alert firing", "alert", a.id, "rule", a.rule,
 				"subject", a.subject, "severity", a.severity, "value", a.value)
+			e.notifyLocked(now, "firing", key, a)
 		}
 	}
 	for key, a := range e.active {
@@ -569,6 +650,7 @@ func (e *Engine) applyLocked(now time.Time, violations []violation) {
 			delete(e.active, key)
 			e.flapsTotal++
 			e.log.Info("alert flapped", "alert", a.id, "rule", a.rule, "subject", a.subject)
+			e.notifyLocked(now, "flapped", key, a)
 		case StateFiring:
 			if now.Sub(a.lastTrue) >= a.keep {
 				e.resolveLocked(now, key, a)
@@ -589,12 +671,26 @@ func (e *Engine) resolveLocked(now time.Time, key string, a *alert) {
 	}
 	e.log.Info("alert resolved", "alert", a.id, "rule", a.rule, "subject", a.subject,
 		"after", now.Sub(a.firedAt).Round(time.Millisecond))
+	e.notifyLocked(now, "resolved", key, a)
+}
+
+// notifyLocked reports one lifecycle transition to the configured
+// observer.
+func (e *Engine) notifyLocked(at time.Time, to, key string, a *alert) {
+	if e.cfg.OnTransition == nil {
+		return
+	}
+	e.cfg.OnTransition(at, to, key, a.view())
 }
 
 // AlertView is an alert's wire form in GET /v1/alerts.
 type AlertView struct {
-	ID        string  `json:"id"`
-	Rule      string  `json:"rule"`
+	ID   string `json:"id"`
+	Rule string `json:"rule"`
+	// RuleBase is the config rule name behind Rule (burn-rate pairs emit
+	// <base>-fast/-slow); Restore uses it to re-derive damping from the
+	// current rule set.
+	RuleBase  string  `json:"rule_base,omitempty"`
 	Subject   string  `json:"subject"`
 	Severity  string  `json:"severity"`
 	State     State   `json:"state"`
@@ -614,6 +710,7 @@ func (a *alert) view() AlertView {
 	v := AlertView{
 		ID:        a.id,
 		Rule:      a.rule,
+		RuleBase:  a.ruleBase,
 		Subject:   a.subject,
 		Severity:  a.severity,
 		State:     a.state,

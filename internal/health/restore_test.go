@@ -1,0 +1,180 @@
+package health
+
+import (
+	"testing"
+	"time"
+)
+
+// transitionRec is one OnTransition callback observation.
+type transitionRec struct {
+	to  string
+	key string
+	id  string
+}
+
+// TestOnTransitionJournal pins the hook's contract: every lifecycle edge
+// (pending, firing, resolved, flapped) is reported exactly once, in
+// order, with the stable rule+subject key.
+func TestOnTransitionJournal(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(50_000, 0)}
+	att := 1.0
+	var recs []transitionRec
+	e, err := NewEngine(Config{
+		Rules: burnRules(10, 10), Signals: burnSignals(&att), Now: clk.now,
+		OnTransition: func(_ time.Time, to, key string, v AlertView) {
+			recs = append(recs, transitionRec{to: to, key: key, id: v.ID})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	att = 0.5
+	e.EvalOnce() // fast+slow pending
+	if len(recs) != 2 || recs[0].to != "pending" || recs[1].to != "pending" {
+		t.Fatalf("after first eval: %+v, want 2 pending", recs)
+	}
+	clk.advance(10 * time.Second)
+	e.EvalOnce() // both fire
+	if len(recs) != 4 || recs[2].to != "firing" || recs[3].to != "firing" {
+		t.Fatalf("after hold: %+v, want +2 firing", recs)
+	}
+	if recs[2].key == recs[3].key {
+		t.Fatalf("fast and slow share key %q", recs[2].key)
+	}
+
+	// Healthy again: keep_firing damps for 10s, then both resolve.
+	att = 1.0
+	clk.advance(5 * time.Second)
+	e.EvalOnce()
+	if len(recs) != 4 {
+		t.Fatalf("mid-damping transitions: %+v", recs)
+	}
+	clk.advance(6 * time.Second)
+	e.EvalOnce()
+	if len(recs) != 6 || recs[4].to != "resolved" || recs[5].to != "resolved" {
+		t.Fatalf("after damping: %+v, want +2 resolved", recs)
+	}
+
+	// A short blip that clears before for_s is a flap.
+	att = 0.5
+	e.EvalOnce()
+	att = 1.0
+	clk.advance(time.Second)
+	e.EvalOnce()
+	var flaps int
+	for _, r := range recs[6:] {
+		if r.to == "flapped" {
+			flaps++
+		}
+	}
+	if flaps != 2 {
+		t.Fatalf("flap transitions = %d (%+v), want 2", flaps, recs[6:])
+	}
+}
+
+// TestRestoreReinstallsFiring checks the restart path: journaled firing
+// alerts come back active with their ids, the id sequence continues past
+// them, and the next evaluation pass governs them like live alerts.
+func TestRestoreReinstallsFiring(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(50_000, 0)}
+	att := 0.5
+	a, err := NewEngine(Config{Rules: burnRules(0, 10), Signals: burnSignals(&att), Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.EvalOnce() // for_s=0: straight to firing
+	views := a.Alerts()
+	if len(views) != 2 || views[0].State != StateFiring {
+		t.Fatalf("seed engine alerts: %+v", views)
+	}
+	if views[0].RuleBase != "slo-burn" {
+		t.Fatalf("RuleBase = %q, want slo-burn", views[0].RuleBase)
+	}
+
+	// "Restart": fresh engine, same rules, restore the journaled set.
+	b, err := NewEngine(Config{Rules: burnRules(0, 10), Signals: burnSignals(&att), Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := b.Restore(views); n != 2 {
+		t.Fatalf("Restore = %d, want 2", n)
+	}
+	got := b.Alerts()
+	if len(got) != 2 {
+		t.Fatalf("restored alerts: %+v", got)
+	}
+	for i, v := range got {
+		if v.State != StateFiring {
+			t.Fatalf("restored state = %s, want firing", v.State)
+		}
+		if v.ID != views[i].ID {
+			t.Fatalf("restored id = %s, want %s", v.ID, views[i].ID)
+		}
+		if v.Annotations["restored"] != "true" {
+			t.Fatalf("missing restored annotation: %+v", v.Annotations)
+		}
+	}
+
+	// Re-restoring the same views is a no-op (keys already active).
+	if n := b.Restore(views); n != 0 {
+		t.Fatalf("second Restore = %d, want 0", n)
+	}
+
+	// Condition still true: the next pass sustains them, no duplicates.
+	b.EvalOnce()
+	if got := b.Alerts(); len(got) != 2 || got[0].State != StateFiring {
+		t.Fatalf("post-eval alerts: %+v", got)
+	}
+
+	// Condition cleared: keep_firing damps from the restore instant, then
+	// the restored alerts resolve like native ones.
+	att = 1.0
+	clk.advance(11 * time.Second)
+	b.EvalOnce()
+	for _, v := range b.Alerts() {
+		if v.State != StateResolved {
+			t.Fatalf("after damping: %s = %s, want resolved", v.Rule, v.State)
+		}
+	}
+
+	// The id sequence continued past the restored ids: a brand-new alert
+	// must not collide.
+	att = 0.5
+	b.EvalOnce()
+	fresh := b.Alerts()
+	for _, v := range fresh {
+		if v.State != StateFiring {
+			continue
+		}
+		for _, old := range views {
+			if v.ID == old.ID {
+				t.Fatalf("new alert reused journaled id %s", v.ID)
+			}
+		}
+	}
+}
+
+// TestRestoreSkipsUnknownRule: a journaled alert whose rule was removed
+// from the config does not come back.
+func TestRestoreSkipsUnknownRule(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(50_000, 0)}
+	att := 1.0
+	e, err := NewEngine(Config{Rules: burnRules(0, 10), Signals: burnSignals(&att), Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := time.Unix(49_000, 0)
+	n := e.Restore([]AlertView{
+		{ID: "al-000007", Rule: "ghost-rule", Subject: "interactive",
+			State: StateFiring, StartedAt: fired, FiredAt: &fired},
+		{ID: "al-000008", Rule: "slo-burn-fast", RuleBase: "slo-burn",
+			Subject: "interactive", State: StateResolved, StartedAt: fired},
+	})
+	if n != 0 {
+		t.Fatalf("Restore = %d, want 0 (unknown rule + resolved state)", n)
+	}
+	if got := e.Alerts(); len(got) != 0 {
+		t.Fatalf("alerts after skip-restore: %+v", got)
+	}
+}

@@ -43,6 +43,22 @@ func (r *sloRing) observe(sec int64, ok bool) {
 	}
 }
 
+// seed installs a backfilled outcome count for Unix second sec. Live
+// data wins: a bucket already stamped with sec and holding observations
+// keeps them, so a history-derived backfill can never double-count
+// dequeues observed after a restart.
+func (r *sloRing) seed(sec int64, met, total uint32) {
+	i := int(sec % int64(len(r.secs)))
+	if i < 0 {
+		i += len(r.secs)
+	}
+	if r.secs[i] == sec && r.total[i] > 0 {
+		return
+	}
+	r.secs[i] = sec
+	r.met[i], r.total[i] = met, total
+}
+
 // window sums the trailing `seconds` buckets ending at Unix second nowSec
 // (inclusive), clamped to the ring's horizon. Buckets whose stamp does not
 // match the queried second — never written, or overwritten by a later lap
@@ -90,6 +106,37 @@ func (s *Scheduler) WindowSLO(tenant string, window time.Duration) (met, total u
 	}
 	met, total = t.slo.window(s.now().Unix(), int(window/time.Second))
 	return met, total, true
+}
+
+// SeedSLO backfills one second of a tenant's SLO ring from persisted
+// metric history, so burn-rate windows are warm immediately after a
+// restart instead of waiting a full window for live traffic to refill
+// them. Seconds outside the ring horizon (or in the future) are ignored,
+// and buckets that already hold live post-restart observations are left
+// untouched. Returns false for an unknown or removed tenant.
+func (s *Scheduler) SeedSLO(tenant string, sec int64, met, total uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, found := s.ten[tenant]
+	if !found || t.removed {
+		return false
+	}
+	now := s.now().Unix()
+	if total == 0 || sec > now || sec <= now-int64(sloRingSeconds) {
+		return true // nothing to seed, but the tenant exists
+	}
+	if met > total {
+		met = total
+	}
+	const maxBucket = 1<<32 - 1
+	if total > maxBucket {
+		total = maxBucket
+	}
+	if met > maxBucket {
+		met = maxBucket
+	}
+	t.slo.seed(sec, uint32(met), uint32(total))
+	return true
 }
 
 // MaxDepth reports the configured global queue bound — the capacity behind

@@ -124,3 +124,92 @@ func TestWindowedAttainment(t *testing.T) {
 		t.Fatalf("MaxDepth = %d, want 100", got)
 	}
 }
+
+// TestSLORingStampWraparound pins the recycling contract across long
+// idle gaps: when the ring laps (one horizon or many), stale buckets
+// from a previous lap are zeroed on reuse and ignored by window sums —
+// never replayed as current traffic.
+func TestSLORingStampWraparound(t *testing.T) {
+	r := newSLORing()
+	base := int64(5_000_000)
+	for s := base; s < base+10; s++ {
+		r.observe(s, true)
+		r.observe(s, true)
+	}
+
+	// Exactly one lap later the same indices answer for new seconds: a
+	// window there must read empty, not replay the old lap's 20 met.
+	lap1 := base + int64(sloRingSeconds)
+	if met, total := r.window(lap1+9, 10); met != 0 || total != 0 {
+		t.Fatalf("post-lap window = %d/%d, want 0/0", met, total)
+	}
+	if att := r.attainment(lap1+9, 10); att != 1 {
+		t.Fatalf("post-lap attainment = %g, want vacuous 1", att)
+	}
+
+	// First observation on the new lap recycles its bucket: counts start
+	// from zero rather than accumulating onto the stale 2/2.
+	r.observe(lap1, false)
+	if met, total := r.window(lap1, 1); met != 0 || total != 1 {
+		t.Fatalf("recycled bucket = %d/%d, want 0/1", met, total)
+	}
+
+	// Untouched buckets still answer for their original seconds; the one
+	// overwritten index no longer does.
+	if met, total := r.window(base+9, 10); met != 18 || total != 18 {
+		t.Fatalf("old-lap window = %d/%d, want 18/18 (one bucket recycled)", met, total)
+	}
+
+	// A multi-lap gap behaves identically — stamps compare absolute
+	// seconds, not lap parity.
+	lap5 := base + 5*int64(sloRingSeconds) + 7
+	if met, total := r.window(lap5, len(r.secs)); met != 0 || total != 0 {
+		t.Fatalf("5-lap window = %d/%d, want 0/0", met, total)
+	}
+	r.observe(lap5, true)
+	if met, total := r.window(lap5, 1); met != 1 || total != 1 {
+		t.Fatalf("5-lap fresh bucket = %d/%d, want 1/1", met, total)
+	}
+}
+
+// TestSeedSLO checks the backfill entry point: seeded seconds feed
+// WindowSLO, live observations are never overwritten, and out-of-horizon
+// or unknown-tenant seeds are refused or ignored.
+func TestSeedSLO(t *testing.T) {
+	s := New(Config{Tenants: []TenantClass{{Name: "interactive", DeadlineMs: 500}}, MaxDepth: 10})
+	base := time.Now()
+	s.now = func() time.Time { return base }
+	nowSec := base.Unix()
+
+	if s.SeedSLO("ghost", nowSec-5, 3, 4) {
+		t.Fatal("seeded unknown tenant")
+	}
+	if !s.SeedSLO("interactive", nowSec-5, 3, 4) {
+		t.Fatal("seed refused for known tenant")
+	}
+	if !s.SeedSLO("interactive", nowSec-4, 10, 10) {
+		t.Fatal("seed refused for known tenant")
+	}
+	met, total, ok := s.WindowSLO("interactive", 10*time.Second)
+	if !ok || met != 13 || total != 14 {
+		t.Fatalf("WindowSLO after seed = %d/%d ok=%v, want 13/14", met, total, ok)
+	}
+
+	// met is clamped to total; future and out-of-horizon seconds are
+	// ignored without error.
+	s.SeedSLO("interactive", nowSec-3, 9, 2)
+	s.SeedSLO("interactive", nowSec+60, 1, 1)
+	s.SeedSLO("interactive", nowSec-int64(sloRingSeconds)-1, 1, 1)
+	met, total, _ = s.WindowSLO("interactive", 10*time.Second)
+	if met != 15 || total != 16 {
+		t.Fatalf("WindowSLO after clamped seed = %d/%d, want 15/16", met, total)
+	}
+
+	// A live observation in a bucket wins over any later backfill.
+	s.ten["interactive"].slo.observe(nowSec-2, false)
+	s.SeedSLO("interactive", nowSec-2, 50, 50)
+	met, total, _ = s.WindowSLO("interactive", 10*time.Second)
+	if met != 15 || total != 17 {
+		t.Fatalf("WindowSLO after live-vs-seed = %d/%d, want 15/17", met, total)
+	}
+}

@@ -1,0 +1,68 @@
+package tsdb
+
+import (
+	"io"
+	"testing"
+)
+
+// The disabled history plane (-history=false → nil *DB) must cost one
+// pointer check and zero allocations on the job hot path, matching the
+// probe/span/exemplar nil-contracts.
+func TestObserveJobDisabledZeroAlloc(t *testing.T) {
+	var db *DB
+	if allocs := testing.AllocsPerRun(1000, func() {
+		db.ObserveJob("conf_date", 0.123)
+	}); allocs != 0 {
+		t.Fatalf("nil ObserveJob allocated %v times per run", allocs)
+	}
+}
+
+func BenchmarkObserveJobDisabled(b *testing.B) {
+	var db *DB
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.ObserveJob("conf_date", 0.123)
+	}
+}
+
+func BenchmarkObserveJobEnabled(b *testing.B) {
+	db, err := Open(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.ObserveJob("conf_date", 0.123)
+	}
+}
+
+func BenchmarkChunkAppend(b *testing.B) {
+	b.ReportAllocs()
+	var c chunk
+	for i := 0; i < b.N; i++ {
+		c.append(int64(i)*5000, float64(i%97))
+		if c.n >= 512 {
+			c = chunk{}
+		}
+	}
+}
+
+func BenchmarkScrapeOnce(b *testing.B) {
+	db, err := Open(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	// A realistic exposition: ~200 series.
+	var text []byte
+	for i := 0; i < 200; i++ {
+		text = append(text, []byte("womd_bench_metric{idx=\""+string(rune('a'+i%26))+"\",grp=\""+string(rune('a'+i/26))+"\"} 1.5\n")...)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db.ScrapeOnce(func(w io.Writer) {
+			w.Write(text) //nolint:errcheck
+		})
+	}
+}

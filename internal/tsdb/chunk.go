@@ -1,0 +1,328 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Chunk encoding: a Gorilla-style bitstream per series. The first sample
+// stores its timestamp (milliseconds) and value verbatim; every later
+// sample stores the delta-of-delta of its timestamp in one of five
+// variable-width classes and the XOR of its value bits against the
+// previous value, reusing the previous meaningful-bit window when it still
+// fits. Self-scraped series tick on a fixed interval, so the common sample
+// costs one bit for time (dod == 0) and one for an unchanged value.
+
+// bitWriter appends bits MSB-first into a byte slice.
+type bitWriter struct {
+	b     []byte
+	nbits uint8 // bits used in the final byte (0 = byte boundary)
+}
+
+func (w *bitWriter) writeBit(bit uint64) {
+	if w.nbits == 0 {
+		w.b = append(w.b, 0)
+		w.nbits = 8
+	}
+	w.nbits--
+	if bit != 0 {
+		w.b[len(w.b)-1] |= 1 << w.nbits
+	}
+}
+
+// writeBits appends the low n bits of v, MSB-first.
+func (w *bitWriter) writeBits(v uint64, n int) {
+	for n > 0 {
+		n--
+		w.writeBit((v >> uint(n)) & 1)
+	}
+}
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	b   []byte
+	off int   // next byte
+	rem uint8 // bits remaining in the current byte
+	cur byte
+}
+
+func newBitReader(b []byte) *bitReader { return &bitReader{b: b} }
+
+func (r *bitReader) readBit() (uint64, error) {
+	if r.rem == 0 {
+		if r.off >= len(r.b) {
+			return 0, fmt.Errorf("tsdb: chunk bitstream exhausted")
+		}
+		r.cur = r.b[r.off]
+		r.off++
+		r.rem = 8
+	}
+	r.rem--
+	return uint64(r.cur>>r.rem) & 1, nil
+}
+
+func (r *bitReader) readBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | bit
+	}
+	return v, nil
+}
+
+// chunk is one sealed or appending run of (timestamp, value) samples for a
+// single series. Fields beyond the bitstream are the appender's rolling
+// state; a sealed chunk is read through its iterator only.
+type chunk struct {
+	w bitWriter
+	n int // samples held
+
+	startT, endT int64 // ms, inclusive
+
+	prevT     int64
+	prevDelta int64
+	prevV     uint64
+	leading   uint8
+	trailing  uint8
+}
+
+// append adds one sample. Timestamps must be non-decreasing; the caller
+// (the series head) guarantees it.
+func (c *chunk) append(t int64, v float64) {
+	vb := math.Float64bits(v)
+	if c.n == 0 {
+		c.startT = t
+		// First sample: raw 64-bit timestamp and value.
+		c.w.writeBits(uint64(t), 64)
+		c.w.writeBits(vb, 64)
+		c.prevT, c.prevV = t, vb
+		c.leading, c.trailing = 0xff, 0
+		c.n++
+		c.endT = t
+		return
+	}
+	delta := t - c.prevT
+	dod := delta - c.prevDelta
+	switch {
+	case dod == 0:
+		c.w.writeBit(0)
+	case dod >= -64 && dod <= 63:
+		c.w.writeBits(0b10, 2)
+		c.w.writeBits(uint64(dod)&0x7f, 7)
+	case dod >= -256 && dod <= 255:
+		c.w.writeBits(0b110, 3)
+		c.w.writeBits(uint64(dod)&0x1ff, 9)
+	case dod >= -2048 && dod <= 2047:
+		c.w.writeBits(0b1110, 4)
+		c.w.writeBits(uint64(dod)&0xfff, 12)
+	default:
+		c.w.writeBits(0b1111, 4)
+		c.w.writeBits(uint64(dod), 64)
+	}
+	c.prevDelta = delta
+	c.prevT = t
+
+	xor := vb ^ c.prevV
+	if xor == 0 {
+		c.w.writeBit(0)
+	} else {
+		c.w.writeBit(1)
+		leading := uint8(bits.LeadingZeros64(xor))
+		trailing := uint8(bits.TrailingZeros64(xor))
+		if leading >= 32 {
+			leading = 31 // 5-bit field
+		}
+		if c.leading != 0xff && leading >= c.leading && trailing >= c.trailing {
+			// The previous window still covers the meaningful bits.
+			c.w.writeBit(0)
+			c.w.writeBits(xor>>c.trailing, 64-int(c.leading)-int(c.trailing))
+		} else {
+			c.leading, c.trailing = leading, trailing
+			sig := 64 - int(leading) - int(trailing)
+			c.w.writeBit(1)
+			c.w.writeBits(uint64(leading), 5)
+			// sig is in [1,64]; encode 64 as 0 in the 6-bit field.
+			c.w.writeBits(uint64(sig)&0x3f, 6)
+			c.w.writeBits(xor>>trailing, sig)
+		}
+	}
+	c.prevV = vb
+	c.n++
+	c.endT = t
+}
+
+// bytes returns the chunk's encoded form (shared backing; callers that
+// persist it must copy if the chunk keeps appending).
+func (c *chunk) bytes() []byte { return c.w.b }
+
+// chunkIter decodes a chunk bitstream sample by sample.
+type chunkIter struct {
+	r *bitReader
+	n int // samples remaining
+
+	t         int64
+	delta     int64
+	v         uint64
+	leading   uint8
+	trailing  uint8
+	first     bool
+	sampleErr error
+}
+
+// iter returns a decoder over encoded chunk bytes holding n samples.
+func iterChunk(data []byte, n int) *chunkIter {
+	return &chunkIter{r: newBitReader(data), n: n, first: true}
+}
+
+// next returns the next sample; ok=false at the end or on a decode error
+// (recorded in err()).
+func (it *chunkIter) next() (t int64, v float64, ok bool) {
+	if it.n <= 0 || it.sampleErr != nil {
+		return 0, 0, false
+	}
+	it.n--
+	if it.first {
+		it.first = false
+		tb, err := it.r.readBits(64)
+		if err == nil {
+			var vb uint64
+			vb, err = it.r.readBits(64)
+			if err == nil {
+				it.t, it.v = int64(tb), vb
+				return it.t, math.Float64frombits(it.v), true
+			}
+		}
+		it.sampleErr = err
+		return 0, 0, false
+	}
+	var dod int64
+	bit, err := it.r.readBit()
+	if err != nil {
+		it.sampleErr = err
+		return 0, 0, false
+	}
+	if bit == 1 {
+		width := 0
+		for _, w := range []int{7, 9, 12} {
+			bit, err = it.r.readBit()
+			if err != nil {
+				it.sampleErr = err
+				return 0, 0, false
+			}
+			if bit == 0 {
+				width = w
+				break
+			}
+		}
+		if width == 0 {
+			width = 64
+		}
+		raw, err := it.r.readBits(width)
+		if err != nil {
+			it.sampleErr = err
+			return 0, 0, false
+		}
+		// Sign-extend the variable-width two's-complement field.
+		if width < 64 && raw&(1<<uint(width-1)) != 0 {
+			raw |= ^uint64(0) << uint(width)
+		}
+		dod = int64(raw)
+	}
+	it.delta += dod
+	it.t += it.delta
+
+	bit, err = it.r.readBit()
+	if err != nil {
+		it.sampleErr = err
+		return 0, 0, false
+	}
+	if bit == 1 {
+		bit, err = it.r.readBit()
+		if err != nil {
+			it.sampleErr = err
+			return 0, 0, false
+		}
+		if bit == 1 {
+			lead, err := it.r.readBits(5)
+			if err != nil {
+				it.sampleErr = err
+				return 0, 0, false
+			}
+			sigRaw, err := it.r.readBits(6)
+			if err != nil {
+				it.sampleErr = err
+				return 0, 0, false
+			}
+			sig := int(sigRaw)
+			if sig == 0 {
+				sig = 64
+			}
+			it.leading = uint8(lead)
+			it.trailing = uint8(64 - int(lead) - sig)
+			xor, err := it.r.readBits(sig)
+			if err != nil {
+				it.sampleErr = err
+				return 0, 0, false
+			}
+			it.v ^= xor << it.trailing
+		} else {
+			sig := 64 - int(it.leading) - int(it.trailing)
+			xor, err := it.r.readBits(sig)
+			if err != nil {
+				it.sampleErr = err
+				return 0, 0, false
+			}
+			it.v ^= xor << it.trailing
+		}
+	}
+	return it.t, math.Float64frombits(it.v), true
+}
+
+// err reports a decode failure, if any (torn or corrupt chunk bytes).
+func (it *chunkIter) err() error { return it.sampleErr }
+
+// sealedChunk is an immutable encoded chunk plus its index metadata — the
+// in-memory form of a persisted raw-tier chunk.
+type sealedChunk struct {
+	data         []byte
+	n            int
+	startT, endT int64 // ms
+}
+
+// seal freezes the chunk, copying its bitstream.
+func (c *chunk) seal() sealedChunk {
+	data := make([]byte, len(c.w.b))
+	copy(data, c.w.b)
+	return sealedChunk{data: data, n: c.n, startT: c.startT, endT: c.endT}
+}
+
+// encodeSamples is a convenience used by tests and backfill: one sealed
+// chunk from a sample slice.
+func encodeSamples(samples []Point) sealedChunk {
+	var c chunk
+	for _, s := range samples {
+		c.append(s.T, s.V)
+	}
+	return c.seal()
+}
+
+// decodeAll expands a sealed chunk; used by replay sanity checks and tests.
+func (sc sealedChunk) decodeAll() ([]Point, error) {
+	out := make([]Point, 0, sc.n)
+	it := iterChunk(sc.data, sc.n)
+	for {
+		t, v, ok := it.next()
+		if !ok {
+			break
+		}
+		out = append(out, Point{T: t, V: v})
+	}
+	if err := it.err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

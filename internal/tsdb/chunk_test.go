@@ -1,0 +1,166 @@
+package tsdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func requireSamples(t *testing.T, want, got []Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].T != want[i].T {
+			t.Fatalf("sample %d: t=%d want %d", i, got[i].T, want[i].T)
+		}
+		if got[i].V != want[i].V && !(math.IsNaN(got[i].V) && math.IsNaN(want[i].V)) {
+			t.Fatalf("sample %d: v=%v want %v", i, got[i].V, want[i].V)
+		}
+	}
+}
+
+func TestChunkRoundTripRegular(t *testing.T) {
+	var want []Point
+	v := 0.0
+	for i := 0; i < 500; i++ {
+		v += float64(i%7) * 0.25
+		want = append(want, Point{T: 1_700_000_000_000 + int64(i)*5000, V: v})
+	}
+	sc := encodeSamples(want)
+	got, err := sc.decodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamples(t, want, got)
+	// A steady 5s cadence should compress far below 16 bytes/sample.
+	if perSample := float64(len(sc.data)) / float64(len(want)); perSample > 6 {
+		t.Fatalf("regular series cost %.1f bytes/sample, want < 6", perSample)
+	}
+}
+
+func TestChunkRoundTripConstant(t *testing.T) {
+	var want []Point
+	for i := 0; i < 256; i++ {
+		want = append(want, Point{T: int64(i) * 1000, V: 42.5})
+	}
+	sc := encodeSamples(want)
+	got, err := sc.decodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamples(t, want, got)
+	// dod=0 (1 bit) + same value (1 bit): ~2 bits/sample after the first.
+	if len(sc.data) > 16+2*256/8+8 {
+		t.Fatalf("constant series used %d bytes for 256 samples", len(sc.data))
+	}
+}
+
+func TestChunkRoundTripAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var want []Point
+	tcur := int64(0)
+	for i := 0; i < 1000; i++ {
+		// Wild jitter exercises every delta-of-delta width class.
+		switch rng.Intn(5) {
+		case 0:
+			tcur += 1
+		case 1:
+			tcur += rng.Int63n(100)
+		case 2:
+			tcur += rng.Int63n(10_000)
+		case 3:
+			tcur += rng.Int63n(10_000_000)
+		default:
+			tcur += 5000
+		}
+		var v float64
+		switch rng.Intn(6) {
+		case 0:
+			v = 0
+		case 1:
+			v = math.Inf(1)
+		case 2:
+			v = math.NaN()
+		case 3:
+			v = -math.MaxFloat64
+		case 4:
+			v = float64(rng.Intn(1000))
+		default:
+			v = rng.NormFloat64() * 1e9
+		}
+		want = append(want, Point{T: tcur, V: v})
+	}
+	sc := encodeSamples(want)
+	got, err := sc.decodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamples(t, want, got)
+}
+
+func TestChunkSingleSampleAndEmpty(t *testing.T) {
+	sc := encodeSamples([]Point{{T: 123456789, V: -0.5}})
+	got, err := sc.decodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamples(t, []Point{{T: 123456789, V: -0.5}}, got)
+
+	empty := encodeSamples(nil)
+	if empty.n != 0 {
+		t.Fatalf("empty chunk has n=%d", empty.n)
+	}
+	if pts, err := empty.decodeAll(); err != nil || len(pts) != 0 {
+		t.Fatalf("empty decode: %v %v", pts, err)
+	}
+}
+
+func TestChunkTruncatedBitstreamErrors(t *testing.T) {
+	var want []Point
+	for i := 0; i < 64; i++ {
+		want = append(want, Point{T: int64(i) * 5000, V: float64(i * i)})
+	}
+	sc := encodeSamples(want)
+	// Claim more samples than the bitstream holds: the iterator must
+	// surface an error, never loop or invent data.
+	it := iterChunk(sc.data[:len(sc.data)/2], sc.n)
+	n := 0
+	for {
+		_, _, ok := it.next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if it.err() == nil {
+		t.Fatal("truncated bitstream decoded without error")
+	}
+	if n >= len(want) {
+		t.Fatalf("truncated bitstream yielded %d samples of %d", n, len(want))
+	}
+}
+
+func FuzzChunkRoundTrip(f *testing.F) {
+	f.Add(int64(1), int64(5000), 0.5, uint8(10))
+	f.Add(int64(-100), int64(1), -1e300, uint8(200))
+	f.Fuzz(func(t *testing.T, t0, dt int64, v0 float64, n uint8) {
+		if dt < 0 {
+			dt = -dt
+		}
+		var want []Point
+		tcur, v := t0, v0
+		for i := 0; i < int(n); i++ {
+			want = append(want, Point{T: tcur, V: v})
+			tcur += dt + int64(i%3)
+			v = v*1.0001 + float64(i)
+		}
+		sc := encodeSamples(want)
+		got, err := sc.decodeAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSamples(t, want, got)
+	})
+}

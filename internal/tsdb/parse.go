@@ -1,0 +1,196 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The scrape source is womd's own /metrics exposition (engine
+// Server.WriteProm), so the parser handles exactly the Prometheus text
+// format that writer produces: `# `-prefixed comments, bare samples
+// `name value`, and labeled samples `name{k="v",...} value` with
+// backslash-escaped quotes inside label values. An optional trailing
+// timestamp field is ignored — the scrape time stamps every sample.
+
+// scrapedSample is one parsed exposition line.
+type scrapedSample struct {
+	metric string
+	labels string // raw label body, as written between { and }
+	value  float64
+}
+
+// parseExposition extracts every sample line from a Prometheus text
+// exposition. Malformed lines are counted, not fatal: one odd line must
+// not blind the whole scrape.
+func parseExposition(text string, out []scrapedSample) (samples []scrapedSample, malformed int) {
+	samples = out[:0]
+	for len(text) > 0 {
+		line := text
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			line, text = text[:i], text[i+1:]
+		} else {
+			text = ""
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		s, ok := parseSampleLine(line)
+		if !ok {
+			malformed++
+			continue
+		}
+		samples = append(samples, s)
+	}
+	return samples, malformed
+}
+
+// parseSampleLine splits one sample line into metric, raw label body, and
+// value.
+func parseSampleLine(line string) (scrapedSample, bool) {
+	var s scrapedSample
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return s, false
+	}
+	s.metric = line[:nameEnd]
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		end := labelBodyEnd(rest)
+		if end < 0 {
+			return s, false
+		}
+		s.labels = rest[1:end]
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, false
+	}
+	s.value = v
+	return s, true
+}
+
+// labelBodyEnd returns the index of the closing '}' of a label body that
+// starts at rest[0] == '{', honoring quoted values with backslash escapes.
+func labelBodyEnd(rest string) int {
+	inQuote := false
+	for i := 1; i < len(rest); i++ {
+		c := rest[i]
+		switch {
+		case inQuote && c == '\\':
+			i++ // skip the escaped byte
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// parseLabels expands a raw label body into a map. Returns nil for an
+// empty body.
+func parseLabels(body string) (map[string]string, error) {
+	if body == "" {
+		return nil, nil
+	}
+	out := make(map[string]string, 4)
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("tsdb: label body %q: missing '='", body)
+		}
+		name := strings.TrimSpace(body[i : i+eq])
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("tsdb: label %q: unquoted value", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				return nil, fmt.Errorf("tsdb: label %q: unterminated value", name)
+			}
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				next := body[i+1]
+				switch next {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(next)
+				default:
+					val.WriteByte(c)
+					val.WriteByte(next)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[name] = val.String()
+		if i < len(body) && body[i] == ',' {
+			i++
+		}
+	}
+	return out, nil
+}
+
+// canonicalKey is a series' stable identity: metric plus labels sorted by
+// name, formatted back into exposition syntax. Replay, ingest, and query
+// all meet at this string.
+func canonicalKey(metric string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return metric
+	}
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(metric)
+	b.WriteByte('{')
+	for i, k := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// matchLabels reports whether a series' labels satisfy every matcher.
+func matchLabels(labels, match map[string]string) bool {
+	for k, want := range match {
+		if labels[k] != want {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,552 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a hand-advanced clock shared by a DB under test.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	// Aligned to the 10m grid so tier buckets land on round boundaries.
+	base := time.UnixMilli((1_700_000_000_000 / 600_000) * 600_000)
+	return &testClock{t: base}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func openTestDB(t *testing.T, dir string, clk *testClock) *DB {
+	t.Helper()
+	db, err := Open(Options{
+		Dir:            dir,
+		ScrapeInterval: 5 * time.Second,
+		FlushInterval:  30 * time.Second,
+		Tiers: []TierSpec{
+			{Step: 0, Retention: 2 * time.Hour},
+			{Step: time.Minute, Retention: 24 * time.Hour},
+			{Step: 10 * time.Minute, Retention: 7 * 24 * time.Hour},
+		},
+		Now: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestScrapeIngestAndQueryAvg(t *testing.T) {
+	clk := newTestClock()
+	db := openTestDB(t, "", clk)
+	defer db.Close()
+
+	val := 0.0
+	gather := func(w io.Writer) {
+		fmt.Fprintf(w, "# HELP womd_test_gauge test\n# TYPE womd_test_gauge gauge\n")
+		fmt.Fprintf(w, "womd_test_gauge{zone=\"a\"} %g\n", val)
+		fmt.Fprintf(w, "womd_test_gauge{zone=\"b\"} %g\n", val*2)
+	}
+	start := clk.Now().UnixMilli()
+	for i := 0; i < 60; i++ {
+		clk.Advance(5 * time.Second)
+		val = float64(i)
+		db.ScrapeOnce(gather)
+	}
+	end := clk.Now().UnixMilli()
+
+	res, err := db.QueryRange(RangeQuery{
+		Metric: "womd_test_gauge", StartMs: start + 60_000, EndMs: end + 1,
+		StepMs: 60_000, Agg: "avg",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d series, want 2", len(res))
+	}
+	if res[0].Labels["zone"] != "a" || res[1].Labels["zone"] != "b" {
+		t.Fatalf("series order: %v, %v", res[0].Labels, res[1].Labels)
+	}
+	if len(res[0].Points) < 4 {
+		t.Fatalf("too few points: %d", len(res[0].Points))
+	}
+	// zone=b is always exactly twice zone=a; averages must preserve that.
+	for i, p := range res[0].Points {
+		if b := res[1].Points[i].V; math.Abs(b-2*p.V) > 1e-9 {
+			t.Fatalf("point %d: zone b=%v, want %v", i, b, 2*p.V)
+		}
+	}
+
+	// Matcher restricts to one series.
+	res, err = db.QueryRange(RangeQuery{
+		Metric: "womd_test_gauge", Match: map[string]string{"zone": "b"},
+		StartMs: start + 60_000, EndMs: end + 1, StepMs: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Labels["zone"] != "b" {
+		t.Fatalf("matcher returned %+v", res)
+	}
+
+	infos := db.Series("womd_test_gauge")
+	if len(infos) != 2 {
+		t.Fatalf("Series: %+v", infos)
+	}
+	if all := db.Series(""); len(all) < 2 {
+		t.Fatalf("Series(\"\"): %+v", all)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	db := openTestDB(t, "", newTestClock())
+	defer db.Close()
+	for _, q := range []RangeQuery{
+		{Metric: "", StartMs: 0, EndMs: 1},
+		{Metric: "m", StartMs: 5, EndMs: 5},
+		{Metric: "m", StartMs: 0, EndMs: 1, Agg: "median"},
+		{Metric: "m", StartMs: 0, EndMs: 1, TierStep: 3 * time.Second},
+	} {
+		if _, err := db.QueryRange(q); !errors.Is(err, ErrBadQuery) {
+			t.Fatalf("query %+v: err=%v, want ErrBadQuery", q, err)
+		}
+	}
+}
+
+// TestRateDownsampleAgreement pins the tentpole correctness criterion:
+// rate() evaluated from the 1m tier agrees with rate() from raw samples
+// on a synthetic counter with a mid-stream reset.
+func TestRateDownsampleAgreement(t *testing.T) {
+	clk := newTestClock()
+	db := openTestDB(t, "", clk)
+	defer db.Close()
+
+	v := 0.0
+	gather := func(w io.Writer) {
+		fmt.Fprintf(w, "womd_test_counter_total %g\n", v)
+	}
+	start := clk.Now().UnixMilli()
+	for i := 0; i < 360; i++ { // 30 minutes at 5s
+		clk.Advance(5 * time.Second)
+		if i == 180 {
+			v = 3 // counter reset (process restart)
+		} else {
+			v += 7 + float64(i%13)
+		}
+		db.ScrapeOnce(gather)
+	}
+	end := clk.Now().UnixMilli()
+
+	q := RangeQuery{
+		Metric:  "womd_test_counter_total",
+		StartMs: start + 120_000, EndMs: end, StepMs: 120_000, Agg: "rate",
+	}
+	raw, err := db.QueryRange(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt := q
+	qt.TierStep = time.Minute
+	tiered, err := db.QueryRange(qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 1 || len(tiered) != 1 {
+		t.Fatalf("series: raw=%d tiered=%d", len(raw), len(tiered))
+	}
+	if raw[0].TierMs != 0 || tiered[0].TierMs != 60_000 {
+		t.Fatalf("tiers: raw=%d tiered=%d", raw[0].TierMs, tiered[0].TierMs)
+	}
+	rp, tp := raw[0].Points, tiered[0].Points
+	if len(rp) < 10 {
+		t.Fatalf("too few raw rate points: %d", len(rp))
+	}
+	tpByT := make(map[int64]float64, len(tp))
+	for _, p := range tp {
+		tpByT[p.T] = p.V
+	}
+	compared := 0
+	for _, p := range rp {
+		tv, ok := tpByT[p.T]
+		if !ok {
+			continue
+		}
+		compared++
+		if p.V == 0 && tv == 0 {
+			continue
+		}
+		if rel := math.Abs(p.V-tv) / math.Max(math.Abs(p.V), math.Abs(tv)); rel > 0.01 {
+			t.Fatalf("rate at %d: raw=%v tier=%v (rel %.4f > 1%%)", p.T, p.V, tv, rel)
+		}
+	}
+	if compared < 10 {
+		t.Fatalf("only %d comparable windows", compared)
+	}
+}
+
+func TestRestartContinuity(t *testing.T) {
+	dir := t.TempDir()
+	clk := newTestClock()
+	v := 0.0
+	gather := func(w io.Writer) {
+		fmt.Fprintf(w, "womd_test_counter_total %g\n", v)
+	}
+
+	db := openTestDB(t, dir, clk)
+	start := clk.Now().UnixMilli()
+	for i := 0; i < 120; i++ { // 10 minutes
+		clk.Advance(5 * time.Second)
+		v += 5
+		db.ScrapeOnce(gather)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": new process, same dir. Counters restart from zero too.
+	clk.Advance(10 * time.Second)
+	v = 0
+	db2 := openTestDB(t, dir, clk)
+	defer db2.Close()
+	for i := 0; i < 120; i++ {
+		clk.Advance(5 * time.Second)
+		v += 5
+		db2.ScrapeOnce(gather)
+	}
+	end := clk.Now().UnixMilli()
+
+	res, err := db2.QueryRange(RangeQuery{
+		Metric:  "womd_test_counter_total",
+		StartMs: start + 60_000, EndMs: end, StepMs: 60_000, Agg: "max",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("series: %d", len(res))
+	}
+	pts := res[0].Points
+	// ~20 one-minute windows; the restart gap may drop at most one.
+	if len(pts) < 18 {
+		t.Fatalf("restart left only %d windows of ~20", len(pts))
+	}
+	// Windows from both sides of the restart must be present.
+	var before, after bool
+	mid := start + 10*60_000
+	for _, p := range pts {
+		if p.T < mid {
+			before = true
+		}
+		if p.T > mid+60_000 {
+			after = true
+		}
+	}
+	if !before || !after {
+		t.Fatalf("windows span: before=%v after=%v", before, after)
+	}
+	for i := 1; i < len(pts); i++ {
+		if gap := pts[i].T - pts[i-1].T; gap > 2*60_000 {
+			t.Fatalf("gap of %dms between windows %d and %d", gap, i-1, i)
+		}
+	}
+}
+
+// TestTornTailEveryOffset truncates the final segment at every byte
+// offset; every truncation must open cleanly (the torn tail is cut off)
+// and leave an appendable store — the resultstore crash contract.
+func TestTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	clk := newTestClock()
+	db := openTestDB(t, dir, clk)
+	v := 0.0
+	gather := func(w io.Writer) { fmt.Fprintf(w, "womd_torn_total %g\n", v) }
+	for i := 0; i < 24; i++ {
+		clk.Advance(5 * time.Second)
+		v++
+		db.ScrapeOnce(gather)
+	}
+	db.AppendAlertTransition(clk.Now(), "firing", "r\x00s", json.RawMessage(`{"id":"al-000001"}`))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	seg := segs[len(segs)-1]
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) <= len(segHeader) {
+		t.Fatalf("segment only %d bytes", len(full))
+	}
+
+	for off := 0; off <= len(full); off++ {
+		tdir := t.TempDir()
+		for _, s := range segs {
+			data, err := os.ReadFile(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s == seg {
+				data = data[:off]
+			}
+			if err := os.WriteFile(filepath.Join(tdir, filepath.Base(s)), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		db2 := openTestDB(t, tdir, clk)
+		db2.Append("womd_torn_total", nil, clk.Now().UnixMilli()+int64(off)+1, 99)
+		if err := db2.Close(); err != nil {
+			t.Fatalf("offset %d: close: %v", off, err)
+		}
+		// The recovered store must reopen cleanly after the new append.
+		db3 := openTestDB(t, tdir, clk)
+		if err := db3.Close(); err != nil {
+			t.Fatalf("offset %d: reopen: %v", off, err)
+		}
+	}
+}
+
+func TestInteriorCorruptionRefuses(t *testing.T) {
+	dir := t.TempDir()
+	clk := newTestClock()
+	db, err := Open(Options{
+		Dir: dir, MaxSegmentBytes: 256, Now: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		db.AppendAlertTransition(clk.Now().Add(time.Duration(i)*time.Second),
+			"pending", fmt.Sprintf("k%d", i), json.RawMessage(`{}`))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if len(segs) < 2 {
+		t.Fatalf("want multiple segments, got %d", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir, Now: clk.Now}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestAlertJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	clk := newTestClock()
+	db := openTestDB(t, dir, clk)
+	at := clk.Now()
+	db.AppendAlertTransition(at, "pending", "keyA", json.RawMessage(`{"id":"al-000001","state":"pending"}`))
+	db.AppendAlertTransition(at.Add(time.Second), "firing", "keyA", json.RawMessage(`{"id":"al-000001","state":"firing"}`))
+	db.AppendAlertTransition(at.Add(2*time.Second), "pending", "keyB", json.RawMessage(`{"id":"al-000002","state":"pending"}`))
+	db.AppendAlertTransition(at.Add(3*time.Second), "firing", "keyB", json.RawMessage(`{"id":"al-000002","state":"firing"}`))
+	db.AppendAlertTransition(at.Add(4*time.Second), "resolved", "keyB", json.RawMessage(`{"id":"al-000002","state":"resolved"}`))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openTestDB(t, dir, clk)
+	defer db2.Close()
+	hist := db2.AlertHistory(time.Time{}, time.Time{}, 0)
+	if len(hist) != 5 {
+		t.Fatalf("history: %d transitions, want 5", len(hist))
+	}
+	if hist[0].To != "resolved" || hist[0].Key != "keyB" {
+		t.Fatalf("newest first: %+v", hist[0])
+	}
+	active := db2.ActiveAlerts()
+	if len(active) != 1 || active[0].Key != "keyA" || active[0].To != "firing" {
+		t.Fatalf("active: %+v", active)
+	}
+	// Bounded + filtered lookups.
+	if h := db2.AlertHistory(time.Time{}, time.Time{}, 2); len(h) != 2 {
+		t.Fatalf("limit: %d", len(h))
+	}
+	if h := db2.AlertHistory(at.Add(4*time.Second), time.Time{}, 0); len(h) != 1 {
+		t.Fatalf("from filter: %d", len(h))
+	}
+}
+
+func TestRetentionPruneAndSegmentGC(t *testing.T) {
+	dir := t.TempDir()
+	clk := newTestClock()
+	db, err := Open(Options{
+		Dir:                dir,
+		ScrapeInterval:     5 * time.Second,
+		FlushInterval:      30 * time.Second,
+		MaxSegmentBytes:    2048,
+		MaxSamplesPerChunk: 32,
+		Tiers: []TierSpec{
+			{Step: 0, Retention: 5 * time.Minute},
+			{Step: time.Minute, Retention: 10 * time.Minute},
+		},
+		Now: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	v := 0.0
+	gather := func(w io.Writer) { fmt.Fprintf(w, "womd_prune_total %g\n", v) }
+	for i := 0; i < 600; i++ { // 50 minutes
+		clk.Advance(5 * time.Second)
+		v++
+		db.ScrapeOnce(gather)
+	}
+	now := clk.Now().UnixMilli()
+
+	db.mu.Lock()
+	s := db.series[canonicalKey("womd_prune_total", nil)]
+	rawCut := now - (5*time.Minute + time.Minute).Milliseconds()
+	for _, sc := range s.sealed {
+		if sc.endT < rawCut {
+			db.mu.Unlock()
+			t.Fatalf("sealed chunk ending %d survived raw retention (cut %d)", sc.endT, rawCut)
+		}
+	}
+	aggCut := now - (10*time.Minute + 2*time.Minute).Milliseconds()
+	for _, p := range s.aggs[0].done {
+		if p.T < aggCut {
+			db.mu.Unlock()
+			t.Fatalf("agg bucket %d survived tier retention (cut %d)", p.T, aggCut)
+		}
+	}
+	nseg := len(db.segMaxT)
+	db.mu.Unlock()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if len(segs) != nseg {
+		t.Fatalf("on-disk segments %d != tracked %d", len(segs), nseg)
+	}
+	// 50 minutes of history at a 10-minute max retention with 2 KiB
+	// segments: GC must have removed early segments.
+	if len(segs) == 0 || strings.Contains(segs[0], fmt.Sprintf("%s%08d%s", segPrefix, 1, segSuffix)) {
+		t.Fatalf("segment GC never ran: %v", segs)
+	}
+}
+
+func TestParseExposition(t *testing.T) {
+	text := `# HELP womd_jobs_total jobs
+# TYPE womd_jobs_total counter
+womd_jobs_total{state="completed"} 12
+womd_jobs_total{state="failed"} 1
+womd_up 1
+womd_weird{msg="a\"b\\c",other="x,y"} 3.5
+this line is garbage
+womd_ts_suffix 4 1700000000000
+`
+	samples, malformed := parseExposition(text, nil)
+	if malformed != 1 {
+		t.Fatalf("malformed=%d, want 1", malformed)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("samples=%d, want 5: %+v", len(samples), samples)
+	}
+	labels, err := parseLabels(samples[2].labels)
+	if err != nil || len(labels) != 0 {
+		t.Fatalf("bare metric labels: %v %v", labels, err)
+	}
+	labels, err = parseLabels(samples[3].labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["msg"] != `a"b\c` || labels["other"] != "x,y" {
+		t.Fatalf("escaped labels: %+v", labels)
+	}
+	if samples[4].value != 4 {
+		t.Fatalf("timestamped sample value: %v", samples[4].value)
+	}
+	if canonicalKey("m", map[string]string{"b": "2", "a": "1"}) != `m{a="1",b="2"}` {
+		t.Fatal("canonicalKey not sorted")
+	}
+}
+
+func TestNilDBIsInert(t *testing.T) {
+	var db *DB
+	db.Start(nil)
+	db.ScrapeOnce(func(io.Writer) {})
+	db.Append("m", nil, 1, 2)
+	db.ObserveJob("exp", 0.5)
+	db.AppendAlertTransition(time.Now(), "firing", "k", nil)
+	db.WriteProm(io.Discard)
+	if db.Enabled() {
+		t.Fatal("nil DB reports enabled")
+	}
+	if res, err := db.QueryRange(RangeQuery{Metric: "m", StartMs: 0, EndMs: 1}); res != nil || err != nil {
+		t.Fatalf("nil query: %v %v", res, err)
+	}
+	if db.Series("") != nil || db.ActiveAlerts() != nil || db.AlertHistory(time.Time{}, time.Time{}, 0) != nil {
+		t.Fatal("nil accessors returned data")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrapeLoopStartStop(t *testing.T) {
+	db, err := Open(Options{ScrapeInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	n := 0
+	db.Start(func(w io.Writer) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		fmt.Fprintf(w, "womd_loop_total %d\n", n)
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		got := n
+		mu.Unlock()
+		if got >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scrape loop never ran")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Series("womd_loop_total") == nil {
+		t.Fatal("loop scraped nothing")
+	}
+}
